@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one table/figure of the paper at the paper's
+scale, asserts the qualitative shape claims, and writes the rendered
+table/series to ``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> ExperimentConfig:
+    """The paper-scale experiment configuration shared by all benches."""
+    return ExperimentConfig(scale="paper")
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write a rendered experiment artefact under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run a slow experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,27 @@
+"""Bench F1 — Figure 1: persistence/uniqueness ellipses on both datasets.
+
+Regenerates the mean +/- std summary for every (scheme, distance) pair and
+asserts the paper's qualitative ordering: UT most unique / least
+persistent, RWR^h most persistent / least unique, TT in between.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig1_properties import check_fig1_shape, format_fig1, run_fig1
+
+
+@pytest.mark.parametrize("dataset", ["network", "querylog"])
+def test_fig1_ellipses(benchmark, paper_config, record_result, dataset):
+    ellipses = run_once(benchmark, lambda: run_fig1(dataset, paper_config))
+    record_result(f"fig1_{dataset}", format_fig1(ellipses, dataset))
+
+    checks = check_fig1_shape(ellipses)
+    assert checks["ut_most_unique"], checks
+    assert checks["rwr_most_persistent"], checks
+
+    # Sanity: one ellipse per (scheme, distance), with populated stats.
+    assert len(ellipses) == 5 * 4
+    assert all(0 <= e.mean_persistence <= 1 for e in ellipses)
+    assert all(0 <= e.mean_uniqueness <= 1 for e in ellipses)
+    assert all(e.num_nodes > 0 and e.num_pairs > 0 for e in ellipses)

@@ -1,0 +1,39 @@
+"""Bench F2 — Figure 2: self-identification ROC curves (network, Dist_SHel).
+
+Regenerates the averaged ROC curve per scheme.  The paper notes curves
+from other distance measures "look very similar"; the bench checks that
+by also computing the Dice variant and comparing scheme orderings.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig2_roc import format_fig2, run_fig2
+
+
+def test_fig2_roc_curves(benchmark, paper_config, record_result):
+    result = run_once(benchmark, lambda: run_fig2("shel", paper_config))
+    record_result("fig2_network_shel", format_fig2(result))
+
+    aucs = {label: roc.mean_auc for label, roc in result.results.items()}
+    # Every scheme is far better than random self-identification.
+    assert all(auc > 0.85 for auc in aucs.values()), aucs
+    # RWR^3 is the best multi-hop setting, UT the weakest overall.
+    assert aucs["RWR^3"] >= max(aucs["RWR^5"], aucs["RWR^7"]), aucs
+    assert aucs["UT"] == min(aucs.values()), aucs
+
+    # Curves are valid averaged ROC curves: monotone, anchored at (0,0)/(1,1).
+    for label, roc in result.results.items():
+        curve = roc.curve
+        assert curve.tpr[0] >= 0.0 and curve.tpr[-1] == 1.0
+        assert all(b >= a - 1e-12 for a, b in zip(curve.tpr, curve.tpr[1:]))
+
+
+def test_fig2_distance_stability(benchmark, paper_config, record_result):
+    """Paper: 'ROC curves from other distance measures look very similar.'"""
+    shel = run_once(benchmark, lambda: run_fig2("shel", paper_config))
+    dice = run_fig2("dice", paper_config)
+    record_result("fig2_network_dice", format_fig2(dice))
+    shel_order = sorted(shel.results, key=lambda k: -shel.results[k].mean_auc)
+    dice_order = sorted(dice.results, key=lambda k: -dice.results[k].mean_auc)
+    # The top scheme and the bottom scheme agree across distances.
+    assert shel_order[0] == dice_order[0]
+    assert shel_order[-1] == dice_order[-1]

@@ -1,0 +1,33 @@
+"""Bench F4 — Figure 4: robustness under the insert/delete perturbation.
+
+Regenerates both the paper's identity-AUC protocol and the direct
+Section II-C robustness measure at alpha = beta in {0.1, 0.4}; asserts
+TT most robust / UT least robust (direct measure) with degradation at
+the harsher setting.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4_robustness import check_fig4_shape, format_fig4, run_fig4
+
+
+def test_fig4_robustness(benchmark, paper_config, record_result):
+    result = run_once(benchmark, lambda: run_fig4(config=paper_config))
+    record_result("fig4_robustness", format_fig4(result))
+
+    checks = check_fig4_shape(result)
+    assert checks["tt_most_robust"], checks
+    assert checks["ut_least_robust"], checks
+    assert checks["robustness_degrades_with_intensity"], checks
+
+    # The identity AUC stays very high for every scheme (the paper's
+    # Figure 4 bars sit close together near the top).
+    for per_distance in result.auc.values():
+        for per_scheme in per_distance.values():
+            for auc in per_scheme.values():
+                assert auc > 0.95
+
+    # The paper: "the relative difference between all methods is very
+    # small" — the direct-robustness spread stays bounded.
+    for intensity in result.intensities:
+        for per_scheme in result.robustness[intensity].values():
+            assert max(per_scheme.values()) - min(per_scheme.values()) < 0.15

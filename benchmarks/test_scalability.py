@@ -1,0 +1,99 @@
+"""Scalability micro-benches (Section VI context).
+
+These time the primitives that dominate large deployments: batched RWR,
+all-pairs distance scans, streaming updates, and sketch queries.  Unlike
+the figure benches these use pytest-benchmark's normal multi-round timing
+(the operations are fast).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import dist_scaled_hellinger
+from repro.core.scheme import create_scheme
+from repro.experiments.config import NETWORK_K, get_enterprise_dataset
+from repro.streaming.countmin import CountMinSketch
+from repro.streaming.stream_schemes import StreamingTopTalkers
+
+
+@pytest.fixture(scope="module")
+def network_window():
+    return get_enterprise_dataset("paper").graphs[0]
+
+
+@pytest.fixture(scope="module")
+def host_population():
+    return get_enterprise_dataset("paper").local_hosts
+
+
+def test_bench_tt_compute_all(benchmark, network_window, host_population):
+    scheme = create_scheme("tt", k=NETWORK_K)
+    result = benchmark(scheme.compute_all, network_window, host_population)
+    assert len(result) == len(host_population)
+
+
+def test_bench_rwr3_compute_all(benchmark, network_window, host_population):
+    scheme = create_scheme("rwr", k=NETWORK_K, reset_probability=0.1, max_hops=3)
+    result = benchmark(scheme.compute_all, network_window, host_population)
+    assert len(result) == len(host_population)
+
+
+def test_bench_pairwise_distances(benchmark, network_window, host_population):
+    scheme = create_scheme("tt", k=NETWORK_K)
+    signatures = list(scheme.compute_all(network_window, host_population).values())
+
+    def all_pairs():
+        total = 0.0
+        for i, first in enumerate(signatures):
+            for second in signatures[i + 1 :]:
+                total += dist_scaled_hellinger(first, second)
+        return total
+
+    total = benchmark(all_pairs)
+    assert total > 0
+
+
+def test_bench_streaming_ingest(benchmark, network_window):
+    edges = list(network_window.edges())
+
+    def ingest():
+        builder = StreamingTopTalkers(k=NETWORK_K, epsilon=0.01)
+        builder.observe_stream(edges)
+        return builder
+
+    builder = benchmark(ingest)
+    assert len(builder.sources) > 0
+
+
+def test_bench_countmin_updates(benchmark):
+    sketch = CountMinSketch(epsilon=0.001, delta=0.01)
+    keys = [f"key-{i % 1000}" for i in range(10000)]
+
+    def update_burst():
+        for key in keys:
+            sketch.update(key)
+
+    benchmark(update_burst)
+    assert sketch.total > 0
+
+
+def test_bench_rwr_scales_with_edges(benchmark, network_window, host_population):
+    """One power-iteration step is O(|E|) per the paper; verify the batched
+    implementation stays near-linear by timing h=1 vs h=4."""
+    import time
+
+    def timed(hops):
+        scheme = create_scheme(
+            "rwr", k=NETWORK_K, reset_probability=0.1, max_hops=hops
+        )
+        start = time.perf_counter()
+        scheme.compute_all(network_window, host_population)
+        return time.perf_counter() - start
+
+    timed(1)  # warm caches
+    one_hop = benchmark.pedantic(lambda: timed(1), rounds=1, iterations=1)
+    four_hop = timed(4)
+    # Four iterations should cost well under ~12x one iteration (matrix
+    # setup amortises; a super-linear blow-up would flag an accidental
+    # densification bug).
+    assert four_hop < max(12 * one_hop, one_hop + 2.0), (one_hop, four_hop)

@@ -1,0 +1,115 @@
+"""Benches T1-T4 — the paper's framework tables.
+
+Tables I-III are framework constants regenerated from library metadata;
+Table IV is derived from measurements and compared cell-by-cell against
+the published table.
+"""
+
+from benchmarks.conftest import run_once
+from repro.apps.requirements import (
+    APPLICATION_REQUIREMENTS,
+    CHARACTERISTIC_PROPERTIES,
+    Requirement,
+    recommend_schemes,
+)
+from repro.core.scheme import create_scheme
+from repro.experiments.report import format_table
+from repro.experiments.tables import (
+    PAPER_TABLE4,
+    derive_table4,
+    format_table4,
+    table4_agreement,
+)
+
+
+def test_table1_application_requirements(benchmark, record_result):
+    """Table I: application -> (persistence, uniqueness, robustness) levels."""
+    rows = benchmark(
+        lambda: [
+            [app]
+            + [str(levels[prop]) for prop in ("persistence", "uniqueness", "robustness")]
+            for app, levels in APPLICATION_REQUIREMENTS.items()
+        ]
+    )
+    record_result(
+        "table1_requirements",
+        format_table(["application", "persistence", "uniqueness", "robustness"], rows),
+    )
+    paper_table1 = {
+        "multiusage_detection": ("low", "high", "high"),
+        "label_masquerading": ("high", "high", "medium"),
+        "anomaly_detection": ("high", "low", "high"),
+    }
+    for app, expected in paper_table1.items():
+        levels = APPLICATION_REQUIREMENTS[app]
+        actual = tuple(
+            str(levels[prop]) for prop in ("persistence", "uniqueness", "robustness")
+        )
+        assert actual == expected, (app, actual)
+
+
+def test_table2_characteristics(benchmark, record_result):
+    """Table II: graph characteristic -> supported properties."""
+    rows = benchmark(
+        lambda: [
+            [characteristic, ", ".join(properties)]
+            for characteristic, properties in CHARACTERISTIC_PROPERTIES.items()
+        ]
+    )
+    record_result(
+        "table2_characteristics", format_table(["characteristic", "properties"], rows)
+    )
+    assert CHARACTERISTIC_PROPERTIES["engagement"] == ("persistence", "robustness")
+    assert CHARACTERISTIC_PROPERTIES["novelty"] == ("uniqueness",)
+    assert CHARACTERISTIC_PROPERTIES["locality"] == ("uniqueness",)
+    assert CHARACTERISTIC_PROPERTIES["transitivity"] == ("persistence", "robustness")
+
+
+def test_table3_scheme_metadata(benchmark, record_result):
+    """Table III: scheme -> characteristics exploited and properties targeted."""
+    shelf = benchmark(
+        lambda: {
+            "TT": create_scheme("tt"),
+            "UT": create_scheme("ut"),
+            "RWR": create_scheme("rwr"),
+            "RWR^h": create_scheme("rwr", max_hops=3),
+        }
+    )
+    rows = []
+    for label, scheme in shelf.items():
+        characteristics = getattr(
+            scheme, "effective_characteristics", scheme.characteristics
+        )
+        properties = getattr(
+            scheme, "effective_target_properties", scheme.target_properties
+        )
+        rows.append([label, ", ".join(characteristics), ", ".join(properties)])
+    record_result(
+        "table3_schemes", format_table(["scheme", "characteristics", "properties"], rows)
+    )
+    assert set(shelf["TT"].characteristics) == {"locality", "engagement"}
+    assert set(shelf["UT"].characteristics) == {"novelty", "locality"}
+    assert set(shelf["RWR"].effective_characteristics) == {"transitivity", "engagement"}
+    assert set(shelf["RWR^h"].effective_characteristics) == {"locality", "transitivity"}
+    assert set(shelf["RWR^h"].effective_target_properties) == {
+        "persistence",
+        "uniqueness",
+        "robustness",
+    }
+
+
+def test_scheme_recommendation_matches_paper_predictions(benchmark):
+    """Section III's predictions: TT for multiusage, RWR^h for masquerading,
+    RWR for anomaly detection — all derivable from the framework tables."""
+    assert "tt" in benchmark(recommend_schemes, "multiusage_detection")
+    assert recommend_schemes("label_masquerading") == ("rwr^h",)
+    assert "rwr" in recommend_schemes("anomaly_detection")
+
+
+def test_table4_derived(benchmark, paper_config, record_result):
+    """Table IV: measured relative behaviour matches all 9 published cells."""
+    result = run_once(benchmark, lambda: derive_table4(config=paper_config))
+    record_result("table4_derived", format_table4(result))
+    matches, total = table4_agreement(result)
+    assert total == 9
+    assert matches == 9, (result.grid, PAPER_TABLE4)

@@ -1,0 +1,88 @@
+"""De-anonymization: re-identify pseudonymised hosts from a released trace.
+
+The paper's third motivating task: an analyst releases a flow trace with
+internal host labels replaced by pseudonyms (destinations keep their
+labels).  An attacker holding an earlier window with real labels builds
+signatures on both sides and solves the assignment problem between them —
+the better signatures work for legitimate tasks, the weaker pseudonymity
+is ("a user who is effectively unable to masquerade is susceptible to
+anonymity intrusion").
+
+Run:  python examples/deanonymization_attack.py
+"""
+
+from repro import (
+    Deanonymizer,
+    EnterpriseFlowGenerator,
+    EnterpriseParams,
+    anonymize_graph,
+)
+from repro.core.distances import get_distance
+from repro.core.scheme import create_scheme
+
+
+def main() -> None:
+    params = EnterpriseParams(
+        num_hosts=60,
+        num_external=600,
+        num_services=10,
+        num_windows=2,
+        num_alias_users=6,
+        seed=27,
+    )
+    dataset = EnterpriseFlowGenerator(params).generate()
+    reference = dataset.graphs[0]          # attacker's side information
+    hosts = dataset.local_hosts
+
+    # The operator pseudonymises the *next* window and releases it.
+    release = anonymize_graph(dataset.graphs[1], hosts, seed=8)
+    print(f"released window with {len(release.pseudonyms)} pseudonymised hosts")
+    print()
+
+    shel = get_distance("shel")
+    for label, scheme in (
+        ("TT", create_scheme("tt", k=10)),
+        ("UT", create_scheme("ut", k=10)),
+        ("RWR^3", create_scheme("rwr", k=10, reset_probability=0.1, max_hops=3)),
+    ):
+        attacker = Deanonymizer(scheme, shel, strategy="optimal")
+        result = attacker.attack(reference, release)
+        print(
+            f"{label:6s} re-identified {result.accuracy:6.1%} of hosts "
+            f"(mean matched distance {result.mean_matched_distance:.3f})"
+        )
+    print()
+
+    # Where do the errors live?  Aliased labels belong to multi-connection
+    # users whose sibling labels share one behaviour profile — their
+    # pseudonyms are near-interchangeable, so the attack systematically
+    # swaps siblings while nailing single-label hosts.
+    attacker = Deanonymizer(create_scheme("tt", k=10), shel)
+    result = attacker.attack(reference, release)
+    aliased = set(dataset.aliased_hosts)
+    positives = dataset.positives_by_query()
+
+    def accuracy_over(group):
+        hits = sum(
+            1 for identity in group if release.pseudonyms[identity] == result.assignment[identity]
+        )
+        return hits / len(group)
+
+    singles = [host for host in hosts if host not in aliased]
+    print(f"accuracy on single-label hosts: {accuracy_over(singles):6.1%}")
+    print(f"accuracy on aliased hosts:      {accuracy_over(aliased):6.1%}")
+    sibling_swaps = sum(
+        1
+        for identity in aliased
+        if result.assignment[identity] != release.pseudonyms[identity]
+        and result.assignment[identity]
+        in {release.pseudonyms[s] for s in positives[identity]}
+    )
+    print(
+        f"of the aliased misses, {sibling_swaps} are sibling swaps — the "
+        "attacker found the right individual, just the wrong device."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Label-masquerading detection: recover who took over whose label.
+
+A masquerader moves all their traffic from one label to another between
+observation windows (a stolen account, a repetitive debtor opening a new
+one).  Algorithm 1 of the paper flags labels whose signatures broke across
+windows and re-identifies the individual at their new label.
+
+Run:  python examples/masquerade_hunt.py
+"""
+
+from repro import (
+    EnterpriseFlowGenerator,
+    EnterpriseParams,
+    MasqueradeDetector,
+    apply_masquerade,
+    masquerade_accuracy,
+)
+from repro.core.distances import get_distance
+from repro.core.scheme import create_scheme
+
+
+def main() -> None:
+    params = EnterpriseParams(
+        num_hosts=60,
+        num_external=600,
+        num_services=10,
+        num_windows=2,
+        num_alias_users=6,
+        seed=21,
+    )
+    dataset = EnterpriseFlowGenerator(params).generate()
+    window_now, window_next = dataset.graphs[0], dataset.graphs[1]
+    hosts = dataset.local_hosts
+
+    # Simulate: 10% of hosts swap labels between the windows.
+    masqueraded, plan = apply_masquerade(
+        window_next, fraction=0.1, candidates=hosts, seed=5
+    )
+    print(f"simulated masquerades: {len(plan.mapping)} label switches")
+    for old_label, new_label in plan.pairs:
+        print(f"  individual at {old_label} now answers to {new_label}")
+    print()
+
+    # The framework recommends a scheme with high persistence *and* high
+    # uniqueness here.  At this miniature scale TT offers the best balance
+    # (on the paper-scale dataset RWR^3 is competitive; see benchmarks).
+    detector = MasqueradeDetector(
+        scheme=create_scheme("tt", k=10),
+        distance=get_distance("shel"),
+        top_matches=5,
+        threshold_scale=3,
+    )
+    result = detector.detect(window_now, masqueraded, population=hosts)
+    print(f"persistence threshold delta = {result.delta:.4f}")
+    print(f"labels cleared as non-suspect: {len(result.non_suspects)}")
+    print("recovered pairs (old label -> new label):")
+    for old_label, new_label in sorted(result.detected_pairs.items()):
+        verdict = "correct" if plan.mapping.get(old_label) == new_label else "WRONG"
+        print(f"  {old_label} -> {new_label}   [{verdict}]")
+    print()
+
+    accuracy = masquerade_accuracy(result, plan)
+    print(f"accuracy (paper's combined criterion): {accuracy:.4f}")
+
+
+if __name__ == "__main__":
+    main()

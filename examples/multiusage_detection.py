@@ -1,0 +1,57 @@
+"""Multiusage (anti-aliasing) detection on synthetic enterprise flows.
+
+One individual often operates several host labels in the same window
+(office desktop, laptop on wifi, VPN address).  Their signatures are
+near-identical, so a pairwise similarity scan finds them — Section V of
+the paper, using the TT scheme it recommends for this task.
+
+Run:  python examples/multiusage_detection.py
+"""
+
+from repro import EnterpriseFlowGenerator, EnterpriseParams, MultiusageDetector
+from repro.core.distances import get_distance
+from repro.core.scheme import create_scheme
+
+
+def main() -> None:
+    # A small enterprise: 60 monitored hosts, 6 users with multiple labels.
+    params = EnterpriseParams(
+        num_hosts=60,
+        num_external=600,
+        num_services=10,
+        num_windows=2,
+        num_alias_users=6,
+        seed=42,
+    )
+    dataset = EnterpriseFlowGenerator(params).generate()
+    window = dataset.graphs[0]
+    print(f"generated window: {window}")
+    print(f"ground-truth alias groups: {len(dataset.alias_groups)}")
+    print()
+
+    detector = MultiusageDetector(
+        scheme=create_scheme("tt", k=10),
+        distance=get_distance("shel"),
+        threshold=0.55,
+    )
+    report = detector.detect(window, population=dataset.local_hosts)
+    print(f"pairs below distance {report.threshold}: {len(report.pairs)}")
+    for pair in report.pairs[:10]:
+        print(f"  {pair.first} ~ {pair.second}  (Dist_SHel = {pair.distance:.3f})")
+    print()
+
+    detected_groups = report.as_sets()
+    truth = {frozenset(labels) for labels in dataset.alias_groups.values()}
+    exact_hits = sum(1 for group in detected_groups if group in truth)
+    print(f"detected groups: {len(detected_groups)}; exactly matching truth: {exact_hits}")
+    print()
+
+    # Quantitative evaluation: the paper's Figure 5 average-ROC protocol.
+    evaluation = detector.evaluate(
+        window, dataset.positives_by_query(), population=dataset.local_hosts
+    )
+    print(f"multiusage retrieval AUC (TT, Dist_SHel): {evaluation.mean_auc:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` / ``pip install -e .`` on toolchains that
+cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Application layer (Sections II-D and V of the paper).
+
+Three signature-driven detectors, plus the framework's Table I mapping of
+applications to required signature properties.
+"""
+
+from repro.apps.requirements import APPLICATION_REQUIREMENTS, Requirement
+from repro.apps.multiusage import MultiusageDetector, MultiusageReport
+from repro.apps.masquerading import (
+    MasqueradeDetectionResult,
+    MasqueradeDetector,
+    masquerade_accuracy,
+)
+from repro.apps.anomaly import AnomalyDetector, AnomalyReport
+from repro.apps.monitor import MonitorResult, SequenceMonitor, persistence_by_lag
+from repro.apps.deanonymize import (
+    AnonymizedRelease,
+    DeanonymizationResult,
+    Deanonymizer,
+    anonymize_graph,
+)
+
+__all__ = [
+    "APPLICATION_REQUIREMENTS",
+    "Requirement",
+    "MultiusageDetector",
+    "MultiusageReport",
+    "MasqueradeDetector",
+    "MasqueradeDetectionResult",
+    "masquerade_accuracy",
+    "AnomalyDetector",
+    "AnomalyReport",
+    "SequenceMonitor",
+    "MonitorResult",
+    "persistence_by_lag",
+    "Deanonymizer",
+    "DeanonymizationResult",
+    "AnonymizedRelease",
+    "anonymize_graph",
+]

@@ -1,0 +1,94 @@
+"""Table I of the paper: applications and their signature-property requirements.
+
+The framework's central claim is that choosing a signature scheme for a
+task reduces to matching the task's property requirements against the
+schemes' property profiles (Table III / Table IV).  The constants here are
+the machine-readable form of Table I, used by the recommendation helper
+and regenerated verbatim by the framework-tables bench.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from repro.core.scheme import SignatureScheme
+
+
+class Requirement(enum.Enum):
+    """Qualitative requirement level used throughout the paper's tables."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Table I: application -> {property: requirement level}.
+APPLICATION_REQUIREMENTS: Dict[str, Dict[str, Requirement]] = {
+    "multiusage_detection": {
+        "persistence": Requirement.LOW,
+        "uniqueness": Requirement.HIGH,
+        "robustness": Requirement.HIGH,
+    },
+    "label_masquerading": {
+        "persistence": Requirement.HIGH,
+        "uniqueness": Requirement.HIGH,
+        "robustness": Requirement.MEDIUM,
+    },
+    "anomaly_detection": {
+        "persistence": Requirement.HIGH,
+        "uniqueness": Requirement.LOW,
+        "robustness": Requirement.HIGH,
+    },
+}
+
+#: Table II: graph characteristic -> properties it supports.
+CHARACTERISTIC_PROPERTIES: Dict[str, Tuple[str, ...]] = {
+    "engagement": ("persistence", "robustness"),
+    "novelty": ("uniqueness",),
+    "locality": ("uniqueness",),
+    "transitivity": ("persistence", "robustness"),
+}
+
+
+def scheme_property_profile(scheme: SignatureScheme) -> Tuple[str, ...]:
+    """The properties a scheme targets (Table III), from its metadata."""
+    return tuple(scheme.target_properties)
+
+
+def recommend_schemes(application: str) -> Tuple[str, ...]:
+    """Schemes whose property profile covers the application's HIGH requirements.
+
+    This is the paper's "shopping for signatures with those properties"
+    step made executable: a scheme qualifies when every property the
+    application rates HIGH appears among the scheme's target properties.
+    """
+    if application not in APPLICATION_REQUIREMENTS:
+        raise KeyError(
+            f"unknown application {application!r}; known: {sorted(APPLICATION_REQUIREMENTS)}"
+        )
+    needed = {
+        prop
+        for prop, level in APPLICATION_REQUIREMENTS[application].items()
+        if level is Requirement.HIGH
+    }
+    from repro.core.scheme import create_scheme
+
+    # Candidate shelf: the paper's Table III rows.  The hop-limited RWR is
+    # a distinct row from the unbounded walk (it regains uniqueness through
+    # locality), so both appear.
+    shelf = {
+        "tt": create_scheme("tt"),
+        "ut": create_scheme("ut"),
+        "rwr": create_scheme("rwr"),
+        "rwr^h": create_scheme("rwr", max_hops=3),
+    }
+    matches = []
+    for label, scheme in shelf.items():
+        profile = getattr(scheme, "effective_target_properties", scheme.target_properties)
+        if needed <= set(profile):
+            matches.append(label)
+    return tuple(matches)

@@ -1,0 +1,125 @@
+"""Signature distance functions (Section IV-B of the paper).
+
+Given signatures ``sigma_1, sigma_2`` with member sets ``S_1, S_2`` and
+weights ``w_1j, w_2j`` (zero for non-members), the four distances are
+
+.. math::
+
+    \\mathrm{Dist_{Jac}} &= 1 - \\frac{|S_1 \\cap S_2|}{|S_1 \\cup S_2|} \\\\
+    \\mathrm{Dist_{Dice}} &= 1 - \\frac{\\sum_{j \\in S_1 \\cap S_2} (w_{1j} + w_{2j})}
+                                      {\\sum_{j \\in S_1 \\cup S_2} (w_{1j} + w_{2j})} \\\\
+    \\mathrm{Dist_{SDice}} &= 1 - \\frac{\\sum_{j \\in S_1 \\cap S_2} \\min(w_{1j}, w_{2j})}
+                                       {\\sum_{j \\in S_1 \\cup S_2} \\max(w_{1j}, w_{2j})} \\\\
+    \\mathrm{Dist_{SHel}} &= 1 - \\frac{\\sum_{j \\in S_1 \\cap S_2} \\sqrt{w_{1j} w_{2j}}}
+                                      {\\sum_{j \\in S_1 \\cup S_2} \\max(w_{1j}, w_{2j})}
+
+All return values in ``[0, 1]``.  Two empty signatures are defined to have
+distance 0 (they are indistinguishable); an empty vs. a non-empty signature
+has distance 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+from repro.core.signature import Signature
+from repro.exceptions import UnknownDistanceError
+
+#: A distance between two signatures, in [0, 1].
+DistanceFunction = Callable[[Signature, Signature], float]
+
+
+def _clamp01(value: float) -> float:
+    """Guard against float round-off pushing a distance outside [0, 1]."""
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
+def dist_jaccard(first: Signature, second: Signature) -> float:
+    """Set-based Jaccard distance; ignores weights entirely."""
+    set_a, set_b = first.nodes, second.nodes
+    union = len(set_a | set_b)
+    if union == 0:
+        return 0.0
+    intersection = len(set_a & set_b)
+    return _clamp01(1.0 - intersection / union)
+
+
+def dist_dice(first: Signature, second: Signature) -> float:
+    """Weighted Dice distance: shared weight mass over total weight mass."""
+    shared = first.nodes & second.nodes
+    union = first.nodes | second.nodes
+    if not union:
+        return 0.0
+    numerator = sum(first.weight(node) + second.weight(node) for node in shared)
+    denominator = sum(first.weight(node) + second.weight(node) for node in union)
+    if denominator == 0:
+        return 0.0
+    return _clamp01(1.0 - numerator / denominator)
+
+
+def dist_scaled_dice(first: Signature, second: Signature) -> float:
+    """Scaled Dice: min over intersection vs. max over union.
+
+    Rewards signatures whose *individual* weights agree, not just their
+    membership; it is the strictest of the four distances.
+    """
+    shared = first.nodes & second.nodes
+    union = first.nodes | second.nodes
+    if not union:
+        return 0.0
+    numerator = sum(min(first.weight(node), second.weight(node)) for node in shared)
+    denominator = sum(max(first.weight(node), second.weight(node)) for node in union)
+    if denominator == 0:
+        return 0.0
+    return _clamp01(1.0 - numerator / denominator)
+
+
+def dist_scaled_hellinger(first: Signature, second: Signature) -> float:
+    """Hellinger-style variant: geometric mean over intersection vs. max over union.
+
+    Softens SDice's min-penalty for unequal weights (``sqrt(ab) >= min(a, b)``).
+    """
+    shared = first.nodes & second.nodes
+    union = first.nodes | second.nodes
+    if not union:
+        return 0.0
+    numerator = sum(
+        math.sqrt(first.weight(node) * second.weight(node)) for node in shared
+    )
+    denominator = sum(max(first.weight(node), second.weight(node)) for node in union)
+    if denominator == 0:
+        return 0.0
+    return _clamp01(1.0 - numerator / denominator)
+
+
+_DISTANCES: Dict[str, DistanceFunction] = {
+    "jaccard": dist_jaccard,
+    "dice": dist_dice,
+    "sdice": dist_scaled_dice,
+    "shel": dist_scaled_hellinger,
+}
+
+#: Display names matching the paper's notation.
+DISPLAY_NAMES: Dict[str, str] = {
+    "jaccard": "Dist_Jac",
+    "dice": "Dist_Dice",
+    "sdice": "Dist_SDice",
+    "shel": "Dist_SHel",
+}
+
+
+def available_distances() -> Tuple[str, ...]:
+    """Names of all registered distance functions, in paper order."""
+    return ("jaccard", "dice", "sdice", "shel")
+
+
+def get_distance(name: str) -> DistanceFunction:
+    """Look up a distance function by registry name."""
+    if name not in _DISTANCES:
+        raise UnknownDistanceError(name, available_distances())
+    return _DISTANCES[name]

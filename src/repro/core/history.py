@@ -1,0 +1,125 @@
+"""History-aware signatures: the Communities-of-Interest construction.
+
+The paper (Section III-A) notes that the Communities-of-Interest work of
+Cortes et al. — its reference [5], the direct ancestor of Top Talkers —
+built signatures "from the combination of multiple time-steps by using an
+exponential decay function applied to older data", and treats the decay as
+orthogonal to the scheme choice.  :class:`HistorySignatureBuilder` makes
+that composition a first-class object: it maintains the exponentially
+decayed aggregate graph
+
+.. math::
+
+    C'_T[i, j] = \\sum_{t \\le T} \\mathrm{decay}^{\\,T-t}\\, C_t[i, j]
+
+incrementally (one :meth:`push` per window, O(|E_T| + |E'|) per update)
+and computes signatures with *any* base scheme over the aggregate.  The
+decay ablation bench shows this lifts TT persistence substantially, which
+is exactly why the COI fraud detectors used it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.core.scheme import SignatureScheme
+from repro.core.signature import Signature
+from repro.exceptions import SchemeError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.comm_graph import CommGraph
+from repro.types import NodeId
+
+
+class HistorySignatureBuilder:
+    """Incrementally maintained, exponentially decayed signature source.
+
+    >>> builder = HistorySignatureBuilder(TopTalkers(k=10), decay=0.5)
+    >>> builder.push(window_graph)        # once per arriving window
+    >>> builder.signature("host-0001")    # COI-style signature
+    """
+
+    def __init__(
+        self,
+        scheme: SignatureScheme,
+        decay: float = 0.5,
+        prune_below: float = 1e-9,
+    ) -> None:
+        """``decay`` in (0, 1]: weight multiplier applied per elapsed window.
+
+        ``prune_below`` drops aggregate edges once their decayed weight
+        falls under the threshold, bounding memory over long streams.
+        """
+        if not 0 < decay <= 1:
+            raise SchemeError(f"decay must be in (0, 1], got {decay}")
+        if prune_below < 0:
+            raise SchemeError(f"prune_below must be non-negative, got {prune_below}")
+        self.scheme = scheme
+        self.decay = decay
+        self.prune_below = prune_below
+        self._aggregate: CommGraph | None = None
+        self._windows_seen = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def windows_seen(self) -> int:
+        """Number of windows pushed so far."""
+        return self._windows_seen
+
+    @property
+    def aggregate(self) -> CommGraph:
+        """The current decayed aggregate graph (read-only by convention)."""
+        if self._aggregate is None:
+            raise SchemeError("no windows pushed yet")
+        return self._aggregate
+
+    def push(self, window: CommGraph) -> None:
+        """Fold one new window into the aggregate.
+
+        The existing aggregate is scaled by ``decay`` (with sub-threshold
+        edges pruned), then the window's edges are added at full weight.
+        The aggregate becomes bipartite iff every contributing window was.
+        """
+        if self._aggregate is None:
+            base: CommGraph = (
+                BipartiteGraph() if isinstance(window, BipartiteGraph) else CommGraph()
+            )
+        else:
+            keep_bipartite = isinstance(self._aggregate, BipartiteGraph) and isinstance(
+                window, BipartiteGraph
+            )
+            base = BipartiteGraph() if keep_bipartite else CommGraph()
+            for node in self._aggregate.nodes():
+                if isinstance(base, BipartiteGraph) and isinstance(
+                    self._aggregate, BipartiteGraph
+                ):
+                    if self._aggregate.side(node) == "left":
+                        base.add_left_node(node)
+                    else:
+                        base.add_right_node(node)
+                else:
+                    base.add_node(node)
+            for src, dst, weight in self._aggregate.edges():
+                decayed = weight * self.decay
+                if decayed > self.prune_below:
+                    base.add_edge(src, dst, decayed)
+        for node in window.nodes():
+            if isinstance(base, BipartiteGraph) and isinstance(window, BipartiteGraph):
+                if window.side(node) == "left":
+                    base.add_left_node(node)
+                else:
+                    base.add_right_node(node)
+            else:
+                base.add_node(node)
+        for src, dst, weight in window.edges():
+            base.add_edge(src, dst, weight)
+        self._aggregate = base
+        self._windows_seen += 1
+
+    # ------------------------------------------------------------------
+    def signature(self, node: NodeId) -> Signature:
+        """The base scheme's signature of ``node`` over the decayed history."""
+        return self.scheme.compute(self.aggregate, node)
+
+    def signatures(self, nodes: Iterable[NodeId] | None = None) -> Dict[NodeId, Signature]:
+        """Batched signatures over the decayed history."""
+        return self.scheme.compute_all(self.aggregate, nodes)

@@ -1,0 +1,146 @@
+"""Signature scheme interface and registry.
+
+A *scheme* maps ``(graph, node)`` to a :class:`~repro.core.signature.Signature`
+by computing a relevance vector ``w_v`` and keeping its top-k (Definition 1).
+Schemes declare which graph characteristics they exploit and which signature
+properties they target, reproducing the paper's Table III metadata.
+
+Schemes are registered by name so experiments and the CLI can instantiate
+them from strings such as ``"tt"`` or ``"rwr"``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Mapping, Tuple, Type
+
+from repro.core.signature import Signature
+from repro.exceptions import SchemeError, UnknownSchemeError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.comm_graph import CommGraph
+from repro.types import NodeId, Weight
+
+
+class SignatureScheme(abc.ABC):
+    """Base class for signature schemes.
+
+    Subclasses implement :meth:`relevance` (the per-node relevance vector);
+    top-k truncation, self-exclusion and the bipartite restriction (keep
+    only right-partition candidates for left-partition owners) are handled
+    uniformly here.
+
+    Class attributes reproduce the paper's Table III:
+
+    ``characteristics``
+        graph characteristics the scheme exploits (Table II vocabulary:
+        engagement, novelty, locality, transitivity).
+    ``target_properties``
+        signature properties the scheme aims at (persistence, uniqueness,
+        robustness).
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = ""
+    characteristics: Tuple[str, ...] = ()
+    target_properties: Tuple[str, ...] = ()
+
+    def __init__(self, k: int = 10) -> None:
+        if k < 1:
+            raise SchemeError(f"signature length k must be >= 1, got {k}")
+        self.k = k
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def relevance(self, graph: CommGraph, node: NodeId) -> Mapping[NodeId, Weight]:
+        """Relevance vector ``w_node`` over candidate nodes (pre-truncation)."""
+
+    def compute(self, graph: CommGraph, node: NodeId) -> Signature:
+        """Signature of ``node`` in ``graph`` (top-k of :meth:`relevance`)."""
+        vector = self.relevance(graph, node)
+        vector = self._restrict_bipartite(graph, node, vector)
+        return Signature.from_relevance(node, vector, self.k)
+
+    def compute_all(
+        self, graph: CommGraph, nodes: Iterable[NodeId] | None = None
+    ) -> Dict[NodeId, Signature]:
+        """Signatures for ``nodes`` (default: every node in the graph).
+
+        Subclasses with batched implementations (e.g. matrix-based RWR)
+        override this for efficiency; the contract is identical to calling
+        :meth:`compute` per node.
+        """
+        targets = list(nodes) if nodes is not None else graph.nodes()
+        return {node: self.compute(graph, node) for node in targets}
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _restrict_bipartite(
+        graph: CommGraph, node: NodeId, vector: Mapping[NodeId, Weight]
+    ) -> Mapping[NodeId, Weight]:
+        """Keep only ``V2`` candidates for a ``V1`` owner of a bipartite graph.
+
+        Section II-B: "When the graph is bipartite, we may restrict the
+        signature for nodes in V1 to consist only of nodes in V2".  For
+        one-hop schemes this is automatic (out-neighbours of V1 are in V2),
+        but multi-hop schemes spread relevance over both partitions.
+        """
+        if not isinstance(graph, BipartiteGraph):
+            return vector
+        if node not in graph or graph.side(node) != "left":
+            return vector
+        right = set(graph.right_nodes)
+        return {candidate: weight for candidate, weight in vector.items() if candidate in right}
+
+    def describe(self) -> str:
+        """Human-readable parameterised name, e.g. ``"rwr(c=0.1, h=3)"``."""
+        return f"{self.name}(k={self.k})"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[SignatureScheme]] = {}
+
+
+def register_scheme(cls: Type[SignatureScheme]) -> Type[SignatureScheme]:
+    """Class decorator adding a scheme to the global registry by its ``name``."""
+    if not cls.name:
+        raise SchemeError(f"scheme class {cls.__name__} must define a non-empty name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise SchemeError(f"scheme name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_schemes() -> Tuple[str, ...]:
+    """Names of all registered schemes, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def create_scheme(name: str, **params) -> SignatureScheme:
+    """Instantiate a registered scheme by name with constructor parameters.
+
+    >>> scheme = create_scheme("rwr", k=10, reset_probability=0.1, max_hops=3)
+    """
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise UnknownSchemeError(name, tuple(sorted(_REGISTRY)))
+    return _REGISTRY[name](**params)
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in scheme modules so their classes self-register."""
+    # Imports are lazy to avoid a circular import at package load time.
+    import repro.core.top_talkers  # noqa: F401
+    import repro.core.unexpected_talkers  # noqa: F401
+    import repro.core.rwr  # noqa: F401
+    import repro.core.in_talkers  # noqa: F401
+    import repro.core.rwr_push  # noqa: F401

@@ -1,0 +1,152 @@
+"""The signature object (Definition 1 of the paper).
+
+A communication-graph signature for node ``v`` at time ``t`` is the set of
+(at most) ``k`` nodes with the largest relevance weights ``w_vu``, together
+with those weights:
+
+.. math::
+
+    \\sigma_t(v) = \\{(u, w_{vu}) \\mid u \\ne v,\\;
+                     w_{vu} \\ge w_v^{(|V|-k)},\\; w_{vu} > 0\\}
+
+Only strictly positive weights participate ("top weights follow naturally
+since w quantifies node relevance"); if fewer than ``k`` candidates have
+positive weight, the signature is shorter than ``k``.  The paper allows
+arbitrary tie-breaking — we break ties deterministically (weight
+descending, then node label ascending by string form) so results are
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Mapping, Tuple
+
+from repro.exceptions import SchemeError
+from repro.types import NodeId, SignatureEntry, Weight
+
+
+def _tie_break_key(item: Tuple[NodeId, Weight]) -> Tuple[float, str]:
+    node, weight = item
+    return (-weight, str(node))
+
+
+class Signature:
+    """An immutable top-k weighted node set for one owner node.
+
+    Instances compare equal when owner and entries match exactly; the
+    entries are exposed both as an ordered tuple (:attr:`entries`, weight
+    descending) and as a mapping (:meth:`weight`).
+    """
+
+    __slots__ = ("_owner", "_entries", "_weights", "_nodes")
+
+    def __init__(self, owner: NodeId, entries: Mapping[NodeId, Weight] | None = None) -> None:
+        self._owner = owner
+        items = dict(entries or {})
+        if owner in items:
+            raise SchemeError(f"signature of {owner!r} cannot contain itself")
+        for node, weight in items.items():
+            if weight <= 0:
+                raise SchemeError(
+                    f"signature entries must have positive weight; ({node!r}, {weight})"
+                )
+        ordered = tuple(sorted(items.items(), key=_tie_break_key))
+        self._entries: Tuple[SignatureEntry, ...] = ordered
+        self._weights: Dict[NodeId, Weight] = dict(ordered)
+        self._nodes: FrozenSet[NodeId] = frozenset(self._weights)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relevance(
+        cls,
+        owner: NodeId,
+        relevance: Mapping[NodeId, Weight],
+        k: int,
+    ) -> "Signature":
+        """Build a signature by keeping the top-``k`` positive-weight candidates.
+
+        The owner itself is excluded per Definition 1 (``u != v``); zero and
+        negative relevances are dropped before ranking.
+        """
+        if k < 1:
+            raise SchemeError(f"signature length k must be >= 1, got {k}")
+        candidates = [
+            (node, weight)
+            for node, weight in relevance.items()
+            if node != owner and weight > 0
+        ]
+        candidates.sort(key=_tie_break_key)
+        return cls(owner, dict(candidates[:k]))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def owner(self) -> NodeId:
+        """The node this signature describes."""
+        return self._owner
+
+    @property
+    def entries(self) -> Tuple[SignatureEntry, ...]:
+        """Entries ordered by weight descending (deterministic tie-break)."""
+        return self._entries
+
+    @property
+    def nodes(self) -> FrozenSet[NodeId]:
+        """The set ``S`` of member nodes (used by set-based distances)."""
+        return self._nodes
+
+    def weight(self, node: NodeId) -> Weight:
+        """Weight of ``node`` in the signature; zero if absent."""
+        return self._weights.get(node, 0.0)
+
+    def as_dict(self) -> Dict[NodeId, Weight]:
+        """Mutable copy of the node -> weight mapping."""
+        return dict(self._weights)
+
+    def normalized(self) -> "Signature":
+        """Return a copy whose weights sum to one (empty stays empty).
+
+        Normalisation does not change set-based distances and leaves the
+        ratio structure intact for the weighted distances; it is useful
+        when comparing signatures produced with different global scales.
+        """
+        total = sum(self._weights.values())
+        if total == 0:
+            return Signature(self._owner, {})
+        return Signature(
+            self._owner, {node: weight / total for node, weight in self._weights.items()}
+        )
+
+    def truncated(self, k: int) -> "Signature":
+        """Return the top-``k`` prefix of this signature."""
+        if k < 1:
+            raise SchemeError(f"signature length k must be >= 1, got {k}")
+        return Signature(self._owner, dict(self._entries[:k]))
+
+    # ------------------------------------------------------------------
+    # Protocols
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[SignatureEntry]:
+        return iter(self._entries)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return self._owner == other._owner and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash((self._owner, self._entries))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{node!r}:{weight:.4g}" for node, weight in self._entries[:4])
+        suffix = ", ..." if len(self._entries) > 4 else ""
+        return f"Signature(owner={self._owner!r}, k={len(self)}, [{preview}{suffix}])"

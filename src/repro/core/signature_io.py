@@ -1,0 +1,81 @@
+"""Persisting signatures as JSON.
+
+Deployments often want to store *signatures*, not graphs: a signature map
+is tiny (k entries per node) and enough to run every comparison-based
+application later — multiusage scans, masquerade detection against a new
+window, de-anonymization references.  The JSON format is one object per
+owner::
+
+    {"version": 1, "signatures": {"host-0001": {"ext-00042": 0.31, ...}, ...}}
+
+Node labels must be strings (the natural case for communication data);
+loading restores plain :class:`~repro.core.signature.Signature` objects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping
+
+from repro.core.signature import Signature
+from repro.exceptions import SchemeError
+from repro.types import NodeId
+
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+
+def signature_to_dict(signature: Signature) -> Dict[str, float]:
+    """One signature as a plain JSON-ready mapping (labels must be str)."""
+    payload: Dict[str, float] = {}
+    for node, weight in signature.entries:
+        if not isinstance(node, str):
+            raise SchemeError(
+                f"JSON persistence requires string node labels, got {type(node).__name__}"
+            )
+        payload[node] = weight
+    return payload
+
+
+def signature_from_dict(owner: NodeId, payload: Mapping[str, float]) -> Signature:
+    """Rebuild a signature from its JSON mapping."""
+    return Signature(owner, dict(payload))
+
+
+def save_signatures(
+    signatures: Mapping[NodeId, Signature], path: str | Path
+) -> int:
+    """Write a signature map to ``path`` as JSON; returns signatures written."""
+    document = {"version": FORMAT_VERSION, "signatures": {}}
+    for owner, signature in signatures.items():
+        if not isinstance(owner, str):
+            raise SchemeError(
+                f"JSON persistence requires string owners, got {type(owner).__name__}"
+            )
+        if signature.owner != owner:
+            raise SchemeError(
+                f"map key {owner!r} does not match signature owner {signature.owner!r}"
+            )
+        document["signatures"][owner] = signature_to_dict(signature)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+    return len(document["signatures"])
+
+
+def load_signatures(path: str | Path) -> Dict[str, Signature]:
+    """Read a signature map written by :func:`save_signatures`."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "signatures" not in document:
+        raise SchemeError(f"{path}: not a signature file")
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise SchemeError(
+            f"{path}: unsupported signature file version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return {
+        owner: signature_from_dict(owner, payload)
+        for owner, payload in document["signatures"].items()
+    }

@@ -1,0 +1,45 @@
+"""Top Talkers (TT) signature scheme — Definition 3 of the paper.
+
+``w_ij = C[i, j] / sum_v C[i, v]``: the signature of ``i`` is its ``k``
+heaviest out-neighbours, with weights normalised to out-going volume
+fractions.  TT uses only engagement and locality, and is implicit in the
+Communities-of-Interest fraud-detection work of Cortes et al.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.scheme import SignatureScheme, register_scheme
+from repro.graph.comm_graph import CommGraph
+from repro.types import NodeId, Weight
+
+
+@register_scheme
+class TopTalkers(SignatureScheme):
+    """Rank one-hop out-neighbours by share of outgoing communication volume."""
+
+    name = "tt"
+    characteristics = ("locality", "engagement")
+    target_properties = ("uniqueness", "robustness")
+
+    def relevance(self, graph: CommGraph, node: NodeId) -> Mapping[NodeId, Weight]:
+        if node not in graph:
+            return {}
+        neighbours = graph.out_neighbors(node)
+        total = sum(neighbours.values())
+        if total == 0:
+            return {}
+        # Self-loops are excluded downstream (Definition 1, u != v) but we
+        # keep them out of the denominator too: the paper's sum runs over
+        # edges (i, v), which includes a self-loop if present; communication
+        # graphs essentially never contain them, and excluding them keeps
+        # weights interpretable as "fraction of talk directed at u".
+        denominator = total - neighbours.get(node, 0.0)
+        if denominator <= 0:
+            return {}
+        return {
+            dst: weight / denominator
+            for dst, weight in neighbours.items()
+            if dst != node
+        }

@@ -1,0 +1,191 @@
+"""Latent behaviour profiles shared by the synthetic dataset generators.
+
+An *individual* (Section II-A of the paper) is modelled as a
+:class:`BehaviorProfile`: a Zipf-weighted personal pool of destinations, an
+optional pool of globally popular services, and a small probability of
+one-off "noise" contacts.  One window of activity is a multinomial draw
+from this mixture — so consecutive windows are similar but not identical,
+which is exactly the property the paper's persistence measurements probe.
+Profiles can *drift* between windows (slow evolution) without losing their
+identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.types import NodeId
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalised Zipf weights ``rank^(-exponent)`` for ranks 1..count.
+
+    ``exponent = 0`` gives uniform weights; larger exponents concentrate
+    mass on the top ranks, reproducing the "power-law-like" skew the paper
+    attributes to communication graphs.
+    """
+    if count < 1:
+        raise DatasetError(f"count must be >= 1, got {count}")
+    if exponent < 0:
+        raise DatasetError(f"exponent must be non-negative, got {exponent}")
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+@dataclass
+class BehaviorProfile:
+    """The hidden per-individual communication preference.
+
+    ``personal_pool``
+        destinations specific to this individual, Zipf-ranked (first =
+        favourite).
+    ``service_pool``
+        globally popular services (search, webmail, ...) this individual
+        uses, also Zipf-ranked.
+    ``service_share`` / ``noise_share``
+        per-session probability of contacting a service / a one-off random
+        destination; the remainder goes to the personal pool.
+    ``activity``
+        expected number of sessions per window (Poisson mean).
+    """
+
+    personal_pool: List[NodeId]
+    service_pool: List[NodeId] = field(default_factory=list)
+    service_share: float = 0.0
+    noise_share: float = 0.0
+    activity: float = 100.0
+    zipf_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.personal_pool:
+            raise DatasetError("personal_pool must be non-empty")
+        if len(set(self.personal_pool)) != len(self.personal_pool):
+            raise DatasetError("personal_pool contains duplicates")
+        if self.service_share < 0 or self.noise_share < 0:
+            raise DatasetError("shares must be non-negative")
+        if self.service_share + self.noise_share > 1:
+            raise DatasetError("service_share + noise_share must be <= 1")
+        if self.service_share > 0 and not self.service_pool:
+            raise DatasetError("service_share > 0 requires a non-empty service_pool")
+        if self.activity <= 0:
+            raise DatasetError(f"activity must be positive, got {self.activity}")
+
+    # ------------------------------------------------------------------
+    # Window sampling
+    # ------------------------------------------------------------------
+    def sample_window(
+        self,
+        rng: np.random.Generator,
+        noise_universe: Sequence[NodeId] = (),
+        activity_scale: float = 1.0,
+    ) -> Dict[NodeId, float]:
+        """Draw one window of communications: destination -> session count.
+
+        The number of sessions is Poisson with mean
+        ``activity * activity_scale``; each session picks its destination
+        category (personal / service / noise) and then a destination within
+        the category from the Zipf weights (noise destinations are uniform
+        over ``noise_universe``).
+        """
+        if activity_scale <= 0:
+            raise DatasetError(f"activity_scale must be positive, got {activity_scale}")
+        num_sessions = int(rng.poisson(self.activity * activity_scale))
+        counts: Dict[NodeId, float] = {}
+        if num_sessions == 0:
+            return counts
+
+        noise_share = self.noise_share if noise_universe else 0.0
+        category_probabilities = [
+            self.service_share,
+            noise_share,
+            1.0 - self.service_share - noise_share,
+        ]
+        num_service, num_noise, num_personal = rng.multinomial(
+            num_sessions, category_probabilities
+        )
+
+        if num_personal > 0:
+            weights = zipf_weights(len(self.personal_pool), self.zipf_exponent)
+            draws = rng.multinomial(num_personal, weights)
+            for destination, hits in zip(self.personal_pool, draws):
+                if hits:
+                    counts[destination] = counts.get(destination, 0.0) + float(hits)
+        if num_service > 0:
+            weights = zipf_weights(len(self.service_pool), self.zipf_exponent)
+            draws = rng.multinomial(num_service, weights)
+            for destination, hits in zip(self.service_pool, draws):
+                if hits:
+                    counts[destination] = counts.get(destination, 0.0) + float(hits)
+        for _ in range(int(num_noise)):
+            destination = noise_universe[int(rng.integers(len(noise_universe)))]
+            counts[destination] = counts.get(destination, 0.0) + 1.0
+        return counts
+
+    # ------------------------------------------------------------------
+    # Window views
+    # ------------------------------------------------------------------
+    def window_view(
+        self, rng: np.random.Generator, rank_churn: float
+    ) -> "BehaviorProfile":
+        """A per-window variant with partially re-ranked personal favourites.
+
+        Interpolates each pool member's rank between its base rank and a
+        fresh random draw (``rank_churn = 0`` keeps the base order,
+        ``1`` reshuffles completely).  The pool *membership* is untouched —
+        only which members are this window's favourites changes — so
+        one-hop top-k signatures churn across windows while the multi-hop
+        co-visitation structure stays put.  Call once per (individual,
+        window) and reuse for every label of that individual, so aliased
+        labels stay mutually consistent within the window.
+        """
+        if not 0 <= rank_churn <= 1:
+            raise DatasetError(f"rank_churn must be in [0, 1], got {rank_churn}")
+        if rank_churn == 0:
+            return self
+        count = len(self.personal_pool)
+        base_ranks = np.arange(count, dtype=float) / max(1, count)
+        scores = (1.0 - rank_churn) * base_ranks + rank_churn * rng.random(count)
+        reordered = [self.personal_pool[int(i)] for i in np.argsort(scores)]
+        return replace(self, personal_pool=reordered)
+
+    # ------------------------------------------------------------------
+    # Slow evolution
+    # ------------------------------------------------------------------
+    def drifted(
+        self,
+        rng: np.random.Generator,
+        replacement_pool: Sequence[NodeId],
+        drift: float,
+    ) -> "BehaviorProfile":
+        """Return a copy with a ``drift`` fraction of the personal pool replaced.
+
+        Replacements are drawn (without repetition) from ``replacement_pool``
+        minus current members; rank positions of the replaced destinations
+        are reused so the weight structure is preserved.  ``drift = 0``
+        returns an identical copy.
+        """
+        if not 0 <= drift <= 1:
+            raise DatasetError(f"drift must be in [0, 1], got {drift}")
+        pool = list(self.personal_pool)
+        replace_count = round(drift * len(pool))
+        if replace_count == 0:
+            return replace(self, personal_pool=pool)
+        current = set(pool)
+        fresh_candidates = [node for node in replacement_pool if node not in current]
+        if len(fresh_candidates) < replace_count:
+            raise DatasetError(
+                f"replacement pool too small: need {replace_count}, "
+                f"have {len(fresh_candidates)} fresh candidates"
+            )
+        victim_positions = rng.choice(len(pool), size=replace_count, replace=False)
+        replacement_indices = rng.choice(
+            len(fresh_candidates), size=replace_count, replace=False
+        )
+        for position, replacement_index in zip(victim_positions, replacement_indices):
+            pool[int(position)] = fresh_candidates[int(replacement_index)]
+        return replace(self, personal_pool=pool)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid operations on communication graphs."""
+
+
+class EmptyGraphError(GraphError):
+    """Raised when an operation requires a non-empty graph."""
+
+
+class NodeNotFoundError(GraphError):
+    """Raised when a referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} not present in graph")
+        self.node = node
+
+
+class SchemeError(ReproError):
+    """Raised for invalid signature-scheme configuration or usage."""
+
+
+class UnknownSchemeError(SchemeError):
+    """Raised when a signature scheme name is not in the registry."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown signature scheme {name!r}; known schemes: {', '.join(known)}"
+        )
+        self.name = name
+        self.known = known
+
+
+class DistanceError(ReproError):
+    """Raised for invalid distance-function configuration or usage."""
+
+
+class UnknownDistanceError(DistanceError):
+    """Raised when a distance-function name is not in the registry."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown distance function {name!r}; known: {', '.join(known)}"
+        )
+        self.name = name
+        self.known = known
+
+
+class PerturbationError(ReproError):
+    """Raised for invalid perturbation parameters."""
+
+
+class DatasetError(ReproError):
+    """Raised for invalid dataset-generator parameters or malformed input data."""
+
+
+class StreamingError(ReproError):
+    """Raised for invalid sketch parameters or misuse of streaming structures."""
+
+
+class MatchingError(ReproError):
+    """Raised for invalid nearest-neighbour index configuration or queries."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment is configured inconsistently."""

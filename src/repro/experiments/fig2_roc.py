@@ -1,0 +1,83 @@
+"""Figure 2: self-identification ROC curves on network data (Dist_SHel).
+
+For consecutive windows, each monitored host's window-t signature queries
+the window-t+1 signatures of the whole monitored population; the ROC walks
+the ranked list with the host itself as the single positive.  The paper
+shows the curves for Dist_SHel and notes other distances look similar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.distances import get_distance
+from repro.core.roc import IdentityRocResult, roc_identity
+from repro.core.scheme import SignatureScheme
+from repro.exceptions import ExperimentError
+from repro.experiments.config import (
+    NETWORK_K,
+    ExperimentConfig,
+    get_enterprise_dataset,
+    make_schemes,
+)
+from repro.experiments.report import format_series_block
+from repro.graph.comm_graph import CommGraph
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Per-scheme identity ROC results for one distance function."""
+
+    distance: str
+    results: Dict[str, IdentityRocResult]
+
+
+def identity_roc_for_schemes(
+    graph_now: CommGraph,
+    graph_next: CommGraph,
+    schemes: Dict[str, SignatureScheme],
+    distance_name: str,
+    population: Sequence[NodeId],
+) -> Dict[str, IdentityRocResult]:
+    """Shared helper (also used by Figure 3): identity ROC per scheme."""
+    if not population:
+        raise ExperimentError("empty evaluation population")
+    distance = get_distance(distance_name)
+    results: Dict[str, IdentityRocResult] = {}
+    for label, scheme in schemes.items():
+        signatures_now = scheme.compute_all(graph_now, population)
+        signatures_next = scheme.compute_all(graph_next, population)
+        results[label] = roc_identity(
+            signatures_now,
+            signatures_next,
+            distance,
+            queries=population,
+            candidates=list(population),
+        )
+    return results
+
+
+def run_fig2(
+    distance_name: str = "shel",
+    config: ExperimentConfig | None = None,
+) -> Fig2Result:
+    """Compute the Figure 2 curves (network data, one distance)."""
+    config = config or ExperimentConfig()
+    data = get_enterprise_dataset(config.scale)
+    schemes = make_schemes(NETWORK_K, config.reset_probability, config.rwr_hops)
+    results = identity_roc_for_schemes(
+        data.graphs[0], data.graphs[1], schemes, distance_name, data.local_hosts
+    )
+    return Fig2Result(distance=distance_name, results=results)
+
+
+def format_fig2(result: Fig2Result) -> str:
+    """Render the ROC curves as labelled sparklines plus AUC values."""
+    series: List[tuple] = []
+    for label, roc in result.results.items():
+        series.append((f"{label} (AUC={roc.mean_auc:.4f})", list(roc.curve.tpr)))
+    return format_series_block(
+        f"Figure 2: ROC curves from network data (Dist_{result.distance})", series
+    )

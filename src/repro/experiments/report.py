@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment results.
+
+The benches print the same rows/series the paper's tables and figures
+report; everything renders as monospace text so results live in test logs
+and EXPERIMENTS.md without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: Characters used by the text sparklines (low -> high).
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+
+    def render_cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[column]) for row in rendered)) if rendered else len(str(header))
+        for column, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rendered:
+        lines.append(" | ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], low: float = 0.0, high: float = 1.0) -> str:
+    """Render a series as a one-line text sparkline over a fixed range."""
+    if high <= low:
+        raise ValueError(f"invalid sparkline range [{low}, {high}]")
+    span = high - low
+    characters = []
+    for value in values:
+        clamped = min(max(value, low), high)
+        level = int((clamped - low) / span * (len(_SPARK_LEVELS) - 1))
+        characters.append(_SPARK_LEVELS[level])
+    return "".join(characters)
+
+
+def format_series_block(
+    title: str,
+    series: Sequence[tuple],
+    low: float = 0.0,
+    high: float = 1.0,
+) -> str:
+    """Render named series (label, values) as labelled sparklines."""
+    label_width = max((len(str(label)) for label, _values in series), default=0)
+    lines = [title]
+    for label, values in series:
+        lines.append(f"  {str(label).ljust(label_width)}  |{sparkline(values, low, high)}|")
+    return "\n".join(lines)

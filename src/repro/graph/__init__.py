@@ -1,0 +1,34 @@
+"""Communication-graph substrate.
+
+This subpackage implements the graph model from Section II of the paper:
+weighted directed communication graphs :math:`G_t = \\langle V, E_t \\rangle`
+aggregated over time windows, a bipartite specialisation, edge-record
+streams, window splitting and summary statistics.
+"""
+
+from repro.graph.comm_graph import CommGraph
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.stream import EdgeRecord, read_edge_records, write_edge_records
+from repro.graph.builders import (
+    aggregate_records,
+    combine_with_decay,
+    graph_from_edges,
+)
+from repro.graph.windows import GraphSequence, split_records_into_windows
+from repro.graph.stats import GraphSummary, estimate_effective_diameter, summarize_graph
+
+__all__ = [
+    "CommGraph",
+    "BipartiteGraph",
+    "EdgeRecord",
+    "read_edge_records",
+    "write_edge_records",
+    "aggregate_records",
+    "combine_with_decay",
+    "graph_from_edges",
+    "GraphSequence",
+    "split_records_into_windows",
+    "GraphSummary",
+    "summarize_graph",
+    "estimate_effective_diameter",
+]

@@ -1,0 +1,314 @@
+"""Weighted directed communication graph (Section II-B of the paper).
+
+A :class:`CommGraph` stores the aggregate of communications observed in one
+time window: a directed edge ``(v, u)`` with weight ``C[v, u]`` reflecting
+the volume (e.g. number of TCP sessions, calls, queries) from ``v`` to
+``u``.  The class is a purpose-built adjacency-map structure rather than a
+:mod:`networkx` graph because the signature schemes need fast weighted
+in/out-neighbour access and repeated conversion to sparse matrices; a
+:meth:`to_networkx` bridge is provided for interoperability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.types import NodeId, Weight, WeightedEdge
+
+
+class CommGraph:
+    """A weighted directed multigraph aggregated into simple weighted edges.
+
+    Repeated communications between the same ordered pair accumulate into a
+    single edge whose weight is the total volume, matching the flow-record
+    aggregation the paper performs (Call Detail Records, NetFlow).
+
+    Nodes exist independently of edges: a node added via :meth:`add_node`
+    (or left behind after edge removal) participates in ``V`` even with no
+    incident edges, mirroring hosts that are registered but silent in a
+    window.
+    """
+
+    def __init__(self, edges: Iterable[WeightedEdge] | None = None) -> None:
+        self._out: Dict[NodeId, Dict[NodeId, Weight]] = {}
+        self._in: Dict[NodeId, Dict[NodeId, Weight]] = {}
+        self._num_edges = 0
+        self._total_weight = 0.0
+        if edges is not None:
+            for src, dst, weight in edges:
+                self.add_edge(src, dst, weight)
+
+    # ------------------------------------------------------------------
+    # Construction and mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId) -> None:
+        """Ensure ``node`` exists in ``V`` (no-op if already present)."""
+        if node not in self._out:
+            self._out[node] = {}
+            self._in[node] = {}
+
+    def add_edge(self, src: NodeId, dst: NodeId, weight: Weight = 1.0) -> None:
+        """Accumulate ``weight`` onto the directed edge ``(src, dst)``.
+
+        Creates the edge (and endpoints) if absent.  Self-loops are allowed
+        at the graph level but signature schemes exclude ``u = v`` per
+        Definition 1.
+        """
+        if weight < 0:
+            raise GraphError(f"edge weight must be non-negative, got {weight}")
+        if weight == 0:
+            # Zero-weight contribution still materialises the endpoints,
+            # matching "observed but empty" records.
+            self.add_node(src)
+            self.add_node(dst)
+            return
+        self.add_node(src)
+        self.add_node(dst)
+        out_row = self._out[src]
+        if dst not in out_row:
+            self._num_edges += 1
+            out_row[dst] = 0.0
+            self._in[dst][src] = 0.0
+        out_row[dst] += weight
+        self._in[dst][src] += weight
+        self._total_weight += weight
+
+    def set_edge_weight(self, src: NodeId, dst: NodeId, weight: Weight) -> None:
+        """Set (replace) the weight of edge ``(src, dst)``.
+
+        A weight of zero removes the edge.  Endpoints are created if needed.
+        """
+        if weight < 0:
+            raise GraphError(f"edge weight must be non-negative, got {weight}")
+        current = self.weight(src, dst)
+        if current > 0:
+            self._remove_edge_entry(src, dst, current)
+        if weight > 0:
+            self.add_edge(src, dst, weight)
+        else:
+            self.add_node(src)
+            self.add_node(dst)
+
+    def remove_edge(self, src: NodeId, dst: NodeId) -> None:
+        """Remove edge ``(src, dst)``; endpoints remain in ``V``."""
+        current = self.weight(src, dst)
+        if current == 0:
+            raise GraphError(f"edge ({src!r}, {dst!r}) not present")
+        self._remove_edge_entry(src, dst, current)
+
+    def decrement_edge(self, src: NodeId, dst: NodeId, amount: Weight = 1.0) -> None:
+        """Decrease the weight of edge ``(src, dst)`` by ``amount``.
+
+        This is the unit operation of the paper's deletion perturbation:
+        "sampled existing edges proportional to their edge weights and
+        decremented the weight by one unit".  The edge disappears when the
+        weight reaches zero; decrementing below zero clamps at removal.
+        """
+        if amount < 0:
+            raise GraphError(f"decrement amount must be non-negative, got {amount}")
+        current = self.weight(src, dst)
+        if current == 0:
+            raise GraphError(f"edge ({src!r}, {dst!r}) not present")
+        new_weight = current - amount
+        if new_weight > 0:
+            self._out[src][dst] = new_weight
+            self._in[dst][src] = new_weight
+            self._total_weight -= amount
+        else:
+            self._remove_edge_entry(src, dst, current)
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and all incident edges."""
+        if node not in self._out:
+            raise NodeNotFoundError(node)
+        for dst in list(self._out[node]):
+            self._remove_edge_entry(node, dst, self._out[node][dst])
+        for src in list(self._in[node]):
+            self._remove_edge_entry(src, node, self._out[src][node])
+        del self._out[node]
+        del self._in[node]
+
+    def _remove_edge_entry(self, src: NodeId, dst: NodeId, weight: Weight) -> None:
+        del self._out[src][dst]
+        del self._in[dst][src]
+        self._num_edges -= 1
+        self._total_weight -= weight
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._out
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._out)
+
+    @property
+    def num_nodes(self) -> int:
+        """``|V|``: number of nodes (including isolated ones)."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """``|E_t|``: number of distinct weighted directed edges."""
+        return self._num_edges
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all edge weights (total communication volume)."""
+        return self._total_weight
+
+    def nodes(self) -> List[NodeId]:
+        """All node labels, in insertion order."""
+        return list(self._out)
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate over ``(src, dst, weight)`` triples."""
+        for src, row in self._out.items():
+            for dst, weight in row.items():
+                yield (src, dst, weight)
+
+    def has_edge(self, src: NodeId, dst: NodeId) -> bool:
+        return src in self._out and dst in self._out[src]
+
+    def weight(self, src: NodeId, dst: NodeId) -> Weight:
+        """``C[src, dst]``; zero when the edge is absent."""
+        row = self._out.get(src)
+        if row is None:
+            return 0.0
+        return row.get(dst, 0.0)
+
+    def out_neighbors(self, node: NodeId) -> Mapping[NodeId, Weight]:
+        """``O(v)`` with weights: mapping destination -> ``C[v, dst]``."""
+        if node not in self._out:
+            raise NodeNotFoundError(node)
+        return self._out[node]
+
+    def in_neighbors(self, node: NodeId) -> Mapping[NodeId, Weight]:
+        """``I(v)`` with weights: mapping source -> ``C[src, v]``."""
+        if node not in self._in:
+            raise NodeNotFoundError(node)
+        return self._in[node]
+
+    def out_degree(self, node: NodeId) -> int:
+        """``|O(v)|``: number of distinct destinations of ``node``."""
+        return len(self.out_neighbors(node))
+
+    def in_degree(self, node: NodeId) -> int:
+        """``|I(v)|``: number of distinct sources communicating to ``node``."""
+        return len(self.in_neighbors(node))
+
+    def out_strength(self, node: NodeId) -> Weight:
+        """Total outgoing volume ``sum_u C[node, u]``."""
+        return sum(self.out_neighbors(node).values())
+
+    def in_strength(self, node: NodeId) -> Weight:
+        """Total incoming volume ``sum_u C[u, node]``."""
+        return sum(self.in_neighbors(node).values())
+
+    def edge_weights(self) -> List[Weight]:
+        """All edge weights as a list (the paper's global weight distribution)."""
+        return [w for _, _, w in self.edges()]
+
+    # ------------------------------------------------------------------
+    # Copies and conversions
+    # ------------------------------------------------------------------
+    def copy(self) -> "CommGraph":
+        """Deep copy of the graph (nodes, edges and weights)."""
+        clone = CommGraph()
+        for node in self._out:
+            clone.add_node(node)
+        for src, dst, weight in self.edges():
+            clone.add_edge(src, dst, weight)
+        return clone
+
+    def node_index(self) -> Tuple[List[NodeId], Dict[NodeId, int]]:
+        """Stable node ordering for matrix computations.
+
+        Returns ``(ordering, position)`` where ``ordering[i]`` is the node
+        at row/column ``i`` and ``position[node] = i``.
+        """
+        ordering = self.nodes()
+        position = {node: i for i, node in enumerate(ordering)}
+        return ordering, position
+
+    def to_adjacency_csr(
+        self, position: Mapping[NodeId, int] | None = None
+    ) -> sp.csr_matrix:
+        """Weighted adjacency matrix ``C`` as a ``|V| x |V|`` CSR matrix.
+
+        ``position`` may supply an externally fixed node ordering (it must
+        cover every node); by default :meth:`node_index` order is used.
+        """
+        if position is None:
+            _, position = self.node_index()
+        n = len(position)
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for src, dst, weight in self.edges():
+            rows.append(position[src])
+            cols.append(position[dst])
+            data.append(weight)
+        return sp.csr_matrix(
+            (np.asarray(data), (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64))),
+            shape=(n, n),
+        )
+
+    def to_transition_csr(
+        self, position: Mapping[NodeId, int] | None = None
+    ) -> sp.csr_matrix:
+        """Row-stochastic transition matrix ``P`` with ``P[i, j] = C[i, j] / sum_j C[i, j]``.
+
+        Rows for nodes with no outgoing edges are left all-zero (the random
+        walk "stalls" there; the RWR reset term keeps total mass bounded).
+        """
+        adjacency = self.to_adjacency_csr(position)
+        row_sums = np.asarray(adjacency.sum(axis=1)).ravel()
+        inverse = np.zeros_like(row_sums)
+        nonzero = row_sums > 0
+        inverse[nonzero] = 1.0 / row_sums[nonzero]
+        scaling = sp.diags(inverse)
+        return (scaling @ adjacency).tocsr()
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.DiGraph` with ``weight`` attributes."""
+        import networkx as nx
+
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(self.nodes())
+        nx_graph.add_weighted_edges_from(self.edges())
+        return nx_graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "CommGraph":
+        """Build from any networkx graph; missing ``weight`` attributes default to 1."""
+        graph = cls()
+        for node in nx_graph.nodes():
+            graph.add_node(node)
+        for src, dst, attrs in nx_graph.edges(data=True):
+            graph.add_edge(src, dst, attrs.get("weight", 1.0))
+        return graph
+
+    # ------------------------------------------------------------------
+    # Comparisons / debugging
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CommGraph):
+            return NotImplemented
+        return set(self.nodes()) == set(other.nodes()) and dict(
+            ((s, d), w) for s, d, w in self.edges()
+        ) == dict(((s, d), w) for s, d, w in other.edges())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(|V|={self.num_nodes}, |E|={self.num_edges}, "
+            f"total_weight={self.total_weight:g})"
+        )

@@ -1,0 +1,97 @@
+"""Edge-record streams and CSV I/O.
+
+Communication data usually arrives as a sequence of timestamped records —
+flow records, call detail records, query-log tuples.  :class:`EdgeRecord`
+is the canonical in-memory representation; :func:`read_edge_records` /
+:func:`write_edge_records` give a stable plain-CSV interchange format so
+users can feed their own traces into the library.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List
+
+from repro.exceptions import DatasetError
+from repro.types import NodeId, Weight
+
+#: CSV column order used by the interchange format.
+CSV_FIELDS = ("time", "src", "dst", "weight")
+
+
+@dataclass(frozen=True, order=True)
+class EdgeRecord:
+    """One observed communication: ``src`` talked to ``dst`` at ``time``.
+
+    ``weight`` is the volume of the single observation (1 for "one TCP
+    session" / "one query"); aggregation over a window sums these into
+    edge weights ``C[src, dst]``.
+
+    The ordering (by ``time`` first) lets record lists be sorted
+    chronologically with plain :func:`sorted`.
+    """
+
+    time: float
+    src: NodeId
+    dst: NodeId
+    weight: Weight = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise DatasetError(f"record weight must be non-negative, got {self.weight}")
+
+
+def write_edge_records(records: Iterable[EdgeRecord], path: str | Path) -> int:
+    """Write records to ``path`` as CSV with a header row.
+
+    Returns the number of records written.
+    """
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_FIELDS)
+        for record in records:
+            writer.writerow([record.time, record.src, record.dst, record.weight])
+            count += 1
+    return count
+
+
+def read_edge_records(path: str | Path) -> List[EdgeRecord]:
+    """Read records from a CSV file written by :func:`write_edge_records`.
+
+    Node labels are read back as strings (the interchange format does not
+    preserve Python types); times and weights are floats.
+    """
+    records: List[EdgeRecord] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return records
+        if tuple(header) != CSV_FIELDS:
+            raise DatasetError(
+                f"unexpected CSV header {header!r}; expected {list(CSV_FIELDS)!r}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(CSV_FIELDS):
+                raise DatasetError(
+                    f"{path}:{line_number}: expected {len(CSV_FIELDS)} columns, got {len(row)}"
+                )
+            try:
+                records.append(
+                    EdgeRecord(
+                        time=float(row[0]), src=row[1], dst=row[2], weight=float(row[3])
+                    )
+                )
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{line_number}: {exc}") from exc
+    return records
+
+
+def iter_sorted(records: Iterable[EdgeRecord]) -> Iterator[EdgeRecord]:
+    """Yield records in chronological order (stable on equal timestamps)."""
+    yield from sorted(records, key=lambda record: record.time)

@@ -1,0 +1,28 @@
+"""Scalable signature comparison (Section VI of the paper).
+
+Applications compare many signatures pairwise — quadratic in the number of
+nodes.  This subpackage provides an exact brute-force nearest-neighbour
+index as the baseline, MinHash sketches of signature node-sets, and an LSH
+banding index giving sub-linear approximate nearest-neighbour queries for
+the Jaccard distance (the approach the paper points to via Indyk-Motwani).
+"""
+
+from repro.matching.index import SignatureIndex
+from repro.matching.minhash import MinHasher, estimate_jaccard_distance
+from repro.matching.lsh import LshIndex, ApproxSignatureIndex
+from repro.matching.weighted_minhash import (
+    WeightedMinHasher,
+    estimate_sdice_distance,
+    weighted_jaccard_distance,
+)
+
+__all__ = [
+    "SignatureIndex",
+    "MinHasher",
+    "estimate_jaccard_distance",
+    "LshIndex",
+    "ApproxSignatureIndex",
+    "WeightedMinHasher",
+    "estimate_sdice_distance",
+    "weighted_jaccard_distance",
+]

@@ -1,0 +1,85 @@
+"""Exact nearest-neighbour index over signatures.
+
+Brute force, but organised as an index so the approximate LSH variant is a
+drop-in replacement; also the ground truth the LSH recall bench compares
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.distances import DistanceFunction
+from repro.core.signature import Signature
+from repro.exceptions import MatchingError
+from repro.types import NodeId
+
+
+class SignatureIndex:
+    """A queryable collection of signatures keyed by owner."""
+
+    def __init__(self, distance: DistanceFunction) -> None:
+        self.distance = distance
+        self._signatures: Dict[NodeId, Signature] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, signature: Signature) -> None:
+        """Insert (or replace) the signature stored under its owner."""
+        self._signatures[signature.owner] = signature
+
+    def add_all(self, signatures: Iterable[Signature]) -> None:
+        for signature in signatures:
+            self.add(signature)
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __contains__(self, owner: NodeId) -> bool:
+        return owner in self._signatures
+
+    def get(self, owner: NodeId) -> Signature:
+        if owner not in self._signatures:
+            raise MatchingError(f"no signature stored for {owner!r}")
+        return self._signatures[owner]
+
+    def owners(self) -> List[NodeId]:
+        return list(self._signatures)
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        signature: Signature,
+        k: int = 1,
+        exclude_self: bool = True,
+    ) -> List[Tuple[NodeId, float]]:
+        """The ``k`` nearest stored signatures, as (owner, distance), best first.
+
+        ``exclude_self`` drops any stored signature with the query's owner
+        (the usual setting: a node should not match itself).
+        """
+        if k < 1:
+            raise MatchingError(f"k must be >= 1, got {k}")
+        scored = [
+            (owner, self.distance(signature, stored))
+            for owner, stored in self._signatures.items()
+            if not (exclude_self and owner == signature.owner)
+        ]
+        scored.sort(key=lambda item: (item[1], str(item[0])))
+        return scored[:k]
+
+    def pairs_within(self, threshold: float) -> List[Tuple[NodeId, NodeId, float]]:
+        """All stored pairs with distance below ``threshold`` (ascending).
+
+        This is the multiusage detector's workload; quadratic by design.
+        """
+        if not 0 <= threshold <= 1:
+            raise MatchingError(f"threshold must be in [0, 1], got {threshold}")
+        owners = list(self._signatures)
+        results: List[Tuple[NodeId, NodeId, float]] = []
+        for index, first in enumerate(owners):
+            for second in owners[index + 1:]:
+                score = self.distance(self._signatures[first], self._signatures[second])
+                if score < threshold:
+                    results.append((first, second, score))
+        results.sort(key=lambda item: (item[2], str(item[0]), str(item[1])))
+        return results

@@ -1,0 +1,132 @@
+"""Locality-Sensitive Hashing over MinHash sketches (banding technique).
+
+A sketch of ``bands * rows_per_band`` min-hashes is cut into bands; two
+items become candidates when *any* band matches exactly.  The candidate
+probability for Jaccard similarity ``s`` is ``1 - (1 - s^rows)^bands`` —
+an S-curve whose threshold is tuned by the band/row split.
+
+:class:`ApproxSignatureIndex` wraps this into a drop-in (approximate)
+replacement for :class:`~repro.matching.index.SignatureIndex`: LSH produces
+a candidate set, which is then re-ranked by the *exact* distance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, List, Set, Tuple
+
+import numpy as np
+
+from repro.core.distances import DistanceFunction, dist_jaccard
+from repro.core.signature import Signature
+from repro.exceptions import MatchingError
+from repro.matching.minhash import MinHasher
+from repro.types import NodeId
+
+
+class LshIndex:
+    """Banding LSH over pre-computed MinHash arrays."""
+
+    def __init__(self, bands: int = 16, rows_per_band: int = 8) -> None:
+        if bands < 1 or rows_per_band < 1:
+            raise MatchingError(
+                f"bands and rows_per_band must be >= 1, got {bands}, {rows_per_band}"
+            )
+        self.bands = bands
+        self.rows_per_band = rows_per_band
+        self.num_hashes = bands * rows_per_band
+        self._buckets: List[Dict[bytes, Set[Hashable]]] = [
+            defaultdict(set) for _ in range(bands)
+        ]
+        self._keys: Set[Hashable] = set()
+
+    # ------------------------------------------------------------------
+    def _band_keys(self, sketch: np.ndarray) -> List[bytes]:
+        if sketch.size != self.num_hashes:
+            raise MatchingError(
+                f"sketch length {sketch.size} != bands*rows {self.num_hashes}"
+            )
+        return [
+            sketch[band * self.rows_per_band : (band + 1) * self.rows_per_band].tobytes()
+            for band in range(self.bands)
+        ]
+
+    def add(self, key: Hashable, sketch: np.ndarray) -> None:
+        """Index ``key`` under its sketch."""
+        for band, band_key in enumerate(self._band_keys(sketch)):
+            self._buckets[band][band_key].add(key)
+        self._keys.add(key)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def candidates(self, sketch: np.ndarray, exclude: Hashable | None = None) -> Set[Hashable]:
+        """Keys sharing at least one band with the query sketch."""
+        found: Set[Hashable] = set()
+        for band, band_key in enumerate(self._band_keys(sketch)):
+            found |= self._buckets[band].get(band_key, set())
+        found.discard(exclude)
+        return found
+
+    def candidate_probability(self, similarity: float) -> float:
+        """The S-curve ``1 - (1 - s^rows)^bands`` for Jaccard similarity ``s``."""
+        if not 0 <= similarity <= 1:
+            raise MatchingError(f"similarity must be in [0, 1], got {similarity}")
+        return 1.0 - (1.0 - similarity**self.rows_per_band) ** self.bands
+
+
+class ApproxSignatureIndex:
+    """Approximate nearest-neighbour signature index: LSH filter + exact re-rank.
+
+    ``distance`` defaults to Jaccard (the distance MinHash is unbiased
+    for); any signature distance may be used for the re-ranking step since
+    candidates are verified exactly.
+    """
+
+    def __init__(
+        self,
+        bands: int = 16,
+        rows_per_band: int = 8,
+        distance: DistanceFunction = dist_jaccard,
+        seed: int = 0,
+    ) -> None:
+        self.minhasher = MinHasher(num_hashes=bands * rows_per_band, seed=seed)
+        self.lsh = LshIndex(bands=bands, rows_per_band=rows_per_band)
+        self.distance = distance
+        self._signatures: Dict[NodeId, Signature] = {}
+
+    def add(self, signature: Signature) -> None:
+        """Index a signature under its owner."""
+        self._signatures[signature.owner] = signature
+        self.lsh.add(signature.owner, self.minhasher.sketch_signature(signature))
+
+    def add_all(self, signatures) -> None:
+        for signature in signatures:
+            self.add(signature)
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def query(
+        self,
+        signature: Signature,
+        k: int = 1,
+        exclude_self: bool = True,
+    ) -> List[Tuple[NodeId, float]]:
+        """Up to ``k`` near neighbours from the LSH candidate set, best first.
+
+        May return fewer than ``k`` entries (or none) when LSH produces a
+        small candidate set — the accuracy/speed trade-off of approximate
+        search.  Distances are exact for everything returned.
+        """
+        if k < 1:
+            raise MatchingError(f"k must be >= 1, got {k}")
+        sketch = self.minhasher.sketch_signature(signature)
+        exclude = signature.owner if exclude_self else None
+        candidates = self.lsh.candidates(sketch, exclude=exclude)
+        scored = [
+            (owner, self.distance(signature, self._signatures[owner]))
+            for owner in candidates
+        ]
+        scored.sort(key=lambda item: (item[1], str(item[0])))
+        return scored[:k]

@@ -1,0 +1,74 @@
+"""Auxiliary noise models.
+
+These are not part of the paper's evaluation protocol; they provide extra
+failure-injection knobs used by the property-based test suite (e.g. "does
+robustness degrade monotonically in noise intensity?") and by users who
+want to stress signatures beyond the paper's insert/delete model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PerturbationError
+from repro.graph.comm_graph import CommGraph
+
+
+def _resolve_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def jitter_weights(
+    graph: CommGraph,
+    relative_std: float = 0.1,
+    rng: np.random.Generator | int | None = None,
+) -> CommGraph:
+    """Multiply every edge weight by an independent lognormal factor.
+
+    ``relative_std`` controls the dispersion of the multiplicative noise
+    (``0`` returns an exact copy).  Weights stay strictly positive so no
+    edges are created or destroyed — this perturbs *volumes* only, isolating
+    the weighted distances' sensitivity from membership churn.
+    """
+    if relative_std < 0:
+        raise PerturbationError(f"relative_std must be non-negative, got {relative_std}")
+    rng = _resolve_rng(rng)
+    jittered = CommGraph() if type(graph) is CommGraph else graph.copy()
+    if type(graph) is CommGraph:
+        for node in graph.nodes():
+            jittered.add_node(node)
+        for src, dst, weight in graph.edges():
+            factor = float(rng.lognormal(mean=0.0, sigma=relative_std)) if relative_std else 1.0
+            jittered.add_edge(src, dst, weight * factor)
+        return jittered
+    # For subclasses (bipartite), mutate the copy in place to keep partitions.
+    for src, dst, weight in graph.edges():
+        factor = float(rng.lognormal(mean=0.0, sigma=relative_std)) if relative_std else 1.0
+        jittered.set_edge_weight(src, dst, weight * factor)
+    return jittered
+
+
+def drop_random_nodes(
+    graph: CommGraph,
+    fraction: float,
+    rng: np.random.Generator | int | None = None,
+) -> CommGraph:
+    """Remove a random ``fraction`` of nodes (and incident edges).
+
+    Models monitoring outages where some hosts disappear from a window
+    entirely — a harsher perturbation than the paper's edge model.
+    """
+    if not 0 <= fraction <= 1:
+        raise PerturbationError(f"fraction must be in [0, 1], got {fraction}")
+    rng = _resolve_rng(rng)
+    survivor = graph.copy()
+    nodes = graph.nodes()
+    count = round(fraction * len(nodes))
+    if count == 0:
+        return survivor
+    victims = rng.choice(len(nodes), size=count, replace=False)
+    for index in victims:
+        survivor.remove_node(nodes[int(index)])
+    return survivor

@@ -1,0 +1,73 @@
+"""Deterministic hashing utilities for the sketch data structures.
+
+Python's built-in ``hash`` is salted per process (PYTHONHASHSEED), so the
+sketches use :func:`stable_hash64` — a BLAKE2b digest of the item's string
+form — as the canonical item -> integer mapping, and :class:`HashFamily`
+for seeded pairwise-independent hash functions over a Mersenne prime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable, List
+
+import numpy as np
+
+from repro.exceptions import StreamingError
+
+#: The Mersenne prime 2^61 - 1, the modulus of the hash family.
+MERSENNE_61 = (1 << 61) - 1
+
+
+def stable_hash64(item: Hashable) -> int:
+    """A 64-bit integer fingerprint of ``item``, stable across processes.
+
+    Items are keyed by ``type-qualified string form`` so that e.g. the
+    string ``"1"`` and the integer ``1`` do not collide.
+    """
+    payload = f"{type(item).__name__}:{item!r}".encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashFamily:
+    """A family of seeded pairwise-independent hash functions.
+
+    Each member is ``h_i(x) = ((a_i * x + b_i) mod p) mod m`` with
+    ``a_i in [1, p)``, ``b_i in [0, p)`` drawn from a seeded generator and
+    ``p = 2^61 - 1``.  Use :meth:`hash_item` for arbitrary hashables (they
+    are first reduced with :func:`stable_hash64`).
+    """
+
+    def __init__(self, count: int, output_range: int, seed: int = 0) -> None:
+        if count < 1:
+            raise StreamingError(f"hash family size must be >= 1, got {count}")
+        if output_range < 1:
+            raise StreamingError(f"output range must be >= 1, got {output_range}")
+        rng = np.random.default_rng(seed)
+        self.count = count
+        self.output_range = output_range
+        self._a = [int(value) for value in rng.integers(1, MERSENNE_61, size=count)]
+        self._b = [int(value) for value in rng.integers(0, MERSENNE_61, size=count)]
+
+    def hash_value(self, function_index: int, value: int) -> int:
+        """Apply member ``function_index`` to a non-negative integer ``value``."""
+        if not 0 <= function_index < self.count:
+            raise StreamingError(
+                f"function index {function_index} out of range [0, {self.count})"
+            )
+        return (
+            (self._a[function_index] * value + self._b[function_index]) % MERSENNE_61
+        ) % self.output_range
+
+    def hash_item(self, function_index: int, item: Hashable) -> int:
+        """Apply member ``function_index`` to any hashable item."""
+        return self.hash_value(function_index, stable_hash64(item))
+
+    def hash_all(self, item: Hashable) -> List[int]:
+        """Apply every member to ``item`` (one row/register index per member)."""
+        value = stable_hash64(item)
+        return [
+            ((a * value + b) % MERSENNE_61) % self.output_range
+            for a, b in zip(self._a, self._b)
+        ]

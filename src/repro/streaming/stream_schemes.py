@@ -1,0 +1,184 @@
+"""Semi-streaming signature builders (Section VI of the paper).
+
+Both builders consume a one-pass stream of ``(src, dst, weight)``
+observations, keeping only constant-size summary state per *node*:
+
+* :class:`StreamingTopTalkers` — per source: a Count-Min sketch of its
+  outgoing edge weights plus a SpaceSaving candidate set (the CM sketch
+  estimates any candidate's weight; SpaceSaving bounds which candidates we
+  can enumerate), and the exact scalar out-volume.
+* :class:`StreamingUnexpectedTalkers` — additionally one Flajolet-Martin
+  sketch per *destination* to estimate its in-degree ``|I(j)|``; the
+  signature weight is the paper's ``~C[i,j] / ~|I(j)|`` combination of the
+  two estimates.
+
+Both expose ``signature(node)`` returning a
+:class:`~repro.core.signature.Signature` compatible with the exact schemes,
+so every downstream distance/property/application works unchanged on
+streamed signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.core.signature import Signature
+from repro.exceptions import StreamingError
+from repro.streaming.countmin import CountMinSketch
+from repro.streaming.fm import FlajoletMartin
+from repro.streaming.spacesaving import SpaceSaving
+from repro.types import NodeId, Weight
+
+
+class StreamingTopTalkers:
+    """One-pass approximate Top Talkers signatures.
+
+    ``candidate_capacity`` bounds the per-source candidate set; it should
+    comfortably exceed ``k`` (default: ``8 * k``) so SpaceSaving churn
+    cannot evict a genuine top-k destination.
+    """
+
+    def __init__(
+        self,
+        k: int = 10,
+        epsilon: float = 0.005,
+        delta: float = 0.01,
+        candidate_capacity: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise StreamingError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.epsilon = epsilon
+        self.delta = delta
+        self.candidate_capacity = candidate_capacity or 8 * k
+        if self.candidate_capacity < k:
+            raise StreamingError("candidate_capacity must be >= k")
+        self.seed = seed
+        self._sketches: Dict[NodeId, CountMinSketch] = {}
+        self._candidates: Dict[NodeId, SpaceSaving] = {}
+        self._out_volume: Dict[NodeId, float] = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, src: NodeId, dst: NodeId, weight: Weight = 1.0) -> None:
+        """Process one communication observation."""
+        if weight < 0:
+            raise StreamingError(f"weight must be non-negative, got {weight}")
+        if weight == 0 or src == dst:
+            return
+        if src not in self._sketches:
+            self._sketches[src] = CountMinSketch(
+                epsilon=self.epsilon, delta=self.delta, seed=self.seed
+            )
+            self._candidates[src] = SpaceSaving(self.candidate_capacity)
+            self._out_volume[src] = 0.0
+        self._sketches[src].update(dst, weight)
+        self._candidates[src].update(dst, weight)
+        self._out_volume[src] += weight
+
+    def observe_stream(
+        self, stream: Iterable[Tuple[NodeId, NodeId, Weight]]
+    ) -> None:
+        """Process a whole stream of ``(src, dst, weight)`` triples."""
+        for src, dst, weight in stream:
+            self.observe(src, dst, weight)
+
+    # ------------------------------------------------------------------
+    def estimated_edge_weight(self, src: NodeId, dst: NodeId) -> float:
+        """CM estimate of ``C[src, dst]`` (0 when the source is unknown)."""
+        sketch = self._sketches.get(src)
+        return sketch.estimate(dst) if sketch is not None else 0.0
+
+    def signature(self, node: NodeId) -> Signature:
+        """Approximate TT signature of ``node`` from the summaries."""
+        if node not in self._sketches:
+            return Signature(node, {})
+        volume = self._out_volume[node]
+        if volume <= 0:
+            return Signature(node, {})
+        sketch = self._sketches[node]
+        relevance = {
+            candidate: sketch.estimate(candidate) / volume
+            for candidate, _count, _error in self._candidates[node].items()
+            if candidate != node
+        }
+        return Signature.from_relevance(node, relevance, self.k)
+
+    def memory_cells(self) -> int:
+        """Total counters/slots held across all per-node summaries."""
+        cells = 0
+        for sketch in self._sketches.values():
+            cells += sketch.memory_cells()
+        for candidates in self._candidates.values():
+            cells += candidates.memory_cells()
+        return cells + len(self._out_volume)
+
+    @property
+    def sources(self) -> Tuple[NodeId, ...]:
+        """All sources seen so far."""
+        return tuple(self._sketches)
+
+
+class StreamingUnexpectedTalkers(StreamingTopTalkers):
+    """One-pass approximate Unexpected Talkers signatures.
+
+    Extends the TT state with a per-destination FM sketch of distinct
+    sources; the signature weight for candidate ``j`` is
+    ``CM_estimate(C[i, j]) / FM_estimate(|I(j)|)``.
+    """
+
+    def __init__(
+        self,
+        k: int = 10,
+        epsilon: float = 0.005,
+        delta: float = 0.01,
+        candidate_capacity: int | None = None,
+        fm_registers: int = 64,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            k=k,
+            epsilon=epsilon,
+            delta=delta,
+            candidate_capacity=candidate_capacity,
+            seed=seed,
+        )
+        if fm_registers < 1:
+            raise StreamingError(f"fm_registers must be >= 1, got {fm_registers}")
+        self.fm_registers = fm_registers
+        self._indegree: Dict[NodeId, FlajoletMartin] = {}
+
+    def observe(self, src: NodeId, dst: NodeId, weight: Weight = 1.0) -> None:
+        super().observe(src, dst, weight)
+        if weight == 0 or src == dst:
+            return
+        if dst not in self._indegree:
+            self._indegree[dst] = FlajoletMartin(
+                num_registers=self.fm_registers, seed=self.seed
+            )
+        self._indegree[dst].add(src)
+
+    def estimated_in_degree(self, node: NodeId) -> float:
+        """FM estimate of ``|I(node)|`` (0 when never seen as a destination)."""
+        sketch = self._indegree.get(node)
+        return sketch.estimate() if sketch is not None else 0.0
+
+    def signature(self, node: NodeId) -> Signature:
+        if node not in self._sketches:
+            return Signature(node, {})
+        sketch = self._sketches[node]
+        relevance = {}
+        for candidate, _count, _error in self._candidates[node].items():
+            if candidate == node:
+                continue
+            in_degree = self.estimated_in_degree(candidate)
+            if in_degree <= 0:
+                continue
+            relevance[candidate] = sketch.estimate(candidate) / in_degree
+        return Signature.from_relevance(node, relevance, self.k)
+
+    def memory_cells(self) -> int:
+        cells = super().memory_cells()
+        for sketch in self._indegree.values():
+            cells += sketch.memory_cells()
+        return cells

@@ -1,0 +1,25 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+Node identifiers are opaque hashables (IP address strings, user ids,
+integers, ...).  Weights are non-negative floats.  Keeping these aliases
+in one place makes signatures throughout the library self-documenting.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Tuple
+
+#: A node label in a communication graph (IP address, user id, phone number...).
+NodeId = Hashable
+
+#: A non-negative edge/relevance weight.
+Weight = float
+
+#: A directed edge with weight: (source, destination, weight).
+WeightedEdge = Tuple[NodeId, NodeId, Weight]
+
+#: A single (node, weight) entry inside a signature.
+SignatureEntry = Tuple[NodeId, Weight]
+
+#: Mapping from neighbour node to relevance weight, before top-k truncation.
+RelevanceVector = Mapping[NodeId, Weight]

@@ -1,0 +1,176 @@
+"""Unit and integration tests for Algorithm 1 (masquerading detection)."""
+
+import pytest
+
+from repro.apps.masquerading import (
+    MasqueradeDetectionResult,
+    MasqueradeDetector,
+    masquerade_accuracy,
+)
+from repro.core.distances import dist_scaled_hellinger
+from repro.core.scheme import create_scheme
+from repro.exceptions import ExperimentError
+from repro.perturb.masquerade import MasqueradePlan, apply_masquerade
+
+
+@pytest.fixture
+def detector():
+    return MasqueradeDetector(
+        create_scheme("tt", k=10),
+        dist_scaled_hellinger,
+        top_matches=3,
+        threshold_scale=3,
+    )
+
+
+class TestParameters:
+    def test_invalid_top_matches(self):
+        with pytest.raises(ExperimentError):
+            MasqueradeDetector(
+                create_scheme("tt"), dist_scaled_hellinger, top_matches=0
+            )
+
+    def test_invalid_threshold_scale(self):
+        with pytest.raises(ExperimentError):
+            MasqueradeDetector(
+                create_scheme("tt"), dist_scaled_hellinger, threshold_scale=0
+            )
+
+
+class TestDetect:
+    def test_no_masquerade_mostly_cleared(self, detector, tiny_enterprise):
+        g0, g1 = tiny_enterprise.graphs[0], tiny_enterprise.graphs[1]
+        result = detector.detect(g0, g1, population=tiny_enterprise.local_hosts)
+        cleared_fraction = len(result.non_suspects) / len(result.population)
+        assert cleared_fraction > 0.9
+        plan = MasqueradePlan(mapping={}, perturbed_nodes=frozenset())
+        assert masquerade_accuracy(result, plan) > 0.9
+
+    def test_detects_injected_masquerade(self, detector, tiny_enterprise):
+        g0, g1 = tiny_enterprise.graphs[0], tiny_enterprise.graphs[1]
+        hosts = tiny_enterprise.local_hosts
+        masqueraded, plan = apply_masquerade(
+            g1, fraction=0.2, candidates=hosts, seed=3
+        )
+        result = detector.detect(g0, masqueraded, population=hosts)
+        accuracy = masquerade_accuracy(result, plan)
+        # Clearly better than declaring everyone innocent (1 - f).
+        assert accuracy > 1.0 - 0.2
+        # Most masqueraded pairs recovered exactly.
+        correct = sum(
+            1 for old, new in result.detected_pairs.items() if plan.mapping.get(old) == new
+        )
+        assert correct >= len(plan.mapping) // 2
+
+    def test_empty_population_rejected(self, detector):
+        from repro.graph.comm_graph import CommGraph
+
+        with pytest.raises(ExperimentError):
+            detector.detect(CommGraph(), CommGraph(), population=[])
+
+    def test_precomputed_signatures_match_inline(self, detector, tiny_enterprise):
+        g0, g1 = tiny_enterprise.graphs[0], tiny_enterprise.graphs[1]
+        hosts = tiny_enterprise.local_hosts
+        inline = detector.detect(g0, g1, population=hosts)
+        precomputed = detector.detect(
+            g0,
+            g1,
+            population=hosts,
+            signatures_now=detector.scheme.compute_all(g0, hosts),
+            signatures_next=detector.scheme.compute_all(g1, hosts),
+        )
+        assert inline.detected_pairs == precomputed.detected_pairs
+        assert inline.non_suspects == precomputed.non_suspects
+        assert inline.delta == pytest.approx(precomputed.delta)
+
+    def test_missing_precomputed_signature_rejected(self, detector, tiny_enterprise):
+        g0, g1 = tiny_enterprise.graphs[0], tiny_enterprise.graphs[1]
+        hosts = tiny_enterprise.local_hosts
+        with pytest.raises(ExperimentError):
+            detector.detect(
+                g0, g1, population=hosts, signatures_now={}, signatures_next={}
+            )
+
+    def test_every_node_classified_exactly_once(self, detector, tiny_enterprise):
+        g0, g1 = tiny_enterprise.graphs[0], tiny_enterprise.graphs[1]
+        hosts = tiny_enterprise.local_hosts
+        masqueraded, _plan = apply_masquerade(
+            g1, fraction=0.2, candidates=hosts, seed=8
+        )
+        result = detector.detect(g0, masqueraded, population=hosts)
+        paired = set(result.detected_pairs)
+        assert paired.isdisjoint(result.non_suspects)
+        assert paired | set(result.non_suspects) == set(result.population)
+
+
+class TestAccuracy:
+    def test_accuracy_formula(self):
+        result = MasqueradeDetectionResult(
+            non_suspects=frozenset({"clean-1", "clean-2", "v"}),
+            detected_pairs={"a": "b"},
+            delta=0.1,
+            population=("clean-1", "clean-2", "a", "b", "v"),
+        )
+        plan = MasqueradePlan(
+            mapping={"a": "b", "b": "a"}, perturbed_nodes=frozenset({"a", "b"})
+        )
+        # Correct clears: clean-1, clean-2, v (3); correct pairs: (a, b) -> 4/5.
+        assert masquerade_accuracy(result, plan) == pytest.approx(0.8)
+
+    def test_wrong_pair_scores_zero(self):
+        result = MasqueradeDetectionResult(
+            non_suspects=frozenset(),
+            detected_pairs={"a": "x"},
+            delta=0.1,
+            population=("a", "b", "x"),
+        )
+        plan = MasqueradePlan(
+            mapping={"a": "b", "b": "a"}, perturbed_nodes=frozenset({"a", "b"})
+        )
+        assert masquerade_accuracy(result, plan) == 0.0
+
+    def test_empty_population_rejected(self):
+        result = MasqueradeDetectionResult(
+            non_suspects=frozenset(), detected_pairs={}, delta=0.0, population=()
+        )
+        plan = MasqueradePlan(mapping={}, perturbed_nodes=frozenset())
+        with pytest.raises(ExperimentError):
+            masquerade_accuracy(result, plan)
+
+
+class TestApproximateMatching:
+    def test_lsh_path_close_to_exact(self, tiny_enterprise):
+        """The LSH candidate path recovers (almost) the same pairs as the
+        brute-force scan on the small dataset."""
+        g0, g1 = tiny_enterprise.graphs[0], tiny_enterprise.graphs[1]
+        hosts = tiny_enterprise.local_hosts
+        masqueraded, plan = apply_masquerade(
+            g1, fraction=0.2, candidates=hosts, seed=3
+        )
+        exact_detector = MasqueradeDetector(
+            create_scheme("tt", k=10),
+            dist_scaled_hellinger,
+            top_matches=3,
+            threshold_scale=3,
+        )
+        approx_detector = MasqueradeDetector(
+            create_scheme("tt", k=10),
+            dist_scaled_hellinger,
+            top_matches=3,
+            threshold_scale=3,
+            approximate_matching=True,
+            lsh_bands=64,
+            lsh_rows_per_band=2,
+        )
+        exact = exact_detector.detect(g0, masqueraded, population=hosts)
+        approx = approx_detector.detect(g0, masqueraded, population=hosts)
+        assert exact.delta == pytest.approx(approx.delta)
+        exact_accuracy = masquerade_accuracy(exact, plan)
+        approx_accuracy = masquerade_accuracy(approx, plan)
+        # Approximate candidates may drop a borderline match but must stay
+        # within a small accuracy band of the exact scan.
+        assert approx_accuracy >= exact_accuracy - 0.1
+
+    def test_approximate_flag_default_off(self):
+        detector = MasqueradeDetector(create_scheme("tt"), dist_scaled_hellinger)
+        assert detector.approximate_matching is False

@@ -1,0 +1,129 @@
+"""Unit and integration tests for sequence monitoring and lag persistence."""
+
+import numpy as np
+import pytest
+
+from repro.apps.monitor import SequenceMonitor, persistence_by_lag
+from repro.core.distances import dist_scaled_hellinger
+from repro.core.scheme import create_scheme
+from repro.exceptions import ExperimentError
+from repro.graph.windows import GraphSequence
+
+
+@pytest.fixture
+def monitor():
+    # The miniature dataset has a wide persistence spread, so the tests use
+    # the absolute-threshold mode: a complete behaviour break scores ~0.
+    return SequenceMonitor(
+        create_scheme("tt", k=10), dist_scaled_hellinger, threshold=0.05
+    )
+
+
+def replace_behaviour(graph, node, seed=0):
+    rng = np.random.default_rng(seed)
+    modified = graph.copy()
+    for destination in list(modified.out_neighbors(node)):
+        modified.remove_edge(node, destination)
+    # Seed-qualified destination names: repeated breaks of the same node
+    # produce genuinely different behaviours each time.
+    for index in range(25):
+        modified.add_edge(node, f"strange-{seed}-{index}", float(rng.integers(1, 6)))
+    return modified
+
+
+class TestSequenceMonitor:
+    def test_report_per_transition(self, monitor, tiny_enterprise):
+        result = monitor.run(
+            tiny_enterprise.graphs, population=tiny_enterprise.local_hosts
+        )
+        assert len(result.reports) == len(tiny_enterprise.graphs) - 1
+        for node, series in result.trajectories.items():
+            assert len(series) == len(result.reports)
+            assert all(0.0 <= value <= 1.0 for value in series)
+
+    def test_needs_two_windows(self, monitor, tiny_enterprise):
+        single = GraphSequence(graphs=[tiny_enterprise.graphs[0]])
+        with pytest.raises(ExperimentError):
+            monitor.run(single)
+
+    def test_default_population_common_nodes(self, monitor, tiny_enterprise):
+        result = monitor.run(tiny_enterprise.graphs)
+        assert set(tiny_enterprise.local_hosts) <= set(result.trajectories)
+
+    def test_injected_break_is_flagged_in_right_transition(
+        self, monitor, tiny_enterprise
+    ):
+        victim = tiny_enterprise.local_hosts[2]
+        graphs = list(tiny_enterprise.graphs)
+        graphs[2] = replace_behaviour(graphs[2], victim, seed=6)
+        result = monitor.run(
+            GraphSequence(graphs=graphs), population=tiny_enterprise.local_hosts
+        )
+        assert result.first_flag_window(victim) == 1  # transition 1 -> 2
+        assert result.flag_counts[victim] >= 1
+
+    def test_first_flag_none_for_quiet_node(self, monitor, tiny_enterprise):
+        result = monitor.run(
+            tiny_enterprise.graphs, population=tiny_enterprise.local_hosts
+        )
+        quiet = [
+            node
+            for node, count in result.flag_counts.items()
+            if count == 0
+        ]
+        assert quiet  # most hosts behave
+        assert result.first_flag_window(quiet[0]) is None
+
+    def test_chronic_offenders(self, monitor, tiny_enterprise):
+        victim = tiny_enterprise.local_hosts[4]
+        graphs = list(tiny_enterprise.graphs)
+        # Break the victim in every window after the first: each transition
+        # sees a different random behaviour.
+        graphs[1] = replace_behaviour(graphs[1], victim, seed=10)
+        graphs[2] = replace_behaviour(graphs[2], victim, seed=11)
+        result = monitor.run(
+            GraphSequence(graphs=graphs), population=tiny_enterprise.local_hosts
+        )
+        assert victim in result.chronic_offenders(min_flags=2)
+
+
+class TestPersistenceByLag:
+    def test_lag_keys_and_range(self, tiny_enterprise):
+        by_lag = persistence_by_lag(
+            create_scheme("tt", k=10),
+            dist_scaled_hellinger,
+            tiny_enterprise.graphs,
+            population=tiny_enterprise.local_hosts,
+        )
+        assert set(by_lag) == {1, 2}
+        assert all(0.0 <= value <= 1.0 for value in by_lag.values())
+
+    def test_persistence_decays_with_lag(self, tiny_enterprise):
+        """Profiles drift monotonically, so longer lags are less persistent."""
+        by_lag = persistence_by_lag(
+            create_scheme("tt", k=10),
+            dist_scaled_hellinger,
+            tiny_enterprise.graphs,
+            population=tiny_enterprise.local_hosts,
+        )
+        assert by_lag[2] <= by_lag[1] + 0.02
+
+    def test_max_lag_caps_horizon(self, tiny_enterprise):
+        by_lag = persistence_by_lag(
+            create_scheme("tt", k=10),
+            dist_scaled_hellinger,
+            tiny_enterprise.graphs,
+            population=tiny_enterprise.local_hosts,
+            max_lag=1,
+        )
+        assert set(by_lag) == {1}
+
+    def test_validation(self, tiny_enterprise):
+        scheme = create_scheme("tt", k=10)
+        single = GraphSequence(graphs=[tiny_enterprise.graphs[0]])
+        with pytest.raises(ExperimentError):
+            persistence_by_lag(scheme, dist_scaled_hellinger, single)
+        with pytest.raises(ExperimentError):
+            persistence_by_lag(
+                scheme, dist_scaled_hellinger, tiny_enterprise.graphs, population=[]
+            )

@@ -1,0 +1,56 @@
+"""Unit tests for the framework tables and scheme recommendation."""
+
+import pytest
+
+from repro.apps.requirements import (
+    APPLICATION_REQUIREMENTS,
+    CHARACTERISTIC_PROPERTIES,
+    Requirement,
+    recommend_schemes,
+    scheme_property_profile,
+)
+from repro.core.scheme import create_scheme
+
+
+class TestTables:
+    def test_table1_covers_three_applications(self):
+        assert set(APPLICATION_REQUIREMENTS) == {
+            "multiusage_detection",
+            "label_masquerading",
+            "anomaly_detection",
+        }
+
+    def test_every_application_rates_all_properties(self):
+        for levels in APPLICATION_REQUIREMENTS.values():
+            assert set(levels) == {"persistence", "uniqueness", "robustness"}
+            assert all(isinstance(level, Requirement) for level in levels.values())
+
+    def test_table2_vocabulary(self):
+        assert set(CHARACTERISTIC_PROPERTIES) == {
+            "engagement",
+            "novelty",
+            "locality",
+            "transitivity",
+        }
+
+    def test_requirement_str(self):
+        assert str(Requirement.HIGH) == "high"
+
+
+class TestRecommendation:
+    def test_multiusage_includes_tt(self):
+        assert "tt" in recommend_schemes("multiusage_detection")
+
+    def test_masquerading_needs_hop_limited_rwr(self):
+        assert recommend_schemes("label_masquerading") == ("rwr^h",)
+
+    def test_anomaly_includes_rwr(self):
+        recommendations = recommend_schemes("anomaly_detection")
+        assert "rwr" in recommendations and "rwr^h" in recommendations
+
+    def test_unknown_application(self):
+        with pytest.raises(KeyError):
+            recommend_schemes("teleportation")
+
+    def test_scheme_property_profile(self):
+        assert set(scheme_property_profile(create_scheme("ut"))) == {"uniqueness"}

@@ -1,0 +1,73 @@
+"""Shared fixtures: small hand-built graphs and miniature datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.enterprise import EnterpriseFlowGenerator, EnterpriseParams
+from repro.datasets.querylog import QueryLogGenerator, QueryLogParams
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.comm_graph import CommGraph
+
+
+@pytest.fixture
+def triangle_graph() -> CommGraph:
+    """Three nodes, weighted cycle plus one chord; handy exact-arithmetic case."""
+    return CommGraph(
+        [
+            ("a", "b", 5.0),
+            ("a", "c", 2.0),
+            ("b", "c", 1.0),
+            ("c", "a", 3.0),
+        ]
+    )
+
+
+@pytest.fixture
+def star_graph() -> CommGraph:
+    """Hub 'h' talking to five spokes with distinct weights."""
+    return CommGraph([("h", f"s{i}", float(i + 1)) for i in range(5)])
+
+
+@pytest.fixture
+def small_bipartite() -> BipartiteGraph:
+    """Two left hosts sharing one destination, one private destination each."""
+    return BipartiteGraph(
+        [
+            ("u1", "d-shared", 4.0),
+            ("u1", "d-private1", 2.0),
+            ("u2", "d-shared", 3.0),
+            ("u2", "d-private2", 5.0),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Miniature generated datasets (session-scoped: generation is deterministic
+# but not free, and tests only read them).
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def tiny_enterprise():
+    """A very small enterprise dataset with alias ground truth."""
+    params = EnterpriseParams(
+        num_hosts=40,
+        num_external=400,
+        num_services=8,
+        num_windows=3,
+        num_alias_users=5,
+        seed=3,
+    )
+    return EnterpriseFlowGenerator(params).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_querylog():
+    """A very small query-log dataset."""
+    params = QueryLogParams(
+        num_users=50,
+        num_tables=80,
+        num_windows=3,
+        mean_queries=40.0,
+        seed=5,
+    )
+    return QueryLogGenerator(params).generate()

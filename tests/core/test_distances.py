@@ -1,0 +1,127 @@
+"""Unit tests for the four signature distance functions (Section IV-B)."""
+
+import pytest
+
+from repro.core.distances import (
+    DISPLAY_NAMES,
+    available_distances,
+    dist_dice,
+    dist_jaccard,
+    dist_scaled_dice,
+    dist_scaled_hellinger,
+    get_distance,
+)
+from repro.core.signature import Signature
+from repro.exceptions import UnknownDistanceError
+
+ALL_DISTANCES = [dist_jaccard, dist_dice, dist_scaled_dice, dist_scaled_hellinger]
+
+
+def sig(owner, **weights):
+    return Signature(owner, weights)
+
+
+class TestRegistry:
+    def test_available_order_matches_paper(self):
+        assert available_distances() == ("jaccard", "dice", "sdice", "shel")
+
+    def test_get_distance(self):
+        assert get_distance("jaccard") is dist_jaccard
+        assert get_distance("shel") is dist_scaled_hellinger
+
+    def test_unknown_distance(self):
+        with pytest.raises(UnknownDistanceError):
+            get_distance("euclid")
+
+    def test_display_names_cover_all(self):
+        assert set(DISPLAY_NAMES) == set(available_distances())
+
+
+@pytest.mark.parametrize("distance", ALL_DISTANCES)
+class TestSharedContract:
+    def test_identical_signatures_distance_zero(self, distance):
+        first = sig("v", a=2.0, b=1.0)
+        second = sig("u", a=2.0, b=1.0)
+        assert distance(first, second) == pytest.approx(0.0)
+
+    def test_disjoint_signatures_distance_one(self, distance):
+        assert distance(sig("v", a=1.0), sig("u", b=1.0)) == pytest.approx(1.0)
+
+    def test_both_empty_distance_zero(self, distance):
+        assert distance(sig("v"), sig("u")) == 0.0
+
+    def test_empty_vs_nonempty_distance_one(self, distance):
+        assert distance(sig("v"), sig("u", a=1.0)) == pytest.approx(1.0)
+
+    def test_symmetry(self, distance):
+        first = sig("v", a=2.0, b=1.0, c=4.0)
+        second = sig("u", b=3.0, c=1.0, d=2.0)
+        assert distance(first, second) == pytest.approx(distance(second, first))
+
+    def test_range(self, distance):
+        first = sig("v", a=5.0, b=0.5)
+        second = sig("u", a=0.1, c=9.0)
+        assert 0.0 <= distance(first, second) <= 1.0
+
+
+class TestJaccard:
+    def test_exact_value(self):
+        first = sig("v", a=1.0, b=1.0, c=1.0)
+        second = sig("u", b=9.0, c=9.0, d=9.0)
+        # overlap 2, union 4.
+        assert dist_jaccard(first, second) == pytest.approx(0.5)
+
+    def test_ignores_weights(self):
+        light = sig("v", a=0.001, b=0.001)
+        heavy = sig("u", a=100.0, b=100.0)
+        assert dist_jaccard(light, heavy) == 0.0
+
+
+class TestDice:
+    def test_exact_value(self):
+        first = sig("v", a=2.0, b=1.0)
+        second = sig("u", a=4.0, c=3.0)
+        # shared mass (2+4) over total mass (2+1+4+3).
+        assert dist_dice(first, second) == pytest.approx(1 - 6 / 10)
+
+    def test_weight_sensitivity(self):
+        base = sig("v", a=1.0, b=1.0)
+        similar = sig("u", a=1.0, c=1.0)
+        heavier_shared = sig("u", a=10.0, c=1.0)
+        assert dist_dice(base, heavier_shared) < dist_dice(base, similar)
+
+
+class TestScaledDice:
+    def test_exact_value(self):
+        first = sig("v", a=2.0, b=1.0)
+        second = sig("u", a=4.0, c=3.0)
+        # min over shared = 2; max over union = 4 + 1 + 3.
+        assert dist_scaled_dice(first, second) == pytest.approx(1 - 2 / 8)
+
+    def test_rewards_equal_weights(self):
+        base = sig("v", a=2.0)
+        equal = sig("u", a=2.0)
+        unequal = sig("u", a=8.0)
+        assert dist_scaled_dice(base, equal) < dist_scaled_dice(base, unequal)
+
+
+class TestScaledHellinger:
+    def test_exact_value(self):
+        first = sig("v", a=4.0)
+        second = sig("u", a=1.0)
+        # sqrt(4*1)=2 over max=4.
+        assert dist_scaled_hellinger(first, second) == pytest.approx(0.5)
+
+    def test_softer_than_sdice_on_unequal_weights(self):
+        first = sig("v", a=4.0, b=1.0)
+        second = sig("u", a=1.0, b=4.0)
+        assert dist_scaled_hellinger(first, second) <= dist_scaled_dice(first, second)
+
+    def test_paper_ordering_on_overlapping_signatures(self):
+        # SHel always sits between Dice-style softness and SDice strictness
+        # for signatures with shared support.
+        first = sig("v", a=3.0, b=2.0, c=1.0)
+        second = sig("u", a=1.0, b=2.0, d=5.0)
+        sdice = dist_scaled_dice(first, second)
+        shel = dist_scaled_hellinger(first, second)
+        assert shel <= sdice

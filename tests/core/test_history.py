@@ -1,0 +1,128 @@
+"""Unit tests for the Communities-of-Interest history builder."""
+
+import pytest
+
+from repro.core.history import HistorySignatureBuilder
+from repro.core.scheme import create_scheme
+from repro.exceptions import SchemeError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.comm_graph import CommGraph
+
+
+@pytest.fixture
+def builder():
+    return HistorySignatureBuilder(create_scheme("tt", k=5), decay=0.5)
+
+
+class TestParameters:
+    @pytest.mark.parametrize("decay", [0.0, -0.5, 1.5])
+    def test_invalid_decay(self, decay):
+        with pytest.raises(SchemeError):
+            HistorySignatureBuilder(create_scheme("tt"), decay=decay)
+
+    def test_invalid_prune(self):
+        with pytest.raises(SchemeError):
+            HistorySignatureBuilder(create_scheme("tt"), prune_below=-1.0)
+
+    def test_aggregate_before_push_rejected(self, builder):
+        with pytest.raises(SchemeError):
+            _ = builder.aggregate
+
+
+class TestAggregation:
+    def test_single_window_is_identity(self, builder, triangle_graph):
+        builder.push(triangle_graph)
+        assert builder.aggregate == triangle_graph
+        assert builder.windows_seen == 1
+
+    def test_decay_halves_old_weights(self, builder):
+        builder.push(CommGraph([("a", "b", 4.0)]))
+        builder.push(CommGraph([("a", "c", 2.0)]))
+        assert builder.aggregate.weight("a", "b") == pytest.approx(2.0)
+        assert builder.aggregate.weight("a", "c") == pytest.approx(2.0)
+
+    def test_repeated_edge_accumulates(self, builder):
+        builder.push(CommGraph([("a", "b", 4.0)]))
+        builder.push(CommGraph([("a", "b", 4.0)]))
+        assert builder.aggregate.weight("a", "b") == pytest.approx(6.0)
+
+    def test_matches_batch_combiner(self, triangle_graph):
+        """Incremental maintenance equals the batch combine_with_decay."""
+        from repro.graph.builders import combine_with_decay
+
+        windows = [
+            triangle_graph,
+            CommGraph([("a", "b", 1.0), ("c", "b", 2.0)]),
+            CommGraph([("b", "a", 3.0)]),
+        ]
+        builder = HistorySignatureBuilder(create_scheme("tt", k=5), decay=0.7)
+        for window in windows:
+            builder.push(window)
+        batch = combine_with_decay(windows, decay=0.7)
+        for src, dst, weight in batch.edges():
+            assert builder.aggregate.weight(src, dst) == pytest.approx(weight)
+
+    def test_pruning_bounds_memory(self):
+        builder = HistorySignatureBuilder(
+            create_scheme("tt", k=5), decay=0.1, prune_below=0.05
+        )
+        builder.push(CommGraph([("a", "old", 1.0)]))
+        for _ in range(3):
+            builder.push(CommGraph([("a", "new", 1.0)]))
+        # 1.0 * 0.1^3 = 0.001 < 0.05: the stale edge is gone.
+        assert not builder.aggregate.has_edge("a", "old")
+        assert builder.aggregate.has_edge("a", "new")
+
+    def test_bipartite_preserved(self, small_bipartite):
+        builder = HistorySignatureBuilder(create_scheme("tt", k=5))
+        builder.push(small_bipartite)
+        builder.push(small_bipartite)
+        assert isinstance(builder.aggregate, BipartiteGraph)
+        assert builder.aggregate.side("u1") == "left"
+
+    def test_mixed_windows_degrade_to_plain_graph(self, small_bipartite, triangle_graph):
+        builder = HistorySignatureBuilder(create_scheme("tt", k=5))
+        builder.push(small_bipartite)
+        builder.push(triangle_graph)
+        assert not isinstance(builder.aggregate, BipartiteGraph)
+
+
+class TestSignatures:
+    def test_signature_reflects_history(self, builder):
+        builder.push(CommGraph([("a", "old-favourite", 10.0)]))
+        builder.push(CommGraph([("a", "new-contact", 1.0)]))
+        signature = builder.signature("a")
+        # Decayed old favourite (5.0) still outweighs the new contact (1.0).
+        assert signature.entries[0][0] == "old-favourite"
+        assert "new-contact" in signature
+
+    def test_batched_signatures(self, builder, triangle_graph):
+        builder.push(triangle_graph)
+        signatures = builder.signatures(["a", "b"])
+        assert set(signatures) == {"a", "b"}
+
+    def test_history_smooths_churn(self, tiny_enterprise):
+        """COI's point: decayed history raises persistence over single
+        windows (same claim as the decay ablation bench, unit-scale)."""
+        from repro.core.distances import dist_scaled_hellinger
+
+        scheme = create_scheme("tt", k=10)
+        hosts = tiny_enterprise.local_hosts
+        graphs = list(tiny_enterprise.graphs)
+
+        plain_now = scheme.compute_all(graphs[1], hosts)
+        plain_next = scheme.compute_all(graphs[2], hosts)
+        plain = sum(
+            1 - dist_scaled_hellinger(plain_now[h], plain_next[h]) for h in hosts
+        ) / len(hosts)
+
+        builder = HistorySignatureBuilder(scheme, decay=0.5)
+        builder.push(graphs[0])
+        builder.push(graphs[1])
+        history_now = builder.signatures(hosts)
+        builder.push(graphs[2])
+        history_next = builder.signatures(hosts)
+        smoothed = sum(
+            1 - dist_scaled_hellinger(history_now[h], history_next[h]) for h in hosts
+        ) / len(hosts)
+        assert smoothed > plain

@@ -1,0 +1,110 @@
+"""Unit tests for persistence/uniqueness/robustness measurement."""
+
+import pytest
+
+from repro.core.distances import dist_jaccard
+from repro.core.properties import (
+    PropertyEllipse,
+    persistence,
+    persistence_values,
+    property_ellipse,
+    robustness,
+    uniqueness,
+    uniqueness_values,
+)
+from repro.core.signature import Signature
+from repro.exceptions import ExperimentError
+
+
+def sig(owner, *members):
+    return Signature(owner, {member: 1.0 for member in members})
+
+
+class TestScalarMeasures:
+    def test_persistence_of_identical_signatures(self):
+        assert persistence(sig("v", "a", "b"), sig("v", "a", "b"), dist_jaccard) == 1.0
+
+    def test_persistence_of_disjoint_signatures(self):
+        assert persistence(sig("v", "a"), sig("v", "b"), dist_jaccard) == 0.0
+
+    def test_uniqueness_is_raw_distance(self):
+        value = uniqueness(sig("v", "a", "b"), sig("u", "b", "c"), dist_jaccard)
+        assert value == pytest.approx(1 - 1 / 3)
+
+    def test_robustness_complementary_to_distance(self):
+        original = sig("v", "a", "b")
+        perturbed = sig("v", "a", "c")
+        assert robustness(original, perturbed, dist_jaccard) == pytest.approx(1 / 3)
+
+
+class TestPersistenceValues:
+    def test_defaults_to_common_nodes(self):
+        now = {"v": sig("v", "a"), "u": sig("u", "b")}
+        later = {"v": sig("v", "a")}
+        values = persistence_values(now, later, dist_jaccard)
+        assert set(values) == {"v"}
+        assert values["v"] == 1.0
+
+    def test_missing_node_raises(self):
+        now = {"v": sig("v", "a")}
+        later = {}
+        with pytest.raises(ExperimentError):
+            persistence_values(now, later, dist_jaccard, nodes=["v"])
+
+
+class TestUniquenessValues:
+    def test_all_pairs_count(self):
+        signatures = {name: sig(name, f"x-{name}") for name in "abcd"}
+        values = uniqueness_values(signatures, dist_jaccard)
+        assert len(values) == 6  # C(4, 2)
+        assert all(value == 1.0 for value in values)
+
+    def test_single_node_gives_empty(self):
+        assert uniqueness_values({"v": sig("v", "a")}, dist_jaccard) == []
+
+    def test_max_pairs_sampling_deterministic(self):
+        signatures = {f"n{i}": sig(f"n{i}", "shared", f"own{i}") for i in range(20)}
+        first = uniqueness_values(signatures, dist_jaccard, max_pairs=30, seed=1)
+        second = uniqueness_values(signatures, dist_jaccard, max_pairs=30, seed=1)
+        assert first == second
+        assert len(first) == 30
+
+    def test_max_pairs_above_total_enumerates_all(self):
+        signatures = {name: sig(name, "x") for name in "abc"}
+        values = uniqueness_values(signatures, dist_jaccard, max_pairs=100)
+        assert len(values) == 3
+
+
+class TestPropertyEllipse:
+    def test_ellipse_statistics(self):
+        now = {
+            "v": sig("v", "a", "b"),
+            "u": sig("u", "c", "d"),
+        }
+        later = {
+            "v": sig("v", "a", "b"),  # persistence 1
+            "u": sig("u", "c", "x"),  # persistence 1/3
+        }
+        ellipse = property_ellipse(
+            now, later, dist_jaccard, scheme_name="test", distance_name="Dist_Jac"
+        )
+        assert isinstance(ellipse, PropertyEllipse)
+        assert ellipse.num_nodes == 2
+        assert ellipse.num_pairs == 1
+        assert ellipse.mean_persistence == pytest.approx((1 + 1 / 3) / 2)
+        assert ellipse.mean_uniqueness == 1.0  # disjoint signatures
+        assert ellipse.std_uniqueness == 0.0
+        assert ellipse.scheme == "test"
+
+    def test_ellipse_as_dict(self):
+        now = {"v": sig("v", "a")}
+        later = {"v": sig("v", "a")}
+        ellipse = property_ellipse(now, later, dist_jaccard)
+        exported = ellipse.as_dict()
+        assert exported["mean_persistence"] == 1.0
+        assert exported["num_pairs"] == 0
+
+    def test_empty_population(self):
+        ellipse = property_ellipse({}, {}, dist_jaccard)
+        assert ellipse.num_nodes == 0
+        assert ellipse.mean_persistence == 0.0

@@ -1,0 +1,167 @@
+"""Unit tests for ROC construction and AUC (the paper's evaluation core)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import dist_jaccard
+from repro.core.roc import (
+    RocCurve,
+    auc_from_scores,
+    average_roc,
+    roc_from_scores,
+    roc_identity,
+    roc_set_query,
+)
+from repro.core.signature import Signature
+from repro.exceptions import ExperimentError
+
+
+def sig(owner, *members):
+    return Signature(owner, {member: 1.0 for member in members})
+
+
+class TestAucFromScores:
+    def test_perfect_separation(self):
+        assert auc_from_scores([0.1], [0.5, 0.9, 0.7]) == 1.0
+
+    def test_inverted_separation(self):
+        assert auc_from_scores([0.9], [0.1, 0.2]) == 0.0
+
+    def test_random_with_ties(self):
+        # All scores equal: AUC must be exactly one half.
+        assert auc_from_scores([0.5, 0.5], [0.5, 0.5, 0.5]) == 0.5
+
+    def test_partial_overlap(self):
+        # positive 0.3 beats negatives 0.5, 0.9; loses to 0.1 -> 2/3.
+        assert auc_from_scores([0.3], [0.1, 0.5, 0.9]) == pytest.approx(2 / 3)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        positives = rng.random(17)
+        negatives = rng.random(31)
+        brute = np.mean(
+            [
+                1.0 if p < n else (0.5 if p == n else 0.0)
+                for p in positives
+                for n in negatives
+            ]
+        )
+        assert auc_from_scores(positives, negatives) == pytest.approx(float(brute))
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ExperimentError):
+            auc_from_scores([], [0.1])
+        with pytest.raises(ExperimentError):
+            auc_from_scores([0.1], [])
+
+
+class TestRocFromScores:
+    def test_curve_endpoints(self):
+        curve = roc_from_scores([0.1], [0.2, 0.3], grid_size=11)
+        assert curve.fpr[0] == 0.0 and curve.fpr[-1] == 1.0
+        assert curve.tpr[0] == pytest.approx(1.0)  # positive ranks first
+        assert curve.tpr[-1] == 1.0
+
+    def test_curve_is_monotone(self):
+        rng = np.random.default_rng(1)
+        curve = roc_from_scores(rng.random(5), rng.random(40))
+        assert np.all(np.diff(curve.tpr) >= -1e-12)
+
+    def test_ties_produce_diagonal(self):
+        curve = roc_from_scores([0.5], [0.5], grid_size=3)
+        # Single tied block: the curve is the diagonal, AUC one half.
+        assert curve.auc == 0.5
+        assert curve.tpr[1] == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            RocCurve(fpr=np.zeros(3), tpr=np.zeros(4), auc=0.5)
+
+
+class TestAverageRoc:
+    def test_average_of_identical_curves(self):
+        curve = roc_from_scores([0.1], [0.2, 0.3])
+        averaged = average_roc([curve, curve])
+        assert averaged.auc == curve.auc
+        assert np.allclose(averaged.tpr, curve.tpr)
+
+    def test_mixed_curves_average_auc(self):
+        good = roc_from_scores([0.1], [0.5, 0.6])
+        bad = roc_from_scores([0.9], [0.5, 0.6])
+        averaged = average_roc([good, bad])
+        assert averaged.auc == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            average_roc([])
+
+    def test_grid_mismatch_rejected(self):
+        first = roc_from_scores([0.1], [0.2], grid_size=5)
+        second = roc_from_scores([0.1], [0.2], grid_size=7)
+        with pytest.raises(ExperimentError):
+            average_roc([first, second])
+
+
+class TestRocIdentity:
+    def test_perfectly_persistent_population(self):
+        now = {name: sig(name, f"x-{name}") for name in "abcd"}
+        later = {name: sig(name, f"x-{name}") for name in "abcd"}
+        result = roc_identity(now, later, dist_jaccard)
+        assert result.mean_auc == 1.0
+        assert set(result.per_node_auc) == set("abcd")
+
+    def test_fully_churned_population_is_random(self):
+        # Every node gets a brand-new disjoint signature: all distances are
+        # 1, so ranking is uninformative -> AUC 0.5 by tie handling.
+        now = {name: sig(name, f"old-{name}") for name in "abcd"}
+        later = {name: sig(name, f"new-{name}") for name in "abcd"}
+        result = roc_identity(now, later, dist_jaccard)
+        assert result.mean_auc == pytest.approx(0.5)
+
+    def test_query_missing_from_candidates_raises(self):
+        now = {"v": sig("v", "a")}
+        later = {"u": sig("u", "a")}
+        with pytest.raises(ExperimentError):
+            roc_identity(now, later, dist_jaccard, queries=["v"], candidates=["u"])
+
+    def test_no_queries_raises(self):
+        with pytest.raises(ExperimentError):
+            roc_identity({}, {}, dist_jaccard)
+
+
+class TestRocSetQuery:
+    def test_siblings_rank_first(self):
+        signatures = {
+            "v1": sig("v1", "shared", "extra1"),
+            "v2": sig("v2", "shared", "extra2"),
+            "other1": sig("other1", "different1"),
+            "other2": sig("other2", "different2"),
+        }
+        result = roc_set_query(
+            signatures, {"v1": ["v2"], "v2": ["v1"]}, dist_jaccard
+        )
+        assert result.mean_auc == 1.0
+        assert set(result.per_query_auc) == {"v1", "v2"}
+
+    def test_query_excluded_from_own_ranking(self):
+        signatures = {
+            "v1": sig("v1", "shared"),
+            "v2": sig("v2", "shared"),
+            "other": sig("other", "different"),
+        }
+        result = roc_set_query(signatures, {"v1": ["v1", "v2"]}, dist_jaccard)
+        # v1 itself is dropped from positives and candidates.
+        assert result.per_query_auc["v1"] == 1.0
+
+    def test_query_without_signature_raises(self):
+        with pytest.raises(ExperimentError):
+            roc_set_query({}, {"ghost": ["x"]}, dist_jaccard)
+
+    def test_query_with_only_self_positive_raises(self):
+        signatures = {"v": sig("v", "a"), "u": sig("u", "b")}
+        with pytest.raises(ExperimentError):
+            roc_set_query(signatures, {"v": ["v"]}, dist_jaccard)
+
+    def test_no_queries_raises(self):
+        with pytest.raises(ExperimentError):
+            roc_set_query({"v": sig("v", "a")}, {}, dist_jaccard)

@@ -1,0 +1,198 @@
+"""Unit tests for Random Walk with Resets (Definition 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rwr import RandomWalkWithResets
+from repro.core.top_talkers import TopTalkers
+from repro.exceptions import SchemeError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.comm_graph import CommGraph
+
+
+class TestParameters:
+    @pytest.mark.parametrize("c", [-0.1, 1.1])
+    def test_invalid_reset_probability(self, c):
+        with pytest.raises(SchemeError):
+            RandomWalkWithResets(reset_probability=c)
+
+    def test_invalid_hops(self):
+        with pytest.raises(SchemeError):
+            RandomWalkWithResets(max_hops=0)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(SchemeError):
+            RandomWalkWithResets(tolerance=0.0)
+
+    def test_invalid_symmetrize(self):
+        with pytest.raises(SchemeError):
+            RandomWalkWithResets(symmetrize="maybe")
+
+    def test_describe(self):
+        scheme = RandomWalkWithResets(k=5, reset_probability=0.1, max_hops=3)
+        assert scheme.describe() == "rwr(k=5, c=0.1, h=3)"
+        assert "h=inf" in RandomWalkWithResets().describe()
+
+
+class TestPaperIdentities:
+    def test_h1_c0_equals_top_talkers(self, triangle_graph):
+        """The paper: 'When c = 0 and h = 1, RWR^h is identical to TT.'"""
+        rwr = RandomWalkWithResets(k=3, reset_probability=0.0, max_hops=1)
+        tt = TopTalkers(k=3)
+        for node in triangle_graph.nodes():
+            rwr_signature = rwr.compute(triangle_graph, node)
+            tt_signature = tt.compute(triangle_graph, node)
+            assert rwr_signature.nodes == tt_signature.nodes
+            for member in rwr_signature.nodes:
+                assert rwr_signature.weight(member) == pytest.approx(
+                    tt_signature.weight(member)
+                )
+
+    def test_large_h_converges_to_unbounded(self, triangle_graph):
+        """For h beyond the diameter + mixing, RWR^h coincides with RWR^inf."""
+        bounded = RandomWalkWithResets(k=3, reset_probability=0.1, max_hops=500)
+        unbounded = RandomWalkWithResets(k=3, reset_probability=0.1)
+        for node in triangle_graph.nodes():
+            relevance_bounded = bounded.relevance(triangle_graph, node)
+            relevance_unbounded = unbounded.relevance(triangle_graph, node)
+            for key in set(relevance_bounded) | set(relevance_unbounded):
+                assert relevance_bounded.get(key, 0.0) == pytest.approx(
+                    relevance_unbounded.get(key, 0.0), abs=1e-6
+                )
+
+    def test_large_c_concentrates_near_start(self, triangle_graph):
+        """With c close to 1, the walk barely leaves the one-hop neighbourhood."""
+        nearly_reset = RandomWalkWithResets(k=3, reset_probability=0.95, max_hops=50)
+        relevance = nearly_reset.relevance(triangle_graph, "a")
+        # Mass at the start node dominates; distant node mass is tiny.
+        assert relevance["a"] > 0.9
+
+
+class TestOccupancySemantics:
+    def test_occupancy_is_probability_vector(self, triangle_graph):
+        scheme = RandomWalkWithResets(k=3, reset_probability=0.2, max_hops=4)
+        relevance = scheme.relevance(triangle_graph, "a")
+        assert sum(relevance.values()) == pytest.approx(1.0)
+        assert all(value >= 0 for value in relevance.values())
+
+    def test_dangling_mass_returns_home(self):
+        # 'b' has no outgoing edges; the walk teleports back to the start,
+        # so no probability mass leaks (the reset keeps the chain aperiodic).
+        graph = CommGraph([("a", "b", 1.0)])
+        scheme = RandomWalkWithResets(k=2, reset_probability=0.2, max_hops=10)
+        relevance = scheme.relevance(graph, "a")
+        assert sum(relevance.values()) == pytest.approx(1.0)
+        assert relevance["b"] > 0
+
+    def test_hop_limit_restricts_reach(self):
+        # Chain a -> b -> c -> d: with h=2 the walk cannot reach 'd'.
+        graph = CommGraph([("a", "b", 1.0), ("b", "c", 1.0), ("c", "d", 1.0)])
+        scheme = RandomWalkWithResets(k=5, reset_probability=0.1, max_hops=2)
+        relevance = scheme.relevance(graph, "a")
+        assert relevance.get("d", 0.0) == 0.0
+        assert relevance.get("c", 0.0) > 0.0
+
+    def test_unknown_node_empty(self, triangle_graph):
+        assert RandomWalkWithResets().relevance(triangle_graph, "zzz") == {}
+
+    def test_empty_graph(self):
+        scheme = RandomWalkWithResets()
+        assert scheme.relevance(CommGraph(), "a") == {}
+
+
+class TestBatchedComputeAll:
+    def test_matches_single_compute(self, triangle_graph):
+        scheme = RandomWalkWithResets(k=3, reset_probability=0.1, max_hops=3)
+        batch = scheme.compute_all(triangle_graph)
+        for node in triangle_graph.nodes():
+            single = scheme.compute(triangle_graph, node)
+            assert batch[node].nodes == single.nodes
+            for member in single.nodes:
+                assert batch[node].weight(member) == pytest.approx(
+                    single.weight(member)
+                )
+
+    def test_missing_nodes_get_empty_signatures(self, triangle_graph):
+        scheme = RandomWalkWithResets(k=3)
+        batch = scheme.compute_all(triangle_graph, nodes=["a", "ghost"])
+        assert len(batch["ghost"]) == 0
+        assert len(batch["a"]) > 0
+
+    def test_empty_node_list(self, triangle_graph):
+        assert RandomWalkWithResets().compute_all(triangle_graph, nodes=[]) == {}
+
+
+class TestBipartiteBehaviour:
+    def test_signature_restricted_to_right_partition(self, small_bipartite):
+        scheme = RandomWalkWithResets(k=5, reset_probability=0.1, max_hops=4)
+        signature = scheme.compute(small_bipartite, "u1")
+        assert signature.nodes <= set(small_bipartite.right_nodes)
+        assert len(signature) > 0
+
+    def test_multi_hop_reaches_sibling_destinations(self, small_bipartite):
+        # u1 never contacts d-private2 directly, but u2 does and they share
+        # d-shared; the symmetrised 3-hop walk must reach it.
+        scheme = RandomWalkWithResets(k=5, reset_probability=0.1, max_hops=3)
+        signature = scheme.compute(small_bipartite, "u1")
+        assert "d-private2" in signature
+
+    def test_directed_walk_when_symmetrize_false(self, small_bipartite):
+        scheme = RandomWalkWithResets(
+            k=5, reset_probability=0.1, max_hops=3, symmetrize=False
+        )
+        signature = scheme.compute(small_bipartite, "u1")
+        # Without back-edges the walk only sees direct destinations.
+        assert signature.nodes <= {"d-shared", "d-private1"}
+
+    def test_forced_symmetrize_on_plain_graph(self):
+        graph = CommGraph([("a", "b", 1.0)])
+        scheme = RandomWalkWithResets(
+            k=2, reset_probability=0.1, max_hops=2, symmetrize=True
+        )
+        relevance = scheme.relevance(graph, "b")
+        # Symmetrised, 'b' can reach 'a' despite only an a->b edge existing.
+        assert relevance.get("a", 0.0) > 0
+
+
+class TestHopLimitedMetadata:
+    def test_effective_characteristics(self):
+        assert RandomWalkWithResets(max_hops=3).effective_characteristics == (
+            "locality",
+            "transitivity",
+        )
+        assert RandomWalkWithResets().effective_characteristics == (
+            "transitivity",
+            "engagement",
+        )
+
+    def test_effective_target_properties(self):
+        hop_limited = RandomWalkWithResets(max_hops=3)
+        assert set(hop_limited.effective_target_properties) == {
+            "persistence",
+            "uniqueness",
+            "robustness",
+        }
+        assert set(RandomWalkWithResets().effective_target_properties) == {
+            "persistence",
+            "robustness",
+        }
+
+
+class TestTopKExtraction:
+    def test_extraction_matches_exhaustive_sort(self):
+        rng = np.random.default_rng(0)
+        graph = CommGraph()
+        nodes = [f"n{i}" for i in range(80)]
+        for i, src in enumerate(nodes):
+            for dst in rng.choice(nodes, size=6, replace=False):
+                if dst != src:
+                    graph.add_edge(src, dst, float(rng.integers(1, 9)))
+        scheme = RandomWalkWithResets(k=5, reset_probability=0.1, max_hops=3)
+        batch = scheme.compute_all(graph, nodes=nodes[:10])
+        for node in nodes[:10]:
+            relevance = scheme.relevance(graph, node)
+            expected = sorted(
+                ((candidate, weight) for candidate, weight in relevance.items() if candidate != node),
+                key=lambda item: (-item[1], str(item[0])),
+            )[:5]
+            assert [n for n, _w in batch[node].entries] == [n for n, _w in expected]

@@ -1,0 +1,94 @@
+"""Unit tests for the scheme ABC and registry."""
+
+import pytest
+
+from repro.core.scheme import (
+    SignatureScheme,
+    available_schemes,
+    create_scheme,
+    register_scheme,
+)
+from repro.core.signature import Signature
+from repro.exceptions import SchemeError, UnknownSchemeError
+from repro.graph.comm_graph import CommGraph
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_schemes()
+        assert {"tt", "ut", "rwr"} <= set(names)
+        assert list(names) == sorted(names)
+
+    def test_create_scheme_with_params(self):
+        scheme = create_scheme("rwr", k=4, reset_probability=0.2, max_hops=2)
+        assert scheme.k == 4
+        assert scheme.reset_probability == 0.2
+
+    def test_unknown_scheme(self):
+        with pytest.raises(UnknownSchemeError) as excinfo:
+            create_scheme("pagerank")
+        assert "tt" in str(excinfo.value)
+
+    def test_register_requires_name(self):
+        class Nameless(SignatureScheme):
+            def relevance(self, graph, node):
+                return {}
+
+        with pytest.raises(SchemeError):
+            register_scheme(Nameless)
+
+    def test_register_rejects_duplicate_name(self):
+        class Imposter(SignatureScheme):
+            name = "tt"
+
+            def relevance(self, graph, node):
+                return {}
+
+        with pytest.raises(SchemeError):
+            register_scheme(Imposter)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(SchemeError):
+            create_scheme("tt", k=0)
+
+
+class TestBaseBehaviour:
+    def test_compute_applies_topk_and_self_exclusion(self, triangle_graph):
+        class Constant(SignatureScheme):
+            name = "constant-test"
+
+            def relevance(self, graph, node):
+                return {other: 1.0 for other in graph.nodes()}
+
+        scheme = Constant(k=2)
+        signature = scheme.compute(triangle_graph, "a")
+        assert "a" not in signature
+        assert len(signature) == 2
+
+    def test_compute_all_defaults_to_all_nodes(self, triangle_graph):
+        scheme = create_scheme("tt", k=2)
+        batch = scheme.compute_all(triangle_graph)
+        assert set(batch) == set(triangle_graph.nodes())
+        assert all(isinstance(sig, Signature) for sig in batch.values())
+
+    def test_repr_contains_describe(self):
+        scheme = create_scheme("tt", k=3)
+        assert "tt(k=3)" in repr(scheme)
+
+    def test_bipartite_restriction_ignores_plain_graphs(self, triangle_graph):
+        # On a non-bipartite graph the restriction hook is a no-op.
+        vector = {"b": 1.0, "c": 2.0}
+        restricted = SignatureScheme._restrict_bipartite(triangle_graph, "a", vector)
+        assert restricted == vector
+
+    def test_bipartite_restriction_right_node_unrestricted(self, small_bipartite):
+        vector = {"u1": 1.0, "d-shared": 2.0}
+        restricted = SignatureScheme._restrict_bipartite(
+            small_bipartite, "d-shared", vector
+        )
+        assert restricted == vector
+
+    def test_bipartite_restriction_left_node_filtered(self, small_bipartite):
+        vector = {"u2": 1.0, "d-shared": 2.0}
+        restricted = SignatureScheme._restrict_bipartite(small_bipartite, "u1", vector)
+        assert restricted == {"d-shared": 2.0}

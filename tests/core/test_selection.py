@@ -1,0 +1,168 @@
+"""Unit and integration tests for automated scheme selection."""
+
+import pytest
+
+from repro.apps.requirements import Requirement
+from repro.core.distances import get_distance
+from repro.core.scheme import create_scheme
+from repro.core.selection import (
+    PropertyProfile,
+    measure_scheme_properties,
+    score_profile,
+    select_scheme,
+)
+from repro.exceptions import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    return {
+        "TT": create_scheme("tt", k=10),
+        "UT": create_scheme("ut", k=10),
+        "RWR": create_scheme("rwr", k=10, reset_probability=0.1, max_hops=3),
+    }
+
+
+class TestPropertyProfile:
+    def test_value_lookup(self):
+        profile = PropertyProfile("x", persistence=0.5, uniqueness=0.9, robustness=0.7)
+        assert profile.value("persistence") == 0.5
+        assert profile.value("uniqueness") == 0.9
+        assert profile.value("robustness") == 0.7
+        with pytest.raises(ExperimentError):
+            profile.value("beauty")
+
+    def test_score_weights_high_properties_most(self):
+        unique_strong = PropertyProfile("a", persistence=0.1, uniqueness=0.9, robustness=0.9)
+        persistent_strong = PropertyProfile("b", persistence=0.9, uniqueness=0.1, robustness=0.9)
+        requirements = {
+            "persistence": Requirement.LOW,
+            "uniqueness": Requirement.HIGH,
+            "robustness": Requirement.HIGH,
+        }
+        assert score_profile(unique_strong, requirements) > score_profile(
+            persistent_strong, requirements
+        )
+
+
+class TestMeasurement:
+    def test_measured_values_in_range(self, tiny_enterprise, candidates):
+        profile = measure_scheme_properties(
+            candidates["TT"],
+            tiny_enterprise.graphs[0],
+            tiny_enterprise.graphs[1],
+            get_distance("shel"),
+            tiny_enterprise.local_hosts,
+            scheme_label="TT",
+        )
+        assert 0.0 <= profile.persistence <= 1.0
+        assert 0.0 <= profile.uniqueness <= 1.0
+        assert 0.0 <= profile.robustness <= 1.0
+        assert profile.scheme_label == "TT"
+
+    def test_default_label_is_describe(self, tiny_enterprise, candidates):
+        profile = measure_scheme_properties(
+            candidates["UT"],
+            tiny_enterprise.graphs[0],
+            tiny_enterprise.graphs[1],
+            get_distance("shel"),
+            tiny_enterprise.local_hosts,
+        )
+        assert "ut" in profile.scheme_label
+
+    def test_empty_population_rejected(self, tiny_enterprise, candidates):
+        with pytest.raises(ExperimentError):
+            measure_scheme_properties(
+                candidates["TT"],
+                tiny_enterprise.graphs[0],
+                tiny_enterprise.graphs[1],
+                get_distance("shel"),
+                [],
+            )
+
+    def test_table4_orderings_recovered(self, tiny_enterprise, candidates):
+        """Measurements reproduce the relative behaviour of Table IV on the
+        synthetic data: UT most unique, RWR most persistent."""
+        profiles = {
+            label: measure_scheme_properties(
+                scheme,
+                tiny_enterprise.graphs[0],
+                tiny_enterprise.graphs[1],
+                get_distance("shel"),
+                tiny_enterprise.local_hosts,
+                scheme_label=label,
+            )
+            for label, scheme in candidates.items()
+        }
+        assert profiles["UT"].uniqueness == max(p.uniqueness for p in profiles.values())
+        assert profiles["RWR"].persistence == max(
+            p.persistence for p in profiles.values()
+        )
+
+
+class TestSelectScheme:
+    def test_multiusage_selects_tt_or_rwr_over_ut(self, tiny_enterprise, candidates):
+        ranking = select_scheme(
+            "multiusage_detection",
+            candidates,
+            tiny_enterprise.graphs[0],
+            tiny_enterprise.graphs[1],
+            get_distance("shel"),
+            tiny_enterprise.local_hosts,
+        )
+        # Multiusage weighs uniqueness and robustness: the low-uniqueness
+        # RWR scheme must rank last; the winner is one of the one-hop pair.
+        assert ranking.best in ("TT", "UT")
+        assert ranking.ranked_labels()[-1] == "RWR"
+        assert set(ranking.scores) == set(candidates)
+        assert len(ranking.profiles) == 3
+
+    def test_anomaly_detection_prefers_persistent_scheme(
+        self, tiny_enterprise, candidates
+    ):
+        ranking = select_scheme(
+            "anomaly_detection",
+            candidates,
+            tiny_enterprise.graphs[0],
+            tiny_enterprise.graphs[1],
+            get_distance("shel"),
+            tiny_enterprise.local_hosts,
+        )
+        # Anomaly detection weighs persistence+robustness; UT (noise-laden)
+        # must not win.
+        assert ranking.best != "UT"
+        assert ranking.ranked_labels()[0] == ranking.best
+
+    def test_unknown_application(self, tiny_enterprise, candidates):
+        with pytest.raises(ExperimentError):
+            select_scheme(
+                "time-travel",
+                candidates,
+                tiny_enterprise.graphs[0],
+                tiny_enterprise.graphs[1],
+                get_distance("shel"),
+                tiny_enterprise.local_hosts,
+            )
+
+    def test_empty_candidates(self, tiny_enterprise):
+        with pytest.raises(ExperimentError):
+            select_scheme(
+                "anomaly_detection",
+                {},
+                tiny_enterprise.graphs[0],
+                tiny_enterprise.graphs[1],
+                get_distance("shel"),
+                tiny_enterprise.local_hosts,
+            )
+
+    def test_deterministic(self, tiny_enterprise, candidates):
+        run = lambda: select_scheme(
+            "label_masquerading",
+            candidates,
+            tiny_enterprise.graphs[0],
+            tiny_enterprise.graphs[1],
+            get_distance("shel"),
+            tiny_enterprise.local_hosts,
+            seed=5,
+        )
+        assert run().scores == run().scores

@@ -1,0 +1,118 @@
+"""Unit tests for the Signature object (Definition 1)."""
+
+import pytest
+
+from repro.core.signature import Signature
+from repro.exceptions import SchemeError
+
+
+class TestConstruction:
+    def test_empty_signature(self):
+        signature = Signature("v")
+        assert len(signature) == 0
+        assert signature.owner == "v"
+        assert signature.nodes == frozenset()
+
+    def test_entries_sorted_by_weight_desc(self):
+        signature = Signature("v", {"a": 1.0, "b": 3.0, "c": 2.0})
+        assert [node for node, _weight in signature.entries] == ["b", "c", "a"]
+
+    def test_tie_break_by_node_string(self):
+        signature = Signature("v", {"zeta": 1.0, "alpha": 1.0})
+        assert [node for node, _weight in signature.entries] == ["alpha", "zeta"]
+
+    def test_self_membership_rejected(self):
+        with pytest.raises(SchemeError):
+            Signature("v", {"v": 1.0})
+
+    @pytest.mark.parametrize("weight", [0.0, -0.5])
+    def test_nonpositive_weights_rejected(self, weight):
+        with pytest.raises(SchemeError):
+            Signature("v", {"a": weight})
+
+
+class TestFromRelevance:
+    def test_top_k_selection(self):
+        relevance = {"a": 5.0, "b": 4.0, "c": 3.0, "d": 2.0}
+        signature = Signature.from_relevance("v", relevance, k=2)
+        assert signature.nodes == {"a", "b"}
+
+    def test_excludes_owner_and_nonpositive(self):
+        relevance = {"v": 100.0, "a": 1.0, "b": 0.0, "c": -2.0}
+        signature = Signature.from_relevance("v", relevance, k=10)
+        assert signature.nodes == {"a"}
+
+    def test_shorter_than_k_when_few_candidates(self):
+        signature = Signature.from_relevance("v", {"a": 1.0}, k=5)
+        assert len(signature) == 1
+
+    def test_deterministic_ties_at_cut(self):
+        relevance = {"b": 1.0, "a": 1.0, "c": 1.0}
+        signature = Signature.from_relevance("v", relevance, k=2)
+        assert signature.nodes == {"a", "b"}
+
+    def test_invalid_k(self):
+        with pytest.raises(SchemeError):
+            Signature.from_relevance("v", {"a": 1.0}, k=0)
+
+
+class TestViews:
+    def test_weight_lookup(self):
+        signature = Signature("v", {"a": 2.0})
+        assert signature.weight("a") == 2.0
+        assert signature.weight("missing") == 0.0
+
+    def test_contains_and_iter(self):
+        signature = Signature("v", {"a": 2.0, "b": 1.0})
+        assert "a" in signature
+        assert "x" not in signature
+        assert dict(iter(signature)) == {"a": 2.0, "b": 1.0}
+
+    def test_as_dict_is_copy(self):
+        signature = Signature("v", {"a": 2.0})
+        exported = signature.as_dict()
+        exported["a"] = 99.0
+        assert signature.weight("a") == 2.0
+
+    def test_normalized(self):
+        signature = Signature("v", {"a": 3.0, "b": 1.0})
+        normalized = signature.normalized()
+        assert normalized.weight("a") == pytest.approx(0.75)
+        assert sum(weight for _node, weight in normalized) == pytest.approx(1.0)
+
+    def test_normalized_empty(self):
+        assert len(Signature("v").normalized()) == 0
+
+    def test_truncated(self):
+        signature = Signature("v", {"a": 3.0, "b": 2.0, "c": 1.0})
+        truncated = signature.truncated(2)
+        assert truncated.nodes == {"a", "b"}
+        with pytest.raises(SchemeError):
+            signature.truncated(0)
+
+
+class TestEqualityAndHash:
+    def test_equality(self):
+        first = Signature("v", {"a": 1.0, "b": 2.0})
+        second = Signature("v", {"b": 2.0, "a": 1.0})
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality_different_owner(self):
+        assert Signature("v", {"a": 1.0}) != Signature("u", {"a": 1.0})
+
+    def test_inequality_different_weights(self):
+        assert Signature("v", {"a": 1.0}) != Signature("v", {"a": 2.0})
+
+    def test_not_equal_to_other_types(self):
+        assert Signature("v") != "v"
+
+    def test_usable_in_sets(self):
+        signatures = {Signature("v", {"a": 1.0}), Signature("v", {"a": 1.0})}
+        assert len(signatures) == 1
+
+    def test_repr_preview(self):
+        signature = Signature("v", {f"n{i}": float(i + 1) for i in range(6)})
+        text = repr(signature)
+        assert "owner='v'" in text
+        assert "..." in text  # more than four entries elided

@@ -1,0 +1,107 @@
+"""Unit tests for JSON persistence of signature maps."""
+
+import json
+
+import pytest
+
+from repro.core.scheme import create_scheme
+from repro.core.signature import Signature
+from repro.core.signature_io import (
+    FORMAT_VERSION,
+    load_signatures,
+    save_signatures,
+    signature_from_dict,
+    signature_to_dict,
+)
+from repro.exceptions import SchemeError
+
+
+class TestDictConversion:
+    def test_round_trip_single_signature(self):
+        signature = Signature("v", {"a": 2.0, "b": 1.0})
+        payload = signature_to_dict(signature)
+        rebuilt = signature_from_dict("v", payload)
+        assert rebuilt == signature
+
+    def test_non_string_label_rejected(self):
+        signature = Signature("v", {42: 1.0})
+        with pytest.raises(SchemeError):
+            signature_to_dict(signature)
+
+
+class TestFileRoundTrip:
+    def test_round_trip_map(self, tmp_path):
+        signatures = {
+            "v1": Signature("v1", {"a": 2.0, "b": 1.0}),
+            "v2": Signature("v2", {"c": 0.5}),
+            "v3": Signature("v3", {}),
+        }
+        path = tmp_path / "signatures.json"
+        written = save_signatures(signatures, path)
+        assert written == 3
+        loaded = load_signatures(path)
+        assert loaded == signatures
+
+    def test_round_trip_generated_signatures(self, tmp_path, tiny_enterprise):
+        scheme = create_scheme("tt", k=10)
+        signatures = scheme.compute_all(
+            tiny_enterprise.graphs[0], tiny_enterprise.local_hosts
+        )
+        path = tmp_path / "hosts.json"
+        save_signatures(signatures, path)
+        loaded = load_signatures(path)
+        assert loaded == signatures
+
+    def test_loaded_signatures_usable_by_detectors(self, tmp_path, tiny_enterprise):
+        """Persisted signatures drive detection without the original graph."""
+        from repro.apps.masquerading import MasqueradeDetector
+        from repro.core.distances import dist_scaled_hellinger
+
+        scheme = create_scheme("tt", k=10)
+        hosts = tiny_enterprise.local_hosts
+        now = scheme.compute_all(tiny_enterprise.graphs[0], hosts)
+        later = scheme.compute_all(tiny_enterprise.graphs[1], hosts)
+        path_now, path_later = tmp_path / "now.json", tmp_path / "later.json"
+        save_signatures(now, path_now)
+        save_signatures(later, path_later)
+
+        detector = MasqueradeDetector(scheme, dist_scaled_hellinger)
+        from_disk = detector.detect(
+            tiny_enterprise.graphs[0],
+            tiny_enterprise.graphs[1],
+            population=hosts,
+            signatures_now=load_signatures(path_now),
+            signatures_next=load_signatures(path_later),
+        )
+        fresh = detector.detect(
+            tiny_enterprise.graphs[0], tiny_enterprise.graphs[1], population=hosts
+        )
+        assert from_disk.non_suspects == fresh.non_suspects
+        assert from_disk.detected_pairs == fresh.detected_pairs
+
+
+class TestValidation:
+    def test_owner_mismatch_rejected(self, tmp_path):
+        with pytest.raises(SchemeError):
+            save_signatures(
+                {"wrong": Signature("v", {"a": 1.0})}, tmp_path / "x.json"
+            )
+
+    def test_non_string_owner_rejected(self, tmp_path):
+        with pytest.raises(SchemeError):
+            save_signatures({7: Signature(7, {"a": 1.0})}, tmp_path / "x.json")
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 999, "signatures": {}}))
+        with pytest.raises(SchemeError):
+            load_signatures(path)
+
+    def test_not_a_signature_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(SchemeError):
+            load_signatures(path)
+
+    def test_format_version_constant(self):
+        assert FORMAT_VERSION == 1

@@ -1,0 +1,157 @@
+"""Unit and integration tests for the enterprise flow generator."""
+
+import pytest
+
+from repro.datasets.enterprise import (
+    EnterpriseDataset,
+    EnterpriseFlowGenerator,
+    EnterpriseParams,
+)
+from repro.exceptions import DatasetError
+from repro.graph.bipartite import BipartiteGraph
+
+
+SMALL = EnterpriseParams(
+    num_hosts=30,
+    num_external=300,
+    num_services=8,
+    num_windows=2,
+    num_alias_users=4,
+    seed=1,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return EnterpriseFlowGenerator(SMALL).generate()
+
+
+class TestParams:
+    def test_defaults_validate(self):
+        EnterpriseParams().validate()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"num_hosts": 1},
+            {"num_external": 5, "personal_pool_size": 40},
+            {"num_windows": 1},
+            {"num_services": 4, "services_per_host": (3, 8)},
+            {"aliases_per_user": (1, 2)},
+            {"num_alias_users": 200},
+            {"pool_tail_fraction": 1.5},
+            {"rank_correlation": -0.1},
+            {"favorite_churn": 2.0},
+        ],
+    )
+    def test_invalid_params_rejected(self, overrides):
+        with pytest.raises(DatasetError):
+            params = EnterpriseParams(**overrides)
+            params.validate()
+
+    def test_generator_rejects_params_plus_overrides(self):
+        with pytest.raises(DatasetError):
+            EnterpriseFlowGenerator(SMALL, num_hosts=10)
+
+    def test_generator_accepts_keyword_overrides(self):
+        generator = EnterpriseFlowGenerator(
+            num_hosts=20, num_external=200, num_services=8, num_alias_users=3
+        )
+        assert generator.params.num_hosts == 20
+
+
+class TestGeneratedStructure:
+    def test_window_count_and_type(self, dataset):
+        assert len(dataset.graphs) == SMALL.num_windows
+        assert all(isinstance(graph, BipartiteGraph) for graph in dataset.graphs)
+
+    def test_all_hosts_present_each_window(self, dataset):
+        for graph in dataset.graphs:
+            assert set(dataset.local_hosts) <= set(graph.left_nodes)
+
+    def test_host_count(self, dataset):
+        assert len(dataset.local_hosts) == SMALL.num_hosts
+
+    def test_edges_point_host_to_external(self, dataset):
+        hosts = set(dataset.local_hosts)
+        for src, dst, weight in dataset.graphs[0].edges():
+            assert src in hosts
+            assert dst not in hosts
+            assert weight > 0
+
+    def test_alias_groups_structure(self, dataset):
+        assert len(dataset.alias_groups) == SMALL.num_alias_users
+        for labels in dataset.alias_groups.values():
+            assert SMALL.aliases_per_user[0] <= len(labels) <= SMALL.aliases_per_user[1]
+        assert len(dataset.aliased_hosts) == len(set(dataset.aliased_hosts))
+
+    def test_positives_by_query_symmetric(self, dataset):
+        positives = dataset.positives_by_query()
+        for query, siblings in positives.items():
+            for sibling in siblings:
+                assert query in positives[sibling]
+                assert query != sibling
+
+    def test_popular_services_have_high_indegree(self, dataset):
+        graph = dataset.graphs[0]
+        service_degrees = [
+            graph.in_degree(node)
+            for node in graph.right_nodes
+            if str(node).startswith("svc-")
+        ]
+        external_degrees = [
+            graph.in_degree(node)
+            for node in graph.right_nodes
+            if str(node).startswith("ext-")
+        ]
+        assert max(service_degrees) > 3 * (
+            sum(external_degrees) / len(external_degrees)
+        )
+
+    def test_determinism(self):
+        first = EnterpriseFlowGenerator(SMALL).generate()
+        second = EnterpriseFlowGenerator(SMALL).generate()
+        assert first.alias_groups == second.alias_groups
+        for g1, g2 in zip(first.graphs, second.graphs):
+            assert g1 == g2
+
+    def test_different_seed_different_data(self):
+        from dataclasses import replace
+
+        other = EnterpriseFlowGenerator(replace(SMALL, seed=2)).generate()
+        base = EnterpriseFlowGenerator(SMALL).generate()
+        assert any(g1 != g2 for g1, g2 in zip(base.graphs, other.graphs))
+
+
+class TestBehaviouralProperties:
+    def test_hosts_persist_across_windows(self, dataset):
+        """A host's destination set overlaps heavily across windows."""
+        g0, g1 = dataset.graphs[0], dataset.graphs[1]
+        overlaps = []
+        for host in dataset.local_hosts:
+            now = set(g0.out_neighbors(host))
+            later = set(g1.out_neighbors(host))
+            if now and later:
+                overlaps.append(len(now & later) / len(now | later))
+        assert sum(overlaps) / len(overlaps) > 0.15
+
+    def test_alias_siblings_more_similar_than_strangers(self, dataset):
+        from repro.core.distances import dist_scaled_hellinger
+        from repro.core.scheme import create_scheme
+
+        graph = dataset.graphs[0]
+        signatures = create_scheme("tt", k=10).compute_all(graph, dataset.local_hosts)
+        positives = dataset.positives_by_query()
+        sibling_distances = [
+            dist_scaled_hellinger(signatures[query], signatures[sibling])
+            for query, siblings in positives.items()
+            for sibling in siblings
+        ]
+        hosts = dataset.local_hosts
+        stranger_distances = [
+            dist_scaled_hellinger(signatures[hosts[i]], signatures[hosts[i + 5]])
+            for i in range(0, 20)
+            if hosts[i + 5] not in positives.get(hosts[i], [])
+        ]
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(sibling_distances) < mean(stranger_distances) - 0.15

@@ -1,0 +1,179 @@
+"""Unit tests for behaviour profiles and Zipf weights."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.profiles import BehaviorProfile, zipf_weights
+from repro.exceptions import DatasetError
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        weights = zipf_weights(10, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert len(weights) == 10
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20, 1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_uniform(self):
+        weights = zipf_weights(5, 0.0)
+        assert np.allclose(weights, 0.2)
+
+    def test_single_element(self):
+        assert zipf_weights(1, 2.0)[0] == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DatasetError):
+            zipf_weights(0)
+        with pytest.raises(DatasetError):
+            zipf_weights(5, -1.0)
+
+
+class TestProfileValidation:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(DatasetError):
+            BehaviorProfile(personal_pool=[])
+
+    def test_duplicate_pool_rejected(self):
+        with pytest.raises(DatasetError):
+            BehaviorProfile(personal_pool=["a", "a"])
+
+    def test_share_bounds(self):
+        with pytest.raises(DatasetError):
+            BehaviorProfile(personal_pool=["a"], noise_share=-0.1)
+        with pytest.raises(DatasetError):
+            BehaviorProfile(
+                personal_pool=["a"],
+                service_pool=["s"],
+                service_share=0.7,
+                noise_share=0.5,
+            )
+
+    def test_service_share_requires_pool(self):
+        with pytest.raises(DatasetError):
+            BehaviorProfile(personal_pool=["a"], service_share=0.2)
+
+    def test_nonpositive_activity(self):
+        with pytest.raises(DatasetError):
+            BehaviorProfile(personal_pool=["a"], activity=0.0)
+
+
+class TestSampleWindow:
+    def make_profile(self, **overrides):
+        defaults = dict(
+            personal_pool=[f"p{i}" for i in range(10)],
+            service_pool=["s0", "s1"],
+            service_share=0.3,
+            noise_share=0.1,
+            activity=200.0,
+            zipf_exponent=1.0,
+        )
+        defaults.update(overrides)
+        return BehaviorProfile(**defaults)
+
+    def test_counts_follow_activity(self):
+        profile = self.make_profile()
+        rng = np.random.default_rng(0)
+        counts = profile.sample_window(rng, noise_universe=["n0", "n1", "n2"])
+        assert 100 < sum(counts.values()) < 320  # Poisson(200) plausible range
+
+    def test_favourites_dominate(self):
+        profile = self.make_profile(service_share=0.0, service_pool=[], noise_share=0.0)
+        rng = np.random.default_rng(1)
+        counts = profile.sample_window(rng)
+        assert counts["p0"] == max(counts.values())
+
+    def test_noise_requires_universe(self):
+        profile = self.make_profile()
+        rng = np.random.default_rng(2)
+        counts = profile.sample_window(rng)  # no universe -> no noise draws
+        assert all(key.startswith(("p", "s")) for key in counts)
+
+    def test_activity_scale(self):
+        profile = self.make_profile()
+        rng = np.random.default_rng(3)
+        scaled = profile.sample_window(rng, activity_scale=0.1)
+        assert sum(scaled.values()) < 60
+
+    def test_invalid_scale(self):
+        profile = self.make_profile()
+        with pytest.raises(DatasetError):
+            profile.sample_window(np.random.default_rng(0), activity_scale=0.0)
+
+    def test_deterministic_given_rng_state(self):
+        profile = self.make_profile()
+        first = profile.sample_window(np.random.default_rng(7), noise_universe=["n"])
+        second = profile.sample_window(np.random.default_rng(7), noise_universe=["n"])
+        assert first == second
+
+
+class TestWindowView:
+    def make_profile(self):
+        return BehaviorProfile(personal_pool=[f"p{i}" for i in range(20)])
+
+    def test_zero_churn_is_same_object_semantics(self):
+        profile = self.make_profile()
+        view = profile.window_view(np.random.default_rng(0), 0.0)
+        assert view.personal_pool == profile.personal_pool
+
+    def test_full_churn_preserves_membership(self):
+        profile = self.make_profile()
+        view = profile.window_view(np.random.default_rng(0), 1.0)
+        assert set(view.personal_pool) == set(profile.personal_pool)
+        assert view.personal_pool != profile.personal_pool
+
+    def test_partial_churn_keeps_head_mostly_stable(self):
+        profile = self.make_profile()
+        rng = np.random.default_rng(5)
+        overlaps = []
+        for _ in range(20):
+            view = profile.window_view(rng, 0.2)
+            overlaps.append(
+                len(set(view.personal_pool[:5]) & set(profile.personal_pool[:5]))
+            )
+        assert np.mean(overlaps) > 3.0
+
+    def test_invalid_churn(self):
+        with pytest.raises(DatasetError):
+            self.make_profile().window_view(np.random.default_rng(0), 1.5)
+
+
+class TestDrift:
+    def make_profile(self):
+        return BehaviorProfile(personal_pool=[f"p{i}" for i in range(10)])
+
+    def test_zero_drift_identity(self):
+        profile = self.make_profile()
+        drifted = profile.drifted(np.random.default_rng(0), ["x1", "x2"], 0.0)
+        assert drifted.personal_pool == profile.personal_pool
+
+    def test_drift_replaces_expected_count(self):
+        profile = self.make_profile()
+        replacements = [f"x{i}" for i in range(20)]
+        drifted = profile.drifted(np.random.default_rng(0), replacements, 0.3)
+        changed = sum(
+            1
+            for old, new in zip(profile.personal_pool, drifted.personal_pool)
+            if old != new
+        )
+        assert changed == 3
+        assert len(set(drifted.personal_pool)) == len(drifted.personal_pool)
+
+    def test_drift_needs_enough_candidates(self):
+        profile = self.make_profile()
+        with pytest.raises(DatasetError):
+            profile.drifted(np.random.default_rng(0), ["x1"], 0.5)
+
+    def test_invalid_drift(self):
+        with pytest.raises(DatasetError):
+            self.make_profile().drifted(np.random.default_rng(0), ["x"], 1.5)
+
+    def test_replacements_exclude_current_members(self):
+        profile = self.make_profile()
+        # Candidates overlapping the pool are skipped as replacements.
+        candidates = profile.personal_pool + ["fresh-1", "fresh-2", "fresh-3"]
+        drifted = profile.drifted(np.random.default_rng(1), candidates, 0.2)
+        new_members = set(drifted.personal_pool) - set(profile.personal_pool)
+        assert new_members <= {"fresh-1", "fresh-2", "fresh-3"}

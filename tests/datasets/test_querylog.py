@@ -1,0 +1,101 @@
+"""Unit and integration tests for the query-log generator."""
+
+import pytest
+
+from repro.datasets.querylog import QueryLogGenerator, QueryLogParams
+from repro.exceptions import DatasetError
+from repro.graph.bipartite import BipartiteGraph
+
+
+SMALL = QueryLogParams(
+    num_users=30, num_tables=50, num_windows=2, mean_queries=40.0, seed=2
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return QueryLogGenerator(SMALL).generate()
+
+
+class TestParams:
+    def test_defaults_validate(self):
+        QueryLogParams().validate()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"num_users": 1},
+            {"num_tables": 3, "tables_per_user": (4, 8)},
+            {"num_windows": 1},
+            {"noise_share": 1.0},
+        ],
+    )
+    def test_invalid_params(self, overrides):
+        with pytest.raises(DatasetError):
+            QueryLogParams(**overrides).validate()
+
+    def test_params_plus_overrides_rejected(self):
+        with pytest.raises(DatasetError):
+            QueryLogGenerator(SMALL, num_users=5)
+
+
+class TestGeneratedStructure:
+    def test_shape(self, dataset):
+        assert len(dataset.graphs) == SMALL.num_windows
+        assert len(dataset.users) == SMALL.num_users
+        assert len(dataset.tables) == SMALL.num_tables
+        assert all(isinstance(graph, BipartiteGraph) for graph in dataset.graphs)
+
+    def test_users_left_tables_right(self, dataset):
+        graph = dataset.graphs[0]
+        users = set(dataset.users)
+        for src, dst, _weight in graph.edges():
+            assert src in users
+            assert dst.startswith("table-")
+
+    def test_all_users_present(self, dataset):
+        for graph in dataset.graphs:
+            assert set(dataset.users) <= set(graph.left_nodes)
+
+    def test_determinism(self):
+        first = QueryLogGenerator(SMALL).generate()
+        second = QueryLogGenerator(SMALL).generate()
+        for g1, g2 in zip(first.graphs, second.graphs):
+            assert g1 == g2
+
+
+class TestHabitualBehaviour:
+    def test_small_per_user_table_sets(self, dataset):
+        graph = dataset.graphs[0]
+        degrees = [graph.out_degree(user) for user in dataset.users]
+        # Users hit a handful of tables each (pool 4-8 plus rare noise).
+        assert max(degrees) <= 12
+        assert sum(degrees) / len(degrees) >= 3
+
+    def test_users_extremely_persistent(self, dataset):
+        """The paper's premise for Fig 3(b): analysts re-query the same tables."""
+        g0, g1 = dataset.graphs[0], dataset.graphs[1]
+        overlaps = []
+        for user in dataset.users:
+            now = set(g0.out_neighbors(user))
+            later = set(g1.out_neighbors(user))
+            if now and later:
+                overlaps.append(len(now & later) / len(now | later))
+        assert sum(overlaps) / len(overlaps) > 0.6
+
+    def test_self_identification_near_perfect(self, dataset):
+        from repro.core.distances import get_distance
+        from repro.core.roc import roc_identity
+        from repro.core.scheme import create_scheme
+
+        scheme = create_scheme("tt", k=3)
+        signatures_now = scheme.compute_all(dataset.graphs[0], dataset.users)
+        signatures_next = scheme.compute_all(dataset.graphs[1], dataset.users)
+        result = roc_identity(
+            signatures_now,
+            signatures_next,
+            get_distance("shel"),
+            queries=dataset.users,
+            candidates=dataset.users,
+        )
+        assert result.mean_auc > 0.95

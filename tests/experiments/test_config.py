@@ -1,0 +1,65 @@
+"""Unit tests for experiment configuration and dataset caching."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import (
+    NETWORK_K,
+    QUERYLOG_K,
+    ExperimentConfig,
+    application_schemes,
+    get_enterprise_dataset,
+    get_querylog_dataset,
+    make_schemes,
+)
+
+
+class TestConfig:
+    def test_defaults_are_paper_values(self):
+        config = ExperimentConfig()
+        assert config.scale == "paper"
+        assert config.distances == ("jaccard", "dice", "sdice", "shel")
+        assert config.reset_probability == 0.1
+        assert config.rwr_hops == (3, 5, 7)
+        assert NETWORK_K == 10 and QUERYLOG_K == 3
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(scale="galactic")
+
+
+class TestDatasetCaching:
+    def test_enterprise_cached(self):
+        assert get_enterprise_dataset("small") is get_enterprise_dataset("small")
+
+    def test_querylog_cached(self):
+        assert get_querylog_dataset("small") is get_querylog_dataset("small")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ExperimentError):
+            get_enterprise_dataset("huge")
+        with pytest.raises(ExperimentError):
+            get_querylog_dataset("huge")
+
+    def test_small_scale_structure(self):
+        data = get_enterprise_dataset("small")
+        assert len(data.local_hosts) == 60
+        assert len(data.graphs) == 3
+        querylog = get_querylog_dataset("small")
+        assert len(querylog.users) == 80
+
+
+class TestSchemeLineups:
+    def test_make_schemes_labels(self):
+        schemes = make_schemes(k=10)
+        assert list(schemes) == ["TT", "UT", "RWR^3", "RWR^5", "RWR^7"]
+        assert schemes["RWR^5"].max_hops == 5
+        assert all(scheme.k == 10 for scheme in schemes.values())
+
+    def test_make_schemes_without_rwr(self):
+        assert list(make_schemes(k=5, include_rwr=False)) == ["TT", "UT"]
+
+    def test_application_schemes(self):
+        schemes = application_schemes(k=10)
+        assert list(schemes) == ["TT", "UT", "RWR"]
+        assert schemes["RWR"].max_hops == 3

@@ -1,0 +1,174 @@
+"""Integration tests: every experiment runs mechanically at small scale.
+
+These verify structure, determinism and formatting — the qualitative
+paper-shape assertions live in ``benchmarks/`` where the paper-scale
+datasets are used (several orderings are near-ties that only resolve at
+full scale).
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    derive_table4,
+    format_fig1,
+    format_fig2,
+    format_fig3,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_lsh_quality,
+    format_streaming_fidelity,
+    format_table4,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_lsh_quality,
+    run_streaming_fidelity,
+)
+from repro.exceptions import ExperimentError
+from repro.experiments.tables import table4_agreement
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale="small")
+
+
+class TestFig1:
+    def test_structure_and_format(self, config):
+        ellipses = run_fig1("network", config)
+        assert len(ellipses) == 20
+        text = format_fig1(ellipses, "network")
+        assert "Figure 1" in text and "RWR^7" in text
+
+    def test_querylog_variant(self, config):
+        ellipses = run_fig1("querylog", config)
+        assert all(0 <= e.mean_uniqueness <= 1 for e in ellipses)
+
+    def test_unknown_dataset(self, config):
+        with pytest.raises(ExperimentError):
+            run_fig1("webcrawl", config)
+
+    def test_network_ordering_holds_even_at_small_scale(self, config):
+        from repro.experiments.fig1_properties import check_fig1_shape
+
+        checks = check_fig1_shape(run_fig1("network", config))
+        assert checks["ut_most_unique"]
+        assert checks["rwr_most_persistent"]
+
+
+class TestFig2:
+    def test_structure(self, config):
+        result = run_fig2("shel", config)
+        assert set(result.results) == {"TT", "UT", "RWR^3", "RWR^5", "RWR^7"}
+        for roc in result.results.values():
+            assert 0.5 <= roc.mean_auc <= 1.0
+        assert "Figure 2" in format_fig2(result)
+
+
+class TestFig3:
+    def test_network_matrix(self, config):
+        result = run_fig3("network", config)
+        assert set(result.auc) == {"jaccard", "dice", "sdice", "shel"}
+        for per_scheme in result.auc.values():
+            assert set(per_scheme) == set(result.scheme_labels)
+        assert "Figure 3(a)" in format_fig3(result)
+
+    def test_querylog_matrix(self, config):
+        result = run_fig3("querylog", config)
+        assert "Figure 3(b)" in format_fig3(result)
+        # Query logs are easy even at small scale.
+        assert all(
+            value > 0.9 for per in result.auc.values() for value in per.values()
+        )
+
+    def test_unknown_dataset(self, config):
+        with pytest.raises(ExperimentError):
+            run_fig3("webcrawl", config)
+
+
+class TestFig4:
+    def test_structure(self, config):
+        result = run_fig4(intensities=(0.1, 0.4), config=config)
+        assert result.intensities == (0.1, 0.4)
+        for intensity in result.intensities:
+            for measure in (result.auc, result.robustness):
+                for per_scheme in measure[intensity].values():
+                    for value in per_scheme.values():
+                        assert 0.0 <= value <= 1.0
+        text = format_fig4(result)
+        assert "identity AUC" in text and "direct robustness" in text
+
+    def test_empty_intensities_rejected(self, config):
+        with pytest.raises(ExperimentError):
+            run_fig4(intensities=(), config=config)
+
+    def test_harsher_perturbation_less_robust(self, config):
+        result = run_fig4(intensities=(0.1, 0.4), config=config)
+        for distance_name in ("shel",):
+            for label in result.scheme_labels:
+                assert (
+                    result.robustness[0.4][distance_name][label]
+                    < result.robustness[0.1][distance_name][label]
+                )
+
+
+class TestFig5:
+    def test_structure(self, config):
+        result = run_fig5(config=config)
+        for per_scheme in result.results.values():
+            for roc in per_scheme.values():
+                assert roc.mean_auc > 0.5
+        assert "Figure 5" in format_fig5(result)
+
+
+class TestFig6:
+    def test_structure(self, config):
+        result = run_fig6(
+            fractions=(0.1, 0.3),
+            top_matches=(1, 5),
+            config=config,
+            num_trials=2,
+        )
+        for budget in (1, 5):
+            for label in result.scheme_labels:
+                assert set(result.accuracy[budget][label]) == {0.1, 0.3}
+                for value in result.accuracy[budget][label].values():
+                    assert 0.0 <= value <= 1.0
+        assert "Figure 6" in format_fig6(result)
+
+    def test_invalid_arguments(self, config):
+        with pytest.raises(ExperimentError):
+            run_fig6(fractions=(), config=config)
+        with pytest.raises(ExperimentError):
+            run_fig6(num_trials=0, config=config)
+
+
+class TestTable4:
+    def test_structure(self, config):
+        result = derive_table4(config=config)
+        assert set(result.measured) == {"persistence", "uniqueness", "robustness"}
+        matches, total = table4_agreement(result)
+        assert total == 9
+        # Even the miniature dataset gets most cells right.
+        assert matches >= 6
+        assert "Table IV" in format_table4(result)
+
+
+class TestExtensions:
+    def test_streaming_fidelity(self, config):
+        results = run_streaming_fidelity(config=config)
+        assert {item.scheme for item in results} == {"TT", "UT"}
+        by_scheme = {item.scheme: item for item in results}
+        assert by_scheme["TT"].mean_jaccard_distance < 0.05
+        assert "Extension X1" in format_streaming_fidelity(results)
+
+    def test_lsh_quality(self, config):
+        result = run_lsh_quality(config=config)
+        assert 0.0 <= result.pair_recall <= 1.0
+        assert 0.0 <= result.candidate_ratio <= 1.0
+        assert "Extension X2" in format_lsh_quality(result)

@@ -1,0 +1,64 @@
+"""Unit tests for ASCII report rendering."""
+
+import pytest
+
+from repro.experiments.report import format_series_block, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 0.5], ["beta", 1.0]], title="Demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in lines[3]
+        assert "0.5000" in lines[3]
+
+    def test_column_widths_aligned(self):
+        text = format_table(["x"], [["short"], ["a-much-longer-value"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_format="{:.2f}")
+        assert "0.12" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_integers_pass_through(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text
+
+
+class TestSparkline:
+    def test_extremes(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_clamping(self):
+        assert sparkline([-5.0, 5.0]) == sparkline([0.0, 1.0])
+
+    def test_length_matches_input(self):
+        assert len(sparkline([0.5] * 17)) == 17
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            sparkline([0.5], low=1.0, high=0.0)
+
+
+class TestSeriesBlock:
+    def test_labels_and_bars(self):
+        text = format_series_block(
+            "Curves", [("fast", [0.0, 1.0]), ("slow", [0.0, 0.5])]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Curves"
+        assert lines[1].startswith("  fast")
+        assert "|" in lines[1]
+
+    def test_empty_series(self):
+        assert format_series_block("Nothing", []) == "Nothing"

@@ -1,0 +1,220 @@
+"""Unit tests for the figure shape-check functions on synthetic results.
+
+The benches rely on these checks to assert the paper's qualitative claims;
+here each check is fed hand-built result objects so its logic (orderings,
+tolerances, aggregation over distances) is verified independently of any
+dataset.
+"""
+
+import pytest
+
+from repro.core.properties import PropertyEllipse
+from repro.experiments.fig1_properties import check_fig1_shape
+from repro.experiments.fig3_auc import Fig3Result, check_fig3_shape
+from repro.experiments.fig4_robustness import Fig4Result, check_fig4_shape
+from repro.experiments.fig6_masquerading import Fig6Result, check_fig6_shape
+
+
+def ellipse(scheme, persistence, uniqueness, distance="Dist_SHel"):
+    return PropertyEllipse(
+        scheme=scheme,
+        distance=distance,
+        mean_persistence=persistence,
+        std_persistence=0.1,
+        mean_uniqueness=uniqueness,
+        std_uniqueness=0.1,
+        num_nodes=10,
+        num_pairs=45,
+    )
+
+
+class TestFig1Check:
+    def test_paper_ordering_passes(self):
+        ellipses = [
+            ellipse("UT", 0.1, 0.99),
+            ellipse("TT", 0.4, 0.95),
+            ellipse("RWR^3", 0.5, 0.85),
+        ]
+        checks = check_fig1_shape(ellipses)
+        assert checks == {"ut_most_unique": True, "rwr_most_persistent": True}
+
+    def test_inverted_uniqueness_fails(self):
+        ellipses = [
+            ellipse("UT", 0.1, 0.5),   # UT should be most unique but is not
+            ellipse("TT", 0.4, 0.95),
+            ellipse("RWR^3", 0.5, 0.85),
+        ]
+        assert not check_fig1_shape(ellipses)["ut_most_unique"]
+
+    def test_near_tie_within_tolerance_passes(self):
+        ellipses = [
+            ellipse("UT", 0.39, 0.99),  # UT persistence 0.01 above TT
+            ellipse("TT", 0.38, 0.95),
+            ellipse("RWR^3", 0.5, 0.85),
+        ]
+        assert check_fig1_shape(ellipses)["rwr_most_persistent"]
+
+    def test_averaged_over_distances(self):
+        ellipses = [
+            ellipse("UT", 0.1, 0.99, "Dist_Jac"),
+            ellipse("UT", 0.1, 0.80, "Dist_SHel"),  # weak on one distance
+            ellipse("TT", 0.4, 0.85, "Dist_Jac"),
+            ellipse("TT", 0.4, 0.85, "Dist_SHel"),
+            ellipse("RWR^3", 0.5, 0.5, "Dist_Jac"),
+            ellipse("RWR^3", 0.5, 0.5, "Dist_SHel"),
+        ]
+        # Means: UT 0.895 >= TT 0.85 - tol -> still passes.
+        assert check_fig1_shape(ellipses)["ut_most_unique"]
+
+
+def fig3(dataset, auc):
+    labels = tuple(next(iter(auc.values())).keys())
+    return Fig3Result(dataset=dataset, scheme_labels=labels, auc=auc)
+
+
+class TestFig3Check:
+    def test_network_paper_shape_passes(self):
+        auc = {
+            "shel": {"TT": 0.91, "UT": 0.88, "RWR^3": 0.92, "RWR^5": 0.915, "RWR^7": 0.916}
+        }
+        checks = check_fig3_shape(fig3("network", auc))
+        assert checks["multi_hop_beats_one_hop"]
+        assert checks["rwr3_best_rwr"]
+
+    def test_rwr3_not_best_fails(self):
+        auc = {
+            "shel": {"TT": 0.91, "UT": 0.88, "RWR^3": 0.90, "RWR^5": 0.95, "RWR^7": 0.91}
+        }
+        assert not check_fig3_shape(fig3("network", auc))["rwr3_best_rwr"]
+
+    def test_one_hop_far_ahead_fails(self):
+        auc = {
+            "shel": {"TT": 0.99, "UT": 0.88, "RWR^3": 0.90, "RWR^5": 0.89, "RWR^7": 0.88}
+        }
+        assert not check_fig3_shape(fig3("network", auc))["multi_hop_beats_one_hop"]
+
+    def test_querylog_near_perfect(self):
+        good = {"shel": {"TT": 0.999, "UT": 1.0, "RWR^3": 0.99, "RWR^5": 0.985, "RWR^7": 0.98}}
+        bad = {"shel": {"TT": 0.999, "UT": 1.0, "RWR^3": 0.99, "RWR^5": 0.985, "RWR^7": 0.90}}
+        assert check_fig3_shape(fig3("querylog", good))["all_near_perfect"]
+        assert not check_fig3_shape(fig3("querylog", bad))["all_near_perfect"]
+
+
+def fig4(robustness):
+    intensities = tuple(robustness)
+    labels = tuple(next(iter(next(iter(robustness.values())).values())).keys())
+    auc = {
+        intensity: {d: {label: 1.0 for label in labels} for d in per}
+        for intensity, per in robustness.items()
+    }
+    return Fig4Result(
+        intensities=intensities, scheme_labels=labels, auc=auc, robustness=robustness
+    )
+
+
+class TestFig4Check:
+    def test_paper_ordering_passes(self):
+        result = fig4(
+            {
+                0.1: {"shel": {"TT": 0.85, "UT": 0.80, "RWR": 0.83}},
+                0.4: {"shel": {"TT": 0.62, "UT": 0.57, "RWR": 0.61}},
+            }
+        )
+        checks = check_fig4_shape(result)
+        assert all(checks.values()), checks
+
+    def test_ut_not_least_fails(self):
+        result = fig4(
+            {
+                0.1: {"shel": {"TT": 0.85, "UT": 0.84, "RWR": 0.80}},
+                0.4: {"shel": {"TT": 0.62, "UT": 0.61, "RWR": 0.57}},
+            }
+        )
+        assert not check_fig4_shape(result)["ut_least_robust"]
+
+    def test_improvement_with_intensity_fails(self):
+        result = fig4(
+            {
+                0.1: {"shel": {"TT": 0.60, "UT": 0.55, "RWR": 0.58}},
+                0.4: {"shel": {"TT": 0.85, "UT": 0.80, "RWR": 0.83}},
+            }
+        )
+        assert not check_fig4_shape(result)["robustness_degrades_with_intensity"]
+
+    def test_tt_within_small_margin_passes(self):
+        result = fig4(
+            {
+                0.1: {"shel": {"TT": 0.845, "UT": 0.80, "RWR": 0.85}},  # TT -0.005
+                0.4: {"shel": {"TT": 0.62, "UT": 0.57, "RWR": 0.61}},
+            }
+        )
+        assert check_fig4_shape(result)["tt_most_robust"]
+
+
+def fig6(accuracy):
+    budgets = tuple(accuracy)
+    labels = tuple(next(iter(accuracy.values())).keys())
+    fractions = tuple(next(iter(next(iter(accuracy.values())).values())).keys())
+    return Fig6Result(
+        fractions=fractions,
+        top_matches=budgets,
+        scheme_labels=labels,
+        accuracy=accuracy,
+    )
+
+
+class TestFig6Check:
+    def test_paper_shape_passes(self):
+        result = fig6(
+            {
+                1: {
+                    "TT": {0.05: 0.95, 0.4: 0.7},
+                    "UT": {0.05: 0.90, 0.4: 0.75},
+                    "RWR": {0.05: 0.97, 0.4: 0.65},
+                },
+                5: {
+                    "TT": {0.05: 0.96, 0.4: 0.72},
+                    "UT": {0.05: 0.91, 0.4: 0.76},
+                    "RWR": {0.05: 0.98, 0.4: 0.66},
+                },
+            }
+        )
+        checks = check_fig6_shape(result)
+        assert checks["accuracy_not_decreasing_with_l"]
+        assert checks["rwr_competitive_at_small_f"]
+
+    def test_big_drop_with_l_fails(self):
+        result = fig6(
+            {
+                1: {"TT": {0.05: 0.95}, "UT": {0.05: 0.95}, "RWR": {0.05: 0.95}},
+                5: {"TT": {0.05: 0.95}, "UT": {0.05: 0.80}, "RWR": {0.05: 0.95}},
+            }
+        )
+        assert not check_fig6_shape(result)["accuracy_not_decreasing_with_l"]
+
+    def test_rwr_far_behind_fails(self):
+        result = fig6(
+            {
+                5: {"TT": {0.05: 0.97}, "UT": {0.05: 0.90}, "RWR": {0.05: 0.90}},
+            }
+        )
+        assert not check_fig6_shape(result)["rwr_competitive_at_small_f"]
+
+    def test_low_fraction_regime_only(self):
+        """Monotonicity is evaluated at the lower half of the f grid; a drop
+        confined to large f does not fail the check."""
+        result = fig6(
+            {
+                1: {
+                    "TT": {0.05: 0.95, 0.1: 0.93, 0.3: 0.8, 0.4: 0.9},
+                    "UT": {0.05: 0.90, 0.1: 0.89, 0.3: 0.8, 0.4: 0.9},
+                    "RWR": {0.05: 0.95, 0.1: 0.93, 0.3: 0.8, 0.4: 0.9},
+                },
+                5: {
+                    "TT": {0.05: 0.95, 0.1: 0.93, 0.3: 0.6, 0.4: 0.5},
+                    "UT": {0.05: 0.90, 0.1: 0.89, 0.3: 0.6, 0.4: 0.5},
+                    "RWR": {0.05: 0.95, 0.1: 0.93, 0.3: 0.6, 0.4: 0.5},
+                },
+            }
+        )
+        assert check_fig6_shape(result)["accuracy_not_decreasing_with_l"]

@@ -1,0 +1,82 @@
+"""Unit tests for the bipartite communication graph."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.bipartite import BipartiteGraph
+
+
+class TestPartitions:
+    def test_edge_assigns_partitions(self, small_bipartite):
+        assert set(small_bipartite.left_nodes) == {"u1", "u2"}
+        assert set(small_bipartite.right_nodes) == {
+            "d-shared",
+            "d-private1",
+            "d-private2",
+        }
+
+    def test_side_lookup(self, small_bipartite):
+        assert small_bipartite.side("u1") == "left"
+        assert small_bipartite.side("d-shared") == "right"
+        with pytest.raises(GraphError):
+            small_bipartite.side("unknown")
+
+    def test_explicit_partition_nodes(self):
+        graph = BipartiteGraph()
+        graph.add_left_node("host")
+        graph.add_right_node("dest")
+        assert graph.side("host") == "left"
+        assert graph.num_nodes == 2
+
+    def test_partition_conflict_rejected(self, small_bipartite):
+        with pytest.raises(GraphError):
+            small_bipartite.add_left_node("d-shared")
+        with pytest.raises(GraphError):
+            small_bipartite.add_right_node("u1")
+
+
+class TestEdgeConstraint:
+    def test_right_to_left_edge_rejected(self, small_bipartite):
+        with pytest.raises(GraphError):
+            small_bipartite.add_edge("d-shared", "u1", 1.0)
+
+    def test_left_to_left_edge_rejected(self, small_bipartite):
+        with pytest.raises(GraphError):
+            small_bipartite.add_edge("u1", "u2", 1.0)
+
+    def test_valid_edge_accepted(self, small_bipartite):
+        small_bipartite.add_edge("u1", "d-private2", 1.0)
+        assert small_bipartite.weight("u1", "d-private2") == 1.0
+
+    def test_new_nodes_via_edge_get_sides(self):
+        graph = BipartiteGraph()
+        graph.add_edge("newhost", "newdest", 2.0)
+        assert graph.side("newhost") == "left"
+        assert graph.side("newdest") == "right"
+
+
+class TestCopyRemove:
+    def test_copy_preserves_partitions(self, small_bipartite):
+        clone = small_bipartite.copy()
+        assert isinstance(clone, BipartiteGraph)
+        assert clone == small_bipartite
+        assert set(clone.left_nodes) == set(small_bipartite.left_nodes)
+        # Copies are independent.
+        clone.add_edge("u1", "d-new", 1.0)
+        assert "d-new" not in small_bipartite
+
+    def test_copy_preserves_isolated_partition_members(self):
+        graph = BipartiteGraph()
+        graph.add_left_node("silent-host")
+        clone = graph.copy()
+        assert clone.side("silent-host") == "left"
+
+    def test_remove_node_clears_partition(self, small_bipartite):
+        small_bipartite.remove_node("u1")
+        assert "u1" not in small_bipartite
+        with pytest.raises(GraphError):
+            small_bipartite.side("u1")
+
+    def test_repr_mentions_partition_sizes(self, small_bipartite):
+        text = repr(small_bipartite)
+        assert "|V1|=2" in text and "|V2|=3" in text

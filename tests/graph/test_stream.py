@@ -1,0 +1,85 @@
+"""Unit tests for edge records and CSV round-tripping."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.stream import (
+    EdgeRecord,
+    iter_sorted,
+    read_edge_records,
+    write_edge_records,
+)
+
+
+class TestEdgeRecord:
+    def test_defaults_and_ordering(self):
+        early = EdgeRecord(time=1.0, src="a", dst="b")
+        late = EdgeRecord(time=2.0, src="a", dst="b", weight=3.0)
+        assert early.weight == 1.0
+        assert early < late
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(DatasetError):
+            EdgeRecord(time=0.0, src="a", dst="b", weight=-1.0)
+
+    def test_frozen(self):
+        record = EdgeRecord(time=0.0, src="a", dst="b")
+        with pytest.raises(AttributeError):
+            record.weight = 2.0
+
+    def test_iter_sorted(self):
+        records = [
+            EdgeRecord(time=3.0, src="a", dst="b"),
+            EdgeRecord(time=1.0, src="c", dst="d"),
+            EdgeRecord(time=2.0, src="e", dst="f"),
+        ]
+        assert [r.time for r in iter_sorted(records)] == [1.0, 2.0, 3.0]
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        records = [
+            EdgeRecord(time=0.0, src="alice", dst="bob", weight=2.0),
+            EdgeRecord(time=1.5, src="bob", dst="carol", weight=1.0),
+        ]
+        path = tmp_path / "trace.csv"
+        written = write_edge_records(records, path)
+        assert written == 2
+        loaded = read_edge_records(path)
+        assert loaded == records
+
+    def test_empty_file_round_trip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_edge_records([], path) == 0
+        assert read_edge_records(path) == []
+
+    def test_header_validation(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("wrong,header,entirely,nope\n1,a,b,1\n")
+        with pytest.raises(DatasetError):
+            read_edge_records(path)
+
+    def test_column_count_validation(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("time,src,dst,weight\n1,a,b\n")
+        with pytest.raises(DatasetError) as excinfo:
+            read_edge_records(path)
+        assert ":2:" in str(excinfo.value)
+
+    def test_bad_number_reports_line(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("time,src,dst,weight\nnot-a-time,a,b,1\n")
+        with pytest.raises(DatasetError) as excinfo:
+            read_edge_records(path)
+        assert ":2:" in str(excinfo.value)
+
+    def test_truly_empty_file(self, tmp_path):
+        path = tmp_path / "zero.csv"
+        path.write_text("")
+        assert read_edge_records(path) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("time,src,dst,weight\n1,a,b,1\n\n2,c,d,2\n")
+        loaded = read_edge_records(path)
+        assert len(loaded) == 2

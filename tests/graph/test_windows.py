@@ -1,0 +1,113 @@
+"""Unit tests for time-window splitting and graph sequences."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.comm_graph import CommGraph
+from repro.graph.stream import EdgeRecord
+from repro.graph.windows import GraphSequence, split_records_into_windows
+
+
+def make_records():
+    return [
+        EdgeRecord(time=0.0, src="a", dst="b"),
+        EdgeRecord(time=1.0, src="a", dst="c"),
+        EdgeRecord(time=2.0, src="b", dst="c"),
+        EdgeRecord(time=3.0, src="b", dst="d"),
+    ]
+
+
+class TestGraphSequence:
+    def test_default_labels(self):
+        sequence = GraphSequence(graphs=[CommGraph(), CommGraph()])
+        assert sequence.labels == ["window-0", "window-1"]
+        assert len(sequence) == 2
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            GraphSequence(graphs=[CommGraph()], labels=["a", "b"])
+
+    def test_iteration_and_indexing(self):
+        graphs = [CommGraph([("a", "b", 1.0)]), CommGraph([("c", "d", 1.0)])]
+        sequence = GraphSequence(graphs=graphs)
+        assert sequence[1].weight("c", "d") == 1.0
+        assert [g.num_edges for g in sequence] == [1, 1]
+
+    def test_consecutive_pairs(self):
+        graphs = [CommGraph(), CommGraph(), CommGraph()]
+        sequence = GraphSequence(graphs=graphs)
+        pairs = list(sequence.consecutive_pairs())
+        assert len(pairs) == 2
+        assert pairs[0] == (graphs[0], graphs[1])
+
+    def test_common_nodes(self):
+        first = CommGraph([("a", "b", 1.0), ("c", "d", 1.0)])
+        second = CommGraph([("a", "b", 1.0), ("x", "y", 1.0)])
+        sequence = GraphSequence(graphs=[first, second])
+        assert sequence.common_nodes() == ["a", "b"]
+
+    def test_common_nodes_empty_sequence(self):
+        assert GraphSequence(graphs=[]).common_nodes() == []
+
+
+class TestSplitRecords:
+    def test_split_by_num_windows(self):
+        sequence = split_records_into_windows(make_records(), num_windows=2)
+        assert len(sequence) == 2
+        # Times 0, 1 go to window 0 (boundary at 1.5); 2, 3 to window 1.
+        assert sequence[0].has_edge("a", "b")
+        assert sequence[0].has_edge("a", "c")
+        assert sequence[1].has_edge("b", "c")
+        assert sequence[1].has_edge("b", "d")
+
+    def test_split_by_window_length(self):
+        sequence = split_records_into_windows(make_records(), window_length=2.0)
+        assert len(sequence) == 2
+        assert sequence[0].num_edges == 2
+
+    def test_final_record_lands_in_last_window(self):
+        sequence = split_records_into_windows(make_records(), num_windows=4)
+        assert sequence[3].has_edge("b", "d")
+
+    def test_single_timestamp_trace(self):
+        records = [EdgeRecord(time=5.0, src="a", dst="b")]
+        sequence = split_records_into_windows(records, num_windows=3)
+        assert len(sequence) == 3
+        assert sequence[0].has_edge("a", "b")
+        assert sequence[1].num_edges == 0
+
+    def test_bipartite_split(self):
+        from repro.graph.bipartite import BipartiteGraph
+
+        sequence = split_records_into_windows(
+            make_records()[:2], num_windows=1, bipartite=True
+        )
+        assert isinstance(sequence[0], BipartiteGraph)
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(GraphError):
+            split_records_into_windows(make_records())
+        with pytest.raises(GraphError):
+            split_records_into_windows(make_records(), num_windows=2, window_length=1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(GraphError):
+            split_records_into_windows([], num_windows=2)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bad_num_windows(self, bad):
+        with pytest.raises(GraphError):
+            split_records_into_windows(make_records(), num_windows=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -2.0])
+    def test_bad_window_length(self, bad):
+        with pytest.raises(GraphError):
+            split_records_into_windows(make_records(), window_length=bad)
+
+    def test_weights_aggregate_within_window(self):
+        records = [
+            EdgeRecord(time=0.0, src="a", dst="b", weight=1.0),
+            EdgeRecord(time=0.1, src="a", dst="b", weight=2.0),
+        ]
+        sequence = split_records_into_windows(records, num_windows=1)
+        assert sequence[0].weight("a", "b") == pytest.approx(3.0)

@@ -1,0 +1,95 @@
+"""Unit tests for the exact nearest-neighbour signature index."""
+
+import pytest
+
+from repro.core.distances import dist_jaccard
+from repro.core.signature import Signature
+from repro.exceptions import MatchingError
+from repro.matching.index import SignatureIndex
+
+
+def sig(owner, *members):
+    return Signature(owner, {member: 1.0 for member in members})
+
+
+@pytest.fixture
+def index():
+    idx = SignatureIndex(dist_jaccard)
+    idx.add_all(
+        [
+            sig("v1", "a", "b", "c"),
+            sig("v2", "a", "b", "d"),
+            sig("v3", "x", "y", "z"),
+        ]
+    )
+    return idx
+
+
+class TestStorage:
+    def test_add_and_get(self, index):
+        assert len(index) == 3
+        assert "v1" in index
+        assert index.get("v1").nodes == {"a", "b", "c"}
+
+    def test_get_missing_raises(self, index):
+        with pytest.raises(MatchingError):
+            index.get("ghost")
+
+    def test_add_replaces(self, index):
+        index.add(sig("v1", "q"))
+        assert index.get("v1").nodes == {"q"}
+        assert len(index) == 3
+
+    def test_owners(self, index):
+        assert set(index.owners()) == {"v1", "v2", "v3"}
+
+
+class TestQuery:
+    def test_nearest_neighbour(self, index):
+        results = index.query(sig("v1", "a", "b", "c"), k=1)
+        assert results[0][0] == "v2"  # self excluded, v2 shares {a, b}
+
+    def test_include_self(self, index):
+        results = index.query(sig("v1", "a", "b", "c"), k=1, exclude_self=False)
+        assert results[0] == ("v1", 0.0)
+
+    def test_k_larger_than_index(self, index):
+        results = index.query(sig("probe", "a"), k=10)
+        assert len(results) == 3
+
+    def test_results_sorted(self, index):
+        results = index.query(sig("probe", "a", "b"), k=3)
+        distances = [distance for _owner, distance in results]
+        assert distances == sorted(distances)
+
+    def test_invalid_k(self, index):
+        with pytest.raises(MatchingError):
+            index.query(sig("probe", "a"), k=0)
+
+
+class TestPairsWithin:
+    def test_finds_similar_pair_only(self, index):
+        pairs = index.pairs_within(0.6)
+        assert [(first, second) for first, second, _d in pairs] == [("v1", "v2")]
+
+    def test_threshold_one_returns_all_non_disjoint(self, index):
+        pairs = index.pairs_within(1.0)
+        assert len(pairs) == 1  # v3 is disjoint from both others (distance 1)
+
+    def test_threshold_validation(self, index):
+        with pytest.raises(MatchingError):
+            index.pairs_within(1.5)
+
+    def test_sorted_by_distance(self):
+        idx = SignatureIndex(dist_jaccard)
+        idx.add_all(
+            [
+                sig("a", "1", "2"),
+                sig("b", "1", "2"),
+                sig("c", "1", "3"),
+            ]
+        )
+        pairs = idx.pairs_within(1.0)
+        distances = [d for _x, _y, d in pairs]
+        assert distances == sorted(distances)
+        assert pairs[0][:2] == ("a", "b")

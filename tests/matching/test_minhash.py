@@ -1,0 +1,82 @@
+"""Unit tests for MinHash sketches."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import Signature
+from repro.exceptions import MatchingError
+from repro.matching.minhash import MinHasher, estimate_jaccard_distance
+
+
+class TestSketching:
+    def test_sketch_length(self):
+        hasher = MinHasher(num_hashes=64, seed=0)
+        assert hasher.sketch({"a", "b"}).shape == (64,)
+
+    def test_deterministic(self):
+        hasher = MinHasher(num_hashes=32, seed=1)
+        assert np.array_equal(hasher.sketch({"a", "b"}), hasher.sketch({"b", "a"}))
+
+    def test_empty_set_all_max(self):
+        hasher = MinHasher(num_hashes=8, seed=0)
+        sketch = hasher.sketch(set())
+        assert (sketch == np.iinfo(np.uint64).max).all()
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(MatchingError):
+            MinHasher(num_hashes=0)
+
+    def test_sketch_signature_uses_node_set(self):
+        hasher = MinHasher(num_hashes=16, seed=0)
+        light = Signature("v", {"a": 0.1, "b": 0.1})
+        heavy = Signature("u", {"a": 9.0, "b": 9.0})
+        assert np.array_equal(
+            hasher.sketch_signature(light), hasher.sketch_signature(heavy)
+        )
+
+
+class TestJaccardEstimation:
+    def test_identical_sets_distance_zero(self):
+        hasher = MinHasher(num_hashes=64, seed=0)
+        a = hasher.sketch({"x", "y", "z"})
+        b = hasher.sketch({"x", "y", "z"})
+        assert estimate_jaccard_distance(a, b) == 0.0
+
+    def test_disjoint_sets_distance_near_one(self):
+        hasher = MinHasher(num_hashes=128, seed=0)
+        a = hasher.sketch({f"a-{i}" for i in range(20)})
+        b = hasher.sketch({f"b-{i}" for i in range(20)})
+        assert estimate_jaccard_distance(a, b) > 0.9
+
+    def test_estimate_close_to_truth(self):
+        hasher = MinHasher(num_hashes=256, seed=2)
+        # |A ∩ B| = 10, |A ∪ B| = 30 -> Jaccard similarity 1/3.
+        shared = {f"s-{i}" for i in range(10)}
+        a = shared | {f"a-{i}" for i in range(10)}
+        b = shared | {f"b-{i}" for i in range(10)}
+        estimated = estimate_jaccard_distance(hasher.sketch(a), hasher.sketch(b))
+        assert estimated == pytest.approx(1 - 1 / 3, abs=0.12)
+
+    def test_estimator_unbiased_over_seeds(self):
+        shared = {f"s-{i}" for i in range(5)}
+        a = shared | {"a1", "a2", "a3", "a4", "a5"}
+        b = shared | {"b1", "b2", "b3", "b4", "b5"}
+        truth = 1 - 5 / 15
+        estimates = []
+        for seed in range(30):
+            hasher = MinHasher(num_hashes=64, seed=seed)
+            estimates.append(
+                estimate_jaccard_distance(hasher.sketch(a), hasher.sketch(b))
+            )
+        assert np.mean(estimates) == pytest.approx(truth, abs=0.05)
+
+    def test_shape_mismatch_rejected(self):
+        small = MinHasher(num_hashes=8, seed=0).sketch({"a"})
+        large = MinHasher(num_hashes=16, seed=0).sketch({"a"})
+        with pytest.raises(MatchingError):
+            estimate_jaccard_distance(small, large)
+
+    def test_empty_sketch_comparison_rejected(self):
+        empty = np.asarray([], dtype=np.uint64)
+        with pytest.raises(MatchingError):
+            estimate_jaccard_distance(empty, empty)

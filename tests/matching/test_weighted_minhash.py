@@ -1,0 +1,149 @@
+"""Unit tests for weighted MinHash (ICWS) and the SDice estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import dist_scaled_dice
+from repro.core.signature import Signature
+from repro.exceptions import MatchingError
+from repro.matching.weighted_minhash import (
+    WeightedMinHasher,
+    estimate_sdice_distance,
+    weighted_jaccard_distance,
+)
+
+
+class TestWeightedJaccardReference:
+    def test_matches_dist_scaled_dice_on_signatures(self):
+        first = Signature("u", {"a": 2.0, "b": 1.0})
+        second = Signature("v", {"a": 4.0, "c": 3.0})
+        assert weighted_jaccard_distance(
+            first.as_dict(), second.as_dict()
+        ) == pytest.approx(dist_scaled_dice(first, second))
+
+    def test_empty_inputs(self):
+        assert weighted_jaccard_distance({}, {}) == 0.0
+        assert weighted_jaccard_distance({"a": 1.0}, {}) == 1.0
+
+    def test_identical_sets_zero(self):
+        weights = {"a": 2.5, "b": 0.5}
+        assert weighted_jaccard_distance(weights, weights) == 0.0
+
+
+class TestSketching:
+    def test_length_and_determinism(self):
+        hasher = WeightedMinHasher(num_hashes=32, seed=1)
+        weights = {"a": 2.0, "b": 5.0}
+        first = hasher.sketch(weights)
+        second = hasher.sketch(dict(weights))
+        assert first.shape == (32,)
+        assert np.array_equal(first, second)
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(MatchingError):
+            WeightedMinHasher(num_hashes=0)
+
+    def test_empty_weights_reserved_sketch(self):
+        hasher = WeightedMinHasher(num_hashes=8, seed=0)
+        sketch = hasher.sketch({})
+        assert (sketch == np.iinfo(np.uint64).max).all()
+        # Non-positive weights are treated as absent.
+        assert np.array_equal(sketch, hasher.sketch({"a": 0.0}))
+
+    def test_identical_weighted_sets_collide_everywhere(self):
+        hasher = WeightedMinHasher(num_hashes=64, seed=0)
+        weights = {"a": 3.0, "b": 1.5, "c": 0.25}
+        assert estimate_sdice_distance(
+            hasher.sketch(weights), hasher.sketch(weights)
+        ) == 0.0
+
+    def test_common_scaling_invariance(self):
+        """Weighted Jaccard is invariant under scaling both sets; ICWS
+        sketches of a set and its scaled copy still estimate distance 0
+        against a consistently scaled counterpart."""
+        hasher = WeightedMinHasher(num_hashes=128, seed=3)
+        a = {"x": 2.0, "y": 7.0}
+        b = {"x": 1.0, "y": 7.0, "z": 3.0}
+        plain = estimate_sdice_distance(hasher.sketch(a), hasher.sketch(b))
+        scaled = estimate_sdice_distance(
+            hasher.sketch({k: 10 * v for k, v in a.items()}),
+            hasher.sketch({k: 10 * v for k, v in b.items()}),
+        )
+        assert abs(plain - scaled) < 0.15
+
+    def test_sketch_signature(self):
+        hasher = WeightedMinHasher(num_hashes=16, seed=0)
+        signature = Signature("v", {"a": 2.0})
+        assert np.array_equal(
+            hasher.sketch_signature(signature), hasher.sketch({"a": 2.0})
+        )
+
+
+class TestEstimator:
+    def test_shape_mismatch(self):
+        hasher = WeightedMinHasher(num_hashes=8, seed=0)
+        other = WeightedMinHasher(num_hashes=16, seed=0)
+        with pytest.raises(MatchingError):
+            estimate_sdice_distance(
+                hasher.sketch({"a": 1.0}), other.sketch({"a": 1.0})
+            )
+
+    def test_empty_sketch_rejected(self):
+        empty = np.asarray([], dtype=np.uint64)
+        with pytest.raises(MatchingError):
+            estimate_sdice_distance(empty, empty)
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ({"a": 2.0, "b": 1.0}, {"a": 4.0, "c": 3.0}),
+            ({"a": 1.0}, {"a": 1.0, "b": 1.0}),
+            ({"a": 5.0, "b": 5.0}, {"a": 5.0, "b": 1.0}),
+        ],
+    )
+    def test_estimator_close_to_truth(self, a, b):
+        truth = weighted_jaccard_distance(a, b)
+        hasher = WeightedMinHasher(num_hashes=512, seed=7)
+        estimate = estimate_sdice_distance(hasher.sketch(a), hasher.sketch(b))
+        assert estimate == pytest.approx(truth, abs=0.12)
+
+    def test_estimator_unbiased_over_seeds(self):
+        a = {"a": 3.0, "b": 1.0, "c": 2.0}
+        b = {"a": 1.0, "b": 1.0, "d": 4.0}
+        truth = weighted_jaccard_distance(a, b)
+        estimates = []
+        for seed in range(25):
+            hasher = WeightedMinHasher(num_hashes=64, seed=seed)
+            estimates.append(
+                estimate_sdice_distance(hasher.sketch(a), hasher.sketch(b))
+            )
+        assert float(np.mean(estimates)) == pytest.approx(truth, abs=0.06)
+
+    def test_collides_with_lsh_banding(self):
+        """ICWS sketches plug directly into the banding index."""
+        from repro.matching.lsh import LshIndex
+
+        hasher = WeightedMinHasher(num_hashes=32, seed=0)
+        index = LshIndex(bands=8, rows_per_band=4)
+        weights = {"a": 3.0, "b": 1.0}
+        index.add("stored", hasher.sketch(weights))
+        assert "stored" in index.candidates(hasher.sketch(weights))
+
+    def test_signature_level_agreement_on_dataset(self, tiny_enterprise):
+        """End-to-end: ICWS estimates Dist_SDice between real TT signatures."""
+        from repro.core.scheme import create_scheme
+
+        graph = tiny_enterprise.graphs[0]
+        hosts = tiny_enterprise.local_hosts[:12]
+        signatures = create_scheme("tt", k=10).compute_all(graph, hosts)
+        hasher = WeightedMinHasher(num_hashes=256, seed=2)
+        sketches = {h: hasher.sketch_signature(signatures[h]) for h in hosts}
+        errors = []
+        for i, first in enumerate(hosts):
+            for second in hosts[i + 1 :]:
+                truth = dist_scaled_dice(signatures[first], signatures[second])
+                estimate = estimate_sdice_distance(
+                    sketches[first], sketches[second]
+                )
+                errors.append(abs(truth - estimate))
+        assert float(np.mean(errors)) < 0.08

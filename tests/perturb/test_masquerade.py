@@ -1,0 +1,108 @@
+"""Unit tests for the masquerading simulation."""
+
+import pytest
+
+from repro.exceptions import PerturbationError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.comm_graph import CommGraph
+from repro.perturb.masquerade import MasqueradePlan, apply_masquerade, relabel_graph
+
+
+class TestRelabelGraph:
+    def test_labels_substituted(self, triangle_graph):
+        relabelled = relabel_graph(triangle_graph, {"a": "b", "b": "a"})
+        # a's edges now belong to b and vice versa.
+        assert relabelled.weight("b", "a") == 5.0  # was a -> b
+        assert relabelled.weight("b", "c") == 2.0  # was a -> c
+        assert relabelled.weight("a", "c") == 1.0  # was b -> c
+
+    def test_unmapped_labels_unchanged(self, triangle_graph):
+        relabelled = relabel_graph(triangle_graph, {"a": "b", "b": "a"})
+        assert relabelled.weight("c", "b") == 3.0  # was c -> a
+
+    def test_node_set_preserved_for_bijection(self, triangle_graph):
+        relabelled = relabel_graph(triangle_graph, {"a": "b", "b": "a"})
+        assert set(relabelled.nodes()) == set(triangle_graph.nodes())
+
+    def test_non_injective_rejected(self, triangle_graph):
+        with pytest.raises(PerturbationError):
+            relabel_graph(triangle_graph, {"a": "x", "b": "x"})
+
+    def test_collision_with_existing_label_rejected(self, triangle_graph):
+        # Renaming a -> c while c stays put would merge two individuals.
+        with pytest.raises(PerturbationError):
+            relabel_graph(triangle_graph, {"a": "c"})
+
+    def test_rename_to_fresh_label_allowed(self, triangle_graph):
+        relabelled = relabel_graph(triangle_graph, {"a": "fresh"})
+        assert "fresh" in relabelled
+        assert "a" not in relabelled
+
+    def test_bipartite_partitions_preserved(self, small_bipartite):
+        relabelled = relabel_graph(small_bipartite, {"u1": "u2", "u2": "u1"})
+        assert isinstance(relabelled, BipartiteGraph)
+        assert relabelled.side("u1") == "left"
+        assert relabelled.weight("u2", "d-private1") == 2.0
+
+
+class TestApplyMasquerade:
+    def test_mapping_is_derangement(self, tiny_enterprise):
+        graph = tiny_enterprise.graphs[1]
+        _relabelled, plan = apply_masquerade(
+            graph, fraction=0.3, candidates=tiny_enterprise.local_hosts, seed=1
+        )
+        assert len(plan.mapping) >= 2
+        assert all(src != dst for src, dst in plan.mapping.items())
+        # Bijective on P.
+        assert set(plan.mapping) == set(plan.mapping.values()) == set(plan.perturbed_nodes)
+
+    def test_explicit_nodes(self, triangle_graph):
+        relabelled, plan = apply_masquerade(triangle_graph, nodes=["a", "b"], seed=0)
+        assert plan.mapping == {"a": "b", "b": "a"}
+        assert relabelled.weight("b", "c") == 2.0
+
+    def test_zero_fraction_is_identity(self, triangle_graph):
+        relabelled, plan = apply_masquerade(triangle_graph, fraction=0.0, seed=0)
+        assert plan.mapping == {}
+        assert relabelled == triangle_graph
+
+    def test_small_fraction_bumps_to_two_nodes(self, tiny_enterprise):
+        graph = tiny_enterprise.graphs[1]
+        _relabelled, plan = apply_masquerade(
+            graph, fraction=0.01, candidates=tiny_enterprise.local_hosts, seed=2
+        )
+        assert len(plan.mapping) == 2
+
+    def test_deterministic_with_seed(self, tiny_enterprise):
+        graph = tiny_enterprise.graphs[1]
+        hosts = tiny_enterprise.local_hosts
+        first = apply_masquerade(graph, fraction=0.2, candidates=hosts, seed=7)
+        second = apply_masquerade(graph, fraction=0.2, candidates=hosts, seed=7)
+        assert first[1].mapping == second[1].mapping
+        assert first[0] == second[0]
+
+    def test_defaults_to_left_partition(self, small_bipartite):
+        _relabelled, plan = apply_masquerade(small_bipartite, fraction=1.0, seed=0)
+        assert plan.perturbed_nodes == {"u1", "u2"}
+
+    def test_both_modes_rejected(self, triangle_graph):
+        with pytest.raises(PerturbationError):
+            apply_masquerade(triangle_graph, fraction=0.5, nodes=["a", "b"])
+        with pytest.raises(PerturbationError):
+            apply_masquerade(triangle_graph)
+
+    def test_invalid_fraction(self, triangle_graph):
+        with pytest.raises(PerturbationError):
+            apply_masquerade(triangle_graph, fraction=1.5)
+
+    def test_unknown_nodes_rejected(self, triangle_graph):
+        with pytest.raises(PerturbationError):
+            apply_masquerade(triangle_graph, nodes=["a", "ghost"])
+
+    def test_single_node_rejected(self, triangle_graph):
+        with pytest.raises(PerturbationError):
+            apply_masquerade(triangle_graph, nodes=["a"])
+
+    def test_plan_pairs_view(self):
+        plan = MasqueradePlan(mapping={"a": "b"}, perturbed_nodes=frozenset({"a", "b"}))
+        assert plan.pairs == [("a", "b")]

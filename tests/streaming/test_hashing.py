@@ -1,0 +1,67 @@
+"""Unit tests for the deterministic hash utilities."""
+
+import pytest
+
+from repro.exceptions import StreamingError
+from repro.streaming.hashing import MERSENNE_61, HashFamily, stable_hash64
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash64("alice") == stable_hash64("alice")
+
+    def test_distinct_items_distinct_hashes(self):
+        values = {stable_hash64(f"item-{i}") for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_type_qualified(self):
+        assert stable_hash64("1") != stable_hash64(1)
+
+    def test_64_bit_range(self):
+        value = stable_hash64("anything")
+        assert 0 <= value < 2**64
+
+
+class TestHashFamily:
+    def test_output_range_respected(self):
+        family = HashFamily(4, output_range=100, seed=0)
+        for index in range(4):
+            for item in ("a", "b", 12345):
+                assert 0 <= family.hash_item(index, item) < 100
+
+    def test_members_differ(self):
+        family = HashFamily(8, output_range=1_000_000, seed=0)
+        outputs = {family.hash_item(i, "same-item") for i in range(8)}
+        assert len(outputs) > 1
+
+    def test_seed_determinism(self):
+        first = HashFamily(4, 1000, seed=7)
+        second = HashFamily(4, 1000, seed=7)
+        assert first.hash_all("x") == second.hash_all("x")
+        third = HashFamily(4, 1000, seed=8)
+        assert first.hash_all("x") != third.hash_all("x")
+
+    def test_hash_all_matches_individual(self):
+        family = HashFamily(5, 777, seed=1)
+        assert family.hash_all("item") == [
+            family.hash_item(i, "item") for i in range(5)
+        ]
+
+    def test_roughly_uniform(self):
+        family = HashFamily(1, output_range=10, seed=3)
+        buckets = [0] * 10
+        for i in range(5000):
+            buckets[family.hash_item(0, f"key-{i}")] += 1
+        assert min(buckets) > 300  # each bucket near 500
+
+    def test_invalid_parameters(self):
+        with pytest.raises(StreamingError):
+            HashFamily(0, 10)
+        with pytest.raises(StreamingError):
+            HashFamily(1, 0)
+        family = HashFamily(2, 10)
+        with pytest.raises(StreamingError):
+            family.hash_value(5, 1)
+
+    def test_modulus_is_mersenne_prime(self):
+        assert MERSENNE_61 == 2**61 - 1

@@ -1,0 +1,111 @@
+"""Unit tests for the SpaceSaving heavy-hitter counter."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StreamingError
+from repro.streaming.spacesaving import SpaceSaving
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(StreamingError):
+            SpaceSaving(0)
+
+    def test_exact_below_capacity(self):
+        counter = SpaceSaving(10)
+        for i in range(5):
+            for _ in range(i + 1):
+                counter.update(f"key-{i}")
+        for i in range(5):
+            assert counter.estimate(f"key-{i}") == i + 1
+            assert counter.guaranteed_count(f"key-{i}") == i + 1
+
+    def test_untracked_key_estimates_zero(self):
+        counter = SpaceSaving(2)
+        counter.update("a")
+        assert counter.estimate("missing") == 0.0
+        assert counter.guaranteed_count("missing") == 0.0
+
+    def test_len_and_contains(self):
+        counter = SpaceSaving(5)
+        counter.update("a")
+        counter.update("b", 2)
+        assert len(counter) == 2
+        assert "a" in counter and "c" not in counter
+
+    def test_zero_update_noop(self):
+        counter = SpaceSaving(5)
+        counter.update("a", 0.0)
+        assert len(counter) == 0
+
+    def test_negative_update_rejected(self):
+        with pytest.raises(StreamingError):
+            SpaceSaving(5).update("a", -1.0)
+
+
+class TestEvictionGuarantees:
+    def test_size_never_exceeds_capacity(self):
+        counter = SpaceSaving(8)
+        rng = np.random.default_rng(0)
+        for _ in range(1000):
+            counter.update(f"key-{rng.integers(0, 100)}")
+        assert len(counter) <= 8
+
+    def test_never_underestimates(self):
+        counter = SpaceSaving(16)
+        truth = {}
+        rng = np.random.default_rng(1)
+        # Skewed stream: a few heavy keys, many light ones.
+        for _ in range(3000):
+            if rng.random() < 0.6:
+                key = f"heavy-{rng.integers(0, 4)}"
+            else:
+                key = f"light-{rng.integers(0, 300)}"
+            counter.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for item, count, error in counter.items():
+            assert count >= truth.get(item, 0)
+            assert count - error <= truth.get(item, 0)
+
+    def test_heavy_hitters_retained(self):
+        counter = SpaceSaving(16)
+        rng = np.random.default_rng(2)
+        for _ in range(5000):
+            if rng.random() < 0.5:
+                counter.update(f"heavy-{rng.integers(0, 3)}")
+            else:
+                counter.update(f"light-{rng.integers(0, 500)}")
+        top = [item for item, _count in counter.top(3)]
+        assert set(top) == {"heavy-0", "heavy-1", "heavy-2"}
+
+    def test_frequency_guarantee(self):
+        """Any item with true count > total/capacity must be tracked."""
+        capacity = 10
+        counter = SpaceSaving(capacity)
+        truth = {}
+        rng = np.random.default_rng(3)
+        for _ in range(2000):
+            key = f"key-{int(rng.zipf(1.5)) % 50}"
+            counter.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        threshold = counter.total / capacity
+        for key, count in truth.items():
+            if count > threshold:
+                assert key in counter, (key, count, threshold)
+
+
+class TestTop:
+    def test_top_ordering(self):
+        counter = SpaceSaving(10)
+        counter.update("a", 5)
+        counter.update("b", 10)
+        counter.update("c", 1)
+        assert [item for item, _count in counter.top(3)] == ["b", "a", "c"]
+
+    def test_top_k_validation(self):
+        with pytest.raises(StreamingError):
+            SpaceSaving(5).top(0)
+
+    def test_memory_cells(self):
+        assert SpaceSaving(7).memory_cells() == 7

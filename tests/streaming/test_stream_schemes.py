@@ -1,0 +1,132 @@
+"""Unit and integration tests for the semi-streaming signature builders."""
+
+import pytest
+
+from repro.core.distances import dist_jaccard
+from repro.core.scheme import create_scheme
+from repro.exceptions import StreamingError
+from repro.streaming.stream_schemes import (
+    StreamingTopTalkers,
+    StreamingUnexpectedTalkers,
+)
+
+
+class TestParameters:
+    def test_invalid_k(self):
+        with pytest.raises(StreamingError):
+            StreamingTopTalkers(k=0)
+
+    def test_capacity_below_k_rejected(self):
+        with pytest.raises(StreamingError):
+            StreamingTopTalkers(k=10, candidate_capacity=5)
+
+    def test_invalid_fm_registers(self):
+        with pytest.raises(StreamingError):
+            StreamingUnexpectedTalkers(fm_registers=0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(StreamingError):
+            StreamingTopTalkers().observe("a", "b", -1.0)
+
+
+class TestStreamingTopTalkers:
+    def test_unknown_source_empty_signature(self):
+        builder = StreamingTopTalkers(k=3)
+        assert len(builder.signature("ghost")) == 0
+
+    def test_self_loops_and_zero_weights_skipped(self):
+        builder = StreamingTopTalkers(k=3)
+        builder.observe("a", "a", 5.0)
+        builder.observe("a", "b", 0.0)
+        assert builder.sources == ()
+
+    def test_matches_exact_on_small_graph(self, triangle_graph):
+        builder = StreamingTopTalkers(k=3, epsilon=0.001)
+        builder.observe_stream(triangle_graph.edges())
+        exact = create_scheme("tt", k=3)
+        for node in triangle_graph.nodes():
+            streamed = builder.signature(node)
+            reference = exact.compute(triangle_graph, node)
+            assert streamed.nodes == reference.nodes
+            for member in reference.nodes:
+                assert streamed.weight(member) == pytest.approx(
+                    reference.weight(member)
+                )
+
+    def test_matches_exact_on_generated_window(self, tiny_enterprise):
+        graph = tiny_enterprise.graphs[0]
+        builder = StreamingTopTalkers(k=10, epsilon=0.002)
+        builder.observe_stream(graph.edges())
+        exact = create_scheme("tt", k=10).compute_all(
+            graph, tiny_enterprise.local_hosts
+        )
+        distances = [
+            dist_jaccard(builder.signature(host), exact[host])
+            for host in tiny_enterprise.local_hosts
+        ]
+        assert sum(distances) / len(distances) < 0.05
+
+    def test_estimated_edge_weight_overestimates(self, tiny_enterprise):
+        graph = tiny_enterprise.graphs[0]
+        builder = StreamingTopTalkers(k=10, epsilon=0.01)
+        builder.observe_stream(graph.edges())
+        host = tiny_enterprise.local_hosts[0]
+        for destination, weight in graph.out_neighbors(host).items():
+            assert builder.estimated_edge_weight(host, destination) >= weight
+
+    def test_memory_grows_with_sources_not_stream_length(self):
+        builder = StreamingTopTalkers(k=5, epsilon=0.01)
+        for _ in range(50):
+            builder.observe("src", "dst", 1.0)
+        cells_one_source = builder.memory_cells()
+        for _ in range(5000):
+            builder.observe("src", "dst2", 1.0)
+        assert builder.memory_cells() == cells_one_source
+
+
+class TestStreamingUnexpectedTalkers:
+    def test_indegree_estimation(self, tiny_enterprise):
+        graph = tiny_enterprise.graphs[0]
+        builder = StreamingUnexpectedTalkers(k=10)
+        builder.observe_stream(graph.edges())
+        # Spot-check a popular service node's in-degree estimate.
+        services = [n for n in graph.right_nodes if str(n).startswith("svc-")]
+        busiest = max(services, key=graph.in_degree)
+        true_degree = graph.in_degree(busiest)
+        assert builder.estimated_in_degree(busiest) == pytest.approx(
+            true_degree, rel=0.5
+        )
+
+    def test_unseen_destination_zero_degree(self):
+        builder = StreamingUnexpectedTalkers()
+        assert builder.estimated_in_degree("never-seen") == 0.0
+
+    def test_close_to_exact_ut(self, tiny_enterprise):
+        graph = tiny_enterprise.graphs[0]
+        builder = StreamingUnexpectedTalkers(k=10, epsilon=0.002)
+        builder.observe_stream(graph.edges())
+        exact = create_scheme("ut", k=10).compute_all(
+            graph, tiny_enterprise.local_hosts
+        )
+        distances = [
+            dist_jaccard(builder.signature(host), exact[host])
+            for host in tiny_enterprise.local_hosts
+        ]
+        assert sum(distances) / len(distances) < 0.25
+
+    def test_signature_prefers_novel_destinations(self):
+        builder = StreamingUnexpectedTalkers(k=1)
+        # hub: contacted by many; obscure: only by v, same volume from v.
+        for source in ("x1", "x2", "x3", "x4", "x5"):
+            builder.observe(source, "hub", 1.0)
+        builder.observe("v", "hub", 6.0)
+        builder.observe("v", "obscure", 6.0)
+        assert builder.signature("v").nodes == {"obscure"}
+
+    def test_memory_includes_indegree_sketches(self):
+        ut_builder = StreamingUnexpectedTalkers(k=5)
+        tt_builder = StreamingTopTalkers(k=5)
+        for src, dst in (("a", "b"), ("a", "c"), ("b", "c")):
+            ut_builder.observe(src, dst)
+            tt_builder.observe(src, dst)
+        assert ut_builder.memory_cells() > tt_builder.memory_cells()

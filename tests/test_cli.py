@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig3", "--dataset", "querylog", "--scale", "small"])
+        assert args.command == "fig3"
+        assert args.dataset == "querylog"
+        assert args.scale == "small"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.scale == "paper"
+        assert args.distance == "shel"
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig1" in output and "table4" in output
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--scale", "small"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 5" in output
+
+    def test_table4_small(self, capsys):
+        assert main(["table4", "--scale", "small"]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_streaming_small(self, capsys):
+        assert main(["streaming", "--scale", "small"]) == 0
+        assert "Extension X1" in capsys.readouterr().out
+
+    def test_lsh_small(self, capsys):
+        assert main(["lsh", "--scale", "small"]) == 0
+        assert "Extension X2" in capsys.readouterr().out
+
+    def test_fig1_querylog_small(self, capsys):
+        assert main(["fig1", "--dataset", "querylog", "--scale", "small"]) == 0
+        assert "Figure 1 (querylog)" in capsys.readouterr().out
+
+    def test_selection_small(self, capsys):
+        assert main(["selection", "--scale", "small"]) == 0
+        output = capsys.readouterr().out
+        assert "Scheme selection for" in output
+        assert "anomaly_detection" in output
+
+    def test_deanonymize_small(self, capsys):
+        assert main(["deanonymize", "--scale", "small"]) == 0
+        assert "De-anonymization attack" in capsys.readouterr().out

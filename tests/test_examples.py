@@ -1,0 +1,42 @@
+"""Every shipped example must run to completion.
+
+The examples are part of the public contract (README links them); this
+guard executes each one's ``main()`` in-process so API drift breaks CI
+rather than users.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_examples_directory_populated():
+    names = {path.stem for path in EXAMPLE_SCRIPTS}
+    assert "quickstart" in names
+    assert len(names) >= 7
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_SCRIPTS, ids=[path.stem for path in EXAMPLE_SCRIPTS]
+)
+def test_example_runs(path, capsys):
+    module = load_example(path)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{path.name} produced no output"

@@ -1,0 +1,161 @@
+"""Property-based tests for application-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import dist_jaccard, dist_scaled_hellinger
+from repro.core.roc import auc_from_scores, roc_from_scores
+from repro.core.scheme import create_scheme
+from repro.graph.comm_graph import CommGraph
+from repro.matching.lsh import LshIndex
+from repro.perturb.masquerade import apply_masquerade
+
+node_labels = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=5
+)
+
+edge_lists = st.lists(
+    st.tuples(node_labels, node_labels, st.integers(min_value=1, max_value=9)),
+    min_size=2,
+    max_size=30,
+)
+
+scores = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=30
+)
+
+
+class TestRocConsistency:
+    @settings(max_examples=40, deadline=None)
+    @given(positive=scores, negative=scores)
+    def test_curve_auc_equals_mann_whitney(self, positive, negative):
+        """The gridded curve's trapezoid area approximates the exact AUC."""
+        curve = roc_from_scores(positive, negative, grid_size=2001)
+        trapezoid = float(np.trapezoid(curve.tpr, curve.fpr))
+        exact = auc_from_scores(positive, negative)
+        assert curve.auc == exact
+        # Dense grid: interpolation error stays small.
+        assert abs(trapezoid - exact) < 0.02
+
+    @settings(max_examples=40, deadline=None)
+    @given(positive=scores, negative=scores)
+    def test_auc_complementary_under_swap(self, positive, negative):
+        """Swapping classes mirrors the AUC around one half."""
+        forward = auc_from_scores(positive, negative)
+        backward = auc_from_scores(negative, positive)
+        assert forward + backward == pytest.approx(1.0)
+
+
+class TestMasqueradeInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(edges=edge_lists, seed=st.integers(min_value=0, max_value=10_000))
+    def test_relabelled_graph_preserves_structure(self, edges, seed):
+        graph = CommGraph((s, d, float(w)) for s, d, w in edges)
+        nodes = graph.nodes()
+        assume(len(nodes) >= 4)
+        relabelled, plan = apply_masquerade(
+            graph, nodes=nodes[:4], seed=seed
+        )
+        # Same global shape: node/edge counts and weight multiset.
+        assert relabelled.num_nodes == graph.num_nodes
+        assert relabelled.num_edges == graph.num_edges
+        assert sorted(relabelled.edge_weights()) == pytest.approx(
+            sorted(graph.edge_weights())
+        )
+        # Mapping is a derangement of the selected nodes.
+        assert set(plan.mapping) == set(nodes[:4])
+        assert all(a != b for a, b in plan.mapping.items())
+
+    @settings(max_examples=25, deadline=None)
+    @given(edges=edge_lists, seed=st.integers(min_value=0, max_value=10_000))
+    def test_signatures_travel_with_individuals(self, edges, seed):
+        """After relabelling, the individual's signature appears under the
+        new label, not the old one (TT, set view; modulo self-exclusion,
+        which can differ because the owner changes)."""
+        graph = CommGraph((s, d, float(w)) for s, d, w in edges)
+        nodes = graph.nodes()
+        assume(len(nodes) >= 4)
+        selected = nodes[:4]
+        relabelled, plan = apply_masquerade(graph, nodes=selected, seed=seed)
+        scheme = create_scheme("tt", k=10)
+        for old_label, new_label in plan.mapping.items():
+            original = scheme.compute(graph, old_label)
+            moved = scheme.compute(relabelled, new_label)
+            # Identity only guaranteed for members untouched by the relabel
+            # map, since member labels inside P move too.
+            untouched = {
+                node for node in original.nodes if node not in plan.mapping
+            }
+            expected = {plan.mapping.get(node, node) for node in original.nodes}
+            assert untouched - {new_label} <= moved.nodes | {new_label}
+            assert moved.nodes <= expected | {old_label}
+
+
+class TestLshProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bands=st.integers(min_value=1, max_value=16),
+        rows=st.integers(min_value=1, max_value=8),
+        similarity=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_candidate_probability_bounds(self, bands, rows, similarity):
+        index = LshIndex(bands=bands, rows_per_band=rows)
+        probability = index.candidate_probability(similarity)
+        assert 0.0 <= probability <= 1.0
+        # More bands can only increase the candidate probability.
+        wider = LshIndex(bands=bands + 1, rows_per_band=rows)
+        assert wider.candidate_probability(similarity) >= probability - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        similarity_low=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        similarity_high=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_candidate_probability_monotone(self, similarity_low, similarity_high):
+        low, high = sorted((similarity_low, similarity_high))
+        index = LshIndex(bands=8, rows_per_band=4)
+        assert index.candidate_probability(low) <= index.candidate_probability(
+            high
+        ) + 1e-12
+
+
+class TestSchemeInvariantsOnRandomGraphs:
+    @settings(max_examples=20, deadline=None)
+    @given(edges=edge_lists)
+    def test_all_schemes_produce_valid_signatures(self, edges):
+        graph = CommGraph((s, d, float(w)) for s, d, w in edges)
+        for name in ("tt", "ut", "it"):
+            scheme = create_scheme(name, k=5)
+            for node in graph.nodes():
+                signature = scheme.compute(graph, node)
+                assert node not in signature
+                assert len(signature) <= 5
+                assert all(weight > 0 for _n, weight in signature)
+
+    @settings(max_examples=10, deadline=None)
+    @given(edges=edge_lists)
+    def test_rwr_signatures_valid(self, edges):
+        graph = CommGraph((s, d, float(w)) for s, d, w in edges)
+        scheme = create_scheme("rwr", k=5, reset_probability=0.2, max_hops=3)
+        batch = scheme.compute_all(graph)
+        for node, signature in batch.items():
+            assert node not in signature
+            assert len(signature) <= 5
+
+    @settings(max_examples=15, deadline=None)
+    @given(edges=edge_lists)
+    def test_properties_in_unit_interval(self, edges):
+        from repro.core.properties import persistence, robustness, uniqueness
+
+        graph = CommGraph((s, d, float(w)) for s, d, w in edges)
+        nodes = graph.nodes()
+        assume(len(nodes) >= 2)
+        scheme = create_scheme("tt", k=5)
+        sig_a = scheme.compute(graph, nodes[0])
+        sig_b = scheme.compute(graph, nodes[1])
+        for distance in (dist_jaccard, dist_scaled_hellinger):
+            assert 0.0 <= persistence(sig_a, sig_b, distance) <= 1.0
+            assert 0.0 <= uniqueness(sig_a, sig_b, distance) <= 1.0
+            assert 0.0 <= robustness(sig_a, sig_b, distance) <= 1.0

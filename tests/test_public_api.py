@@ -1,0 +1,61 @@
+"""The public API surface: everything in ``repro.__all__`` is importable
+and the end-to-end quickstart path works through top-level names only."""
+
+import repro
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        major, *_rest = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_exception_hierarchy(self):
+        for name in (
+            "GraphError",
+            "SchemeError",
+            "DistanceError",
+            "PerturbationError",
+            "DatasetError",
+            "StreamingError",
+            "MatchingError",
+            "ExperimentError",
+        ):
+            assert issubclass(getattr(repro, name), repro.ReproError)
+
+
+class TestEndToEnd:
+    def test_quickstart_path(self):
+        g1 = repro.CommGraph([("a", "b", 5.0), ("a", "c", 2.0), ("b", "c", 1.0)])
+        g2 = repro.CommGraph([("a", "b", 4.0), ("a", "d", 1.0), ("b", "c", 1.0)])
+        scheme = repro.create_scheme("tt", k=10)
+        distance = repro.get_distance("shel")
+        value = repro.persistence(
+            scheme.compute(g1, "a"), scheme.compute(g2, "a"), distance
+        )
+        assert 0.0 <= value <= 1.0
+
+    def test_docstring_example_runs(self):
+        """The module docstring's code block must stay executable."""
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+    def test_generator_to_application_path(self):
+        dataset = repro.EnterpriseFlowGenerator(
+            num_hosts=20, num_external=200, num_services=8, num_windows=2,
+            num_alias_users=3, seed=77,
+        ).generate()
+        detector = repro.MultiusageDetector(
+            repro.create_scheme("tt", k=10), repro.get_distance("shel")
+        )
+        result = detector.evaluate(
+            dataset.graphs[0],
+            dataset.positives_by_query(),
+            population=dataset.local_hosts,
+        )
+        assert result.mean_auc > 0.5
