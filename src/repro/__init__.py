@@ -20,12 +20,15 @@ paper-vs-measured reproduction record.
 """
 
 from repro.exceptions import (
+    CheckpointError,
     DatasetError,
     DistanceError,
+    ErrorBudgetExceeded,
     ExperimentError,
     GraphError,
     MatchingError,
     PerturbationError,
+    PipelineError,
     ReproError,
     SchemeError,
     StreamingError,
@@ -35,6 +38,8 @@ from repro.graph import (
     CommGraph,
     EdgeRecord,
     GraphSequence,
+    ReadReport,
+    RejectedRow,
     aggregate_records,
     combine_with_decay,
     graph_from_edges,
@@ -97,6 +102,17 @@ from repro.streaming import (
     StreamingUnexpectedTalkers,
 )
 from repro.matching import ApproxSignatureIndex, MinHasher, SignatureIndex, WeightedMinHasher
+from repro.pipeline import (
+    CheckpointStore,
+    CsvRecordSource,
+    IterableRecordSource,
+    PipelineConfig,
+    PipelineResult,
+    RetryPolicy,
+    RunReport,
+    SignaturePipeline,
+    mean_topk_overlap,
+)
 
 __version__ = "1.0.0"
 
@@ -111,10 +127,15 @@ __all__ = [
     "StreamingError",
     "MatchingError",
     "ExperimentError",
+    "PipelineError",
+    "CheckpointError",
+    "ErrorBudgetExceeded",
     # graph substrate
     "CommGraph",
     "BipartiteGraph",
     "EdgeRecord",
+    "ReadReport",
+    "RejectedRow",
     "GraphSequence",
     "aggregate_records",
     "graph_from_edges",
@@ -178,5 +199,15 @@ __all__ = [
     "ApproxSignatureIndex",
     "MinHasher",
     "WeightedMinHasher",
+    # fault-tolerant pipeline
+    "SignaturePipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "CheckpointStore",
+    "RetryPolicy",
+    "RunReport",
+    "CsvRecordSource",
+    "IterableRecordSource",
+    "mean_topk_overlap",
     "__version__",
 ]

@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any paper table or figure.
+"""Command-line interface: regenerate any paper table or figure, or run the
+fault-tolerant signature pipeline.
 
 Examples::
 
@@ -6,6 +7,9 @@ Examples::
     commgraph-signatures fig3 --dataset network
     commgraph-signatures fig6 --scale small
     commgraph-signatures all --scale paper
+    commgraph-signatures pipeline run --input trace.csv --checkpoint-dir ckpt \\
+        --errors quarantine --error-budget 0.05
+    commgraph-signatures pipeline resume --input trace.csv --checkpoint-dir ckpt
 """
 
 from __future__ import annotations
@@ -155,6 +159,37 @@ _COMMANDS: Dict[str, Callable[[ExperimentConfig, argparse.Namespace], str]] = {
 }
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> str:
+    """``pipeline run`` / ``pipeline resume``: the fault-tolerant pipeline."""
+    from repro.pipeline import (
+        CheckpointStore,
+        CsvRecordSource,
+        PipelineConfig,
+        RetryPolicy,
+        SignaturePipeline,
+    )
+
+    source = CsvRecordSource(
+        args.input, errors=args.errors, quarantine_path=args.quarantine
+    )
+    store = CheckpointStore(args.checkpoint_dir)
+    config = PipelineConfig(
+        scheme=args.scheme,
+        k=args.k,
+        num_windows=args.num_windows,
+        window_length=args.window_length,
+        bipartite=args.bipartite,
+        error_budget=args.error_budget,
+        max_memory_cells=args.memory_budget,
+        window_deadline=args.window_deadline,
+    )
+    pipeline = SignaturePipeline(
+        source, store, config, retry=RetryPolicy(max_attempts=args.max_attempts)
+    )
+    result = pipeline.run(resume=args.action == "resume")
+    return result.report.summary()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -163,8 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=sorted(_COMMANDS) + ["all", "list"],
-        help="which experiment to run ('all' runs everything, 'list' shows options)",
+        choices=sorted(_COMMANDS) + ["all", "list", "pipeline"],
+        help="which experiment to run ('all' runs everything, 'list' shows "
+        "options, 'pipeline' runs the fault-tolerant signature pipeline)",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        choices=("run", "resume"),
+        default="run",
+        help="pipeline action: 'run' starts fresh, 'resume' replays checkpoints",
     )
     parser.add_argument(
         "--scale",
@@ -184,14 +227,74 @@ def build_parser() -> argparse.ArgumentParser:
         default="shel",
         help="distance function for fig2",
     )
+    pipeline_group = parser.add_argument_group("pipeline options")
+    pipeline_group.add_argument("--input", help="edge-record CSV trace to ingest")
+    pipeline_group.add_argument(
+        "--checkpoint-dir", help="directory for per-window checkpoints"
+    )
+    pipeline_group.add_argument(
+        "--scheme", default="tt", help="signature scheme name (default: tt)"
+    )
+    pipeline_group.add_argument(
+        "--k", type=int, default=10, help="signature length (default: 10)"
+    )
+    pipeline_group.add_argument(
+        "--num-windows", type=int, default=None, help="equal-width window count"
+    )
+    pipeline_group.add_argument(
+        "--window-length", type=float, default=None, help="fixed window duration"
+    )
+    pipeline_group.add_argument(
+        "--bipartite", action="store_true", help="build bipartite windows"
+    )
+    pipeline_group.add_argument(
+        "--errors",
+        choices=("strict", "skip", "quarantine"),
+        default="strict",
+        help="per-record error policy (default: strict)",
+    )
+    pipeline_group.add_argument(
+        "--quarantine", default=None, help="CSV path for quarantined rows"
+    )
+    pipeline_group.add_argument(
+        "--error-budget",
+        type=float,
+        default=None,
+        help="max rejected rows: fraction if < 1, absolute count otherwise",
+    )
+    pipeline_group.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        help="max graph cells per window before degrading to sketches",
+    )
+    pipeline_group.add_argument(
+        "--window-deadline",
+        type=float,
+        default=None,
+        help="seconds per window before degrading to sketches",
+    )
+    pipeline_group.add_argument(
+        "--max-attempts",
+        type=int,
+        default=4,
+        help="retry attempts for transient IO failures (default: 4)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         print("available experiments:", ", ".join(sorted(_COMMANDS)))
+        print("pipeline commands: pipeline run, pipeline resume")
+        return 0
+    if args.command == "pipeline":
+        if not args.input or not args.checkpoint_dir:
+            parser.error("pipeline requires --input and --checkpoint-dir")
+        print(_cmd_pipeline(args))
         return 0
     config = ExperimentConfig(scale=args.scale)
     commands = sorted(_COMMANDS) if args.command == "all" else [args.command]

@@ -20,6 +20,7 @@ from typing import Dict, Mapping
 
 from repro.core.signature import Signature
 from repro.exceptions import SchemeError
+from repro.ioutils import atomic_write
 from repro.types import NodeId
 
 #: Format version written into every file.
@@ -46,7 +47,11 @@ def signature_from_dict(owner: NodeId, payload: Mapping[str, float]) -> Signatur
 def save_signatures(
     signatures: Mapping[NodeId, Signature], path: str | Path
 ) -> int:
-    """Write a signature map to ``path`` as JSON; returns signatures written."""
+    """Write a signature map to ``path`` as JSON; returns signatures written.
+
+    The write is atomic (temp file + fsync + rename), so a crash mid-write
+    never leaves a truncated signature file behind.
+    """
     document = {"version": FORMAT_VERSION, "signatures": {}}
     for owner, signature in signatures.items():
         if not isinstance(owner, str):
@@ -58,7 +63,7 @@ def save_signatures(
                 f"map key {owner!r} does not match signature owner {signature.owner!r}"
             )
         document["signatures"][owner] = signature_to_dict(signature)
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_write(path, "w") as handle:
         json.dump(document, handle, sort_keys=True)
     return len(document["signatures"])
 

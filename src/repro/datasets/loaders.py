@@ -22,7 +22,10 @@ def save_graph_sequence_csv(sequence: GraphSequence, path: str | Path) -> int:
 
     Each edge of window ``t`` becomes a record with ``time = t``.  Isolated
     nodes are not representable in the edge format and are dropped (a
-    documented limitation of CSV interchange).  Returns records written.
+    documented limitation of CSV interchange).  The write is atomic (it
+    delegates to :func:`~repro.graph.stream.write_edge_records`), so a crash
+    mid-save never leaves a half-written sequence file.  Returns records
+    written.
     """
     records: List[EdgeRecord] = []
     for window_index, graph in enumerate(sequence.graphs):
@@ -33,13 +36,17 @@ def save_graph_sequence_csv(sequence: GraphSequence, path: str | Path) -> int:
     return write_edge_records(records, path)
 
 
-def load_graph_sequence_csv(path: str | Path, bipartite: bool = False) -> GraphSequence:
+def load_graph_sequence_csv(
+    path: str | Path, bipartite: bool = False, errors: str = "strict"
+) -> GraphSequence:
     """Load a :class:`GraphSequence` saved by :func:`save_graph_sequence_csv`.
 
     Window indices must be non-negative integers stored in ``time``; gaps
-    produce empty windows so indices stay aligned.
+    produce empty windows so indices stay aligned.  ``errors`` is forwarded
+    to :func:`~repro.graph.stream.read_edge_records`, so dirty interchange
+    files can be loaded with ``errors="skip"`` instead of aborting.
     """
-    records = read_edge_records(path)
+    records = read_edge_records(path, errors=errors)
     if not records:
         raise DatasetError(f"{path}: no records found")
     indices = [record.time for record in records]

@@ -76,3 +76,28 @@ class MatchingError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment is configured inconsistently."""
+
+
+class PipelineError(ReproError):
+    """Raised for fault-tolerant pipeline configuration or execution errors."""
+
+
+class CheckpointError(PipelineError):
+    """Raised when checkpoint state is unusable (corrupt manifest, bad hash)."""
+
+
+class ErrorBudgetExceeded(PipelineError):
+    """Raised when rejected input records exceed the configured error budget.
+
+    Carries the observed counts so operators can report how far over budget
+    the input was.
+    """
+
+    def __init__(self, rejected: int, total: int, budget: float) -> None:
+        super().__init__(
+            f"{rejected} of {total} records rejected, exceeding the error "
+            f"budget of {budget}"
+        )
+        self.rejected = rejected
+        self.total = total
+        self.budget = budget

@@ -8,7 +8,14 @@ streams, window splitting and summary statistics.
 
 from repro.graph.comm_graph import CommGraph
 from repro.graph.bipartite import BipartiteGraph
-from repro.graph.stream import EdgeRecord, read_edge_records, write_edge_records
+from repro.graph.stream import (
+    EdgeRecord,
+    ReadReport,
+    RejectedRow,
+    read_edge_records,
+    write_edge_records,
+    write_quarantine_rows,
+)
 from repro.graph.builders import (
     aggregate_records,
     combine_with_decay,
@@ -21,8 +28,11 @@ __all__ = [
     "CommGraph",
     "BipartiteGraph",
     "EdgeRecord",
+    "ReadReport",
+    "RejectedRow",
     "read_edge_records",
     "write_edge_records",
+    "write_quarantine_rows",
     "aggregate_records",
     "combine_with_decay",
     "graph_from_edges",

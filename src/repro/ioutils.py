@@ -1,0 +1,74 @@
+"""Durable file I/O primitives shared by interchange and checkpoint writers.
+
+A crash between ``open`` and ``close`` of a plain ``open(path, "w")`` can
+leave a truncated file that silently poisons the next run.  Every writer in
+this library that persists state other code later trusts goes through
+:func:`atomic_write`: the content is written to ``path + ".tmp"``, flushed
+and fsynced, then moved over the destination with :func:`os.replace` (atomic
+on POSIX and Windows).  Readers therefore only ever observe the old complete
+file or the new complete file, never a torn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+#: Suffix appended to the destination while the new content is being written.
+TMP_SUFFIX = ".tmp"
+
+
+@contextmanager
+def atomic_write(
+    path: str | Path,
+    mode: str = "w",
+    encoding: str | None = "utf-8",
+    newline: str | None = None,
+) -> Iterator[IO]:
+    """Context manager writing ``path`` atomically via a temp file + rename.
+
+    The handle yielded writes to ``path + ".tmp"``.  On clean exit the temp
+    file is flushed, fsynced and renamed over ``path``; on error it is
+    removed and the original file (if any) is left untouched.
+
+    ``mode`` must be a write mode (``"w"`` or ``"wb"``); binary mode ignores
+    ``encoding``/``newline``.
+    """
+    if "w" not in mode:
+        raise ValueError(f"atomic_write requires a write mode, got {mode!r}")
+    destination = os.fspath(path)
+    tmp_path = destination + TMP_SUFFIX
+    if "b" in mode:
+        handle = open(tmp_path, mode)
+    else:
+        handle = open(tmp_path, mode, encoding=encoding, newline=newline)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(tmp_path, destination)
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def file_sha256(path: str | Path) -> str:
+    """Hex SHA-256 of a file's content (used by checkpoint manifests)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def content_sha256(text: str) -> str:
+    """Hex SHA-256 of a string (UTF-8), matching :func:`file_sha256` on disk."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,216 @@
+"""Atomic per-window checkpoints with a hash-verified manifest.
+
+Each completed window is persisted as one JSON file written atomically
+(temp file + fsync + rename, via :func:`repro.ioutils.atomic_write`), and a
+``manifest.json`` — itself written atomically — records the ordered list of
+completed windows with the SHA-256 of each file's content.  Resume therefore
+never trusts a file blindly: :meth:`CheckpointStore.scan` re-hashes every
+manifest entry and returns the longest verified prefix, so a corrupted or
+truncated checkpoint (disk fault, partial copy) silently degrades to "redo
+that window" rather than poisoning the resumed run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.signature import Signature
+from repro.core.signature_io import signature_from_dict, signature_to_dict
+from repro.exceptions import CheckpointError
+from repro.ioutils import atomic_write, content_sha256, file_sha256
+
+#: Format version stamped into window files and the manifest.
+CHECKPOINT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class WindowEntry:
+    """One manifest row: a completed window and its content hash."""
+
+    window: int
+    file: str
+    sha256: str
+    mode: str = "exact"
+
+
+@dataclass
+class CheckpointScan:
+    """Result of validating a checkpoint directory.
+
+    ``good`` is the longest contiguous prefix of windows whose files exist
+    and hash-verify; ``issues`` explains anything that stopped the scan
+    early (missing file, hash mismatch, unreadable manifest).
+    """
+
+    good: List[WindowEntry] = field(default_factory=list)
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def next_window(self) -> int:
+        """Index of the first window that still needs computing."""
+        return len(self.good)
+
+
+class CheckpointStore:
+    """Durable per-window signature storage under one directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def window_path(self, window: int) -> Path:
+        return self.directory / f"window-{window:04d}.json"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save_window(
+        self,
+        window: int,
+        signatures: Mapping[str, Signature],
+        meta: Mapping | None = None,
+        mode: str = "exact",
+    ) -> WindowEntry:
+        """Atomically persist one window and extend the manifest.
+
+        ``window`` must be the next unwritten index, or an already-written
+        index (in which case it is overwritten and any later entries are
+        discarded — the resume semantics of "recompute from here").
+        """
+        entries = self._read_manifest_entries(strict=True)
+        if window > len(entries):
+            raise CheckpointError(
+                f"cannot save window {window}: only {len(entries)} windows "
+                f"checkpointed so far (windows are checkpointed in order)"
+            )
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "window": window,
+            "mode": mode,
+            "meta": dict(meta or {}),
+            "signatures": {
+                owner: signature_to_dict(signature)
+                for owner, signature in signatures.items()
+            },
+        }
+        serialized = json.dumps(payload, sort_keys=True)
+        path = self.window_path(window)
+        with atomic_write(path, "w") as handle:
+            handle.write(serialized)
+        entry = WindowEntry(
+            window=window, file=path.name, sha256=content_sha256(serialized), mode=mode
+        )
+        entries = entries[:window] + [entry]
+        self._write_manifest(entries)
+        return entry
+
+    def _write_manifest(self, entries: List[WindowEntry]) -> None:
+        document = {
+            "version": CHECKPOINT_VERSION,
+            "entries": [
+                {
+                    "window": entry.window,
+                    "file": entry.file,
+                    "sha256": entry.sha256,
+                    "mode": entry.mode,
+                }
+                for entry in entries
+            ],
+        }
+        with atomic_write(self.manifest_path, "w") as handle:
+            json.dump(document, handle, sort_keys=True)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _read_manifest_entries(self, strict: bool) -> List[WindowEntry]:
+        if not self.manifest_path.exists():
+            return []
+        try:
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                document = json.load(handle)
+            entries = [
+                WindowEntry(
+                    window=int(item["window"]),
+                    file=str(item["file"]),
+                    sha256=str(item["sha256"]),
+                    mode=str(item.get("mode", "exact")),
+                )
+                for item in document["entries"]
+            ]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if strict:
+                raise CheckpointError(
+                    f"unreadable checkpoint manifest {self.manifest_path}: {exc}"
+                ) from exc
+            return []
+        return entries
+
+    def scan(self) -> CheckpointScan:
+        """Validate the directory and return the longest good window prefix."""
+        scan = CheckpointScan()
+        try:
+            entries = self._read_manifest_entries(strict=True)
+        except CheckpointError as exc:
+            scan.issues.append(str(exc))
+            return scan
+        for position, entry in enumerate(entries):
+            if entry.window != position:
+                scan.issues.append(
+                    f"manifest entry {position} names window {entry.window}; "
+                    f"discarding it and later windows"
+                )
+                break
+            path = self.directory / entry.file
+            if not path.exists():
+                scan.issues.append(f"checkpoint file {entry.file} missing")
+                break
+            if file_sha256(path) != entry.sha256:
+                scan.issues.append(
+                    f"checkpoint file {entry.file} failed hash verification"
+                )
+                break
+            scan.good.append(entry)
+        return scan
+
+    def load_window(self, window: int) -> Tuple[Dict[str, Signature], Dict]:
+        """Load one window's signatures and metadata, verifying structure."""
+        path = self.window_path(window)
+        if not path.exists():
+            raise CheckpointError(f"no checkpoint for window {window} at {path}")
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("version") != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"{path}: unsupported checkpoint version {payload.get('version')!r}"
+                )
+            signatures = {
+                owner: signature_from_dict(owner, mapping)
+                for owner, mapping in payload["signatures"].items()
+            }
+            return signatures, dict(payload.get("meta", {}))
+        except CheckpointError:
+            raise
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+
+    def clear(self) -> None:
+        """Remove every checkpoint artefact (fresh-run semantics)."""
+        for path in self.directory.glob("window-*.json"):
+            os.unlink(path)
+        if self.manifest_path.exists():
+            os.unlink(self.manifest_path)

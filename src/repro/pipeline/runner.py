@@ -1,0 +1,414 @@
+"""The fault-tolerant windowed-signature pipeline.
+
+:class:`SignaturePipeline` turns a re-readable record source into one
+signature map per time window, surviving the faults the rest of this
+package models:
+
+* **Dirty input** — the source's error policy (strict/skip/quarantine)
+  plus a configurable *error budget* that trips the run to
+  :class:`~repro.exceptions.ErrorBudgetExceeded` when too many rows are
+  rejected (a trace that is 30% garbage should fail loudly, not produce
+  quietly wrong signatures).
+* **Transient IO failures** — source reads and checkpoint writes are
+  retried with exponential backoff + jitter under a deadline
+  (:mod:`repro.pipeline.retry`).
+* **Crashes** — every completed window is checkpointed atomically
+  (:mod:`repro.pipeline.checkpoint`); ``run(resume=True)`` replays the
+  verified checkpoint prefix and recomputes only the remainder, and the
+  deterministic computation makes the resumed output byte-identical to an
+  uninterrupted run.
+* **Resource pressure** — when a window exceeds the memory budget (graph
+  cells) or the per-window deadline, the pipeline *degrades gracefully*
+  from the exact scheme to the one-pass streaming sketches of
+  :mod:`repro.streaming` (Section VI), recording the degradation in the
+  run report instead of failing or silently slowing down.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.scheme import SignatureScheme, create_scheme
+from repro.core.signature import Signature
+from repro.exceptions import ErrorBudgetExceeded, PipelineError
+from repro.graph.builders import aggregate_records
+from repro.graph.comm_graph import CommGraph
+from repro.graph.stream import EdgeRecord, ReadReport
+from repro.pipeline.checkpoint import CheckpointStore
+from repro.pipeline.report import (
+    MODE_CACHED,
+    MODE_DEGRADED,
+    MODE_EXACT,
+    RunReport,
+    WindowReport,
+)
+from repro.pipeline.retry import RetryPolicy, call_with_retry
+from repro.pipeline.sources import RecordSource
+from repro.streaming.stream_schemes import (
+    StreamingTopTalkers,
+    StreamingUnexpectedTalkers,
+)
+
+#: Hook signature: called after each window is checkpointed.
+WindowHook = Callable[[int, WindowReport], None]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of a pipeline run.
+
+    Windowing: give exactly one of ``num_windows`` / ``window_length``, or
+    neither — in which case record times must already hold non-negative
+    integer window indices (the interchange convention of
+    :mod:`repro.datasets.loaders`).
+
+    ``error_budget`` bounds rejected rows: a value below 1.0 is a fraction
+    of examined rows, a value >= 1 an absolute count; ``None`` disables the
+    check.  ``max_memory_cells`` (graph nodes + edges per window) and
+    ``window_deadline`` (seconds per window) are the graceful-degradation
+    triggers; exceeding either routes the window through the streaming
+    sketches instead of the exact scheme.
+    """
+
+    scheme: str = "tt"
+    k: int = 10
+    scheme_params: Dict = field(default_factory=dict)
+    num_windows: Optional[int] = None
+    window_length: Optional[float] = None
+    bipartite: bool = False
+    error_budget: Optional[float] = None
+    max_memory_cells: Optional[int] = None
+    window_deadline: Optional[float] = None
+    streaming_epsilon: float = 0.005
+    streaming_delta: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise PipelineError(f"signature length k must be >= 1, got {self.k}")
+        if self.num_windows is not None and self.window_length is not None:
+            raise PipelineError("give at most one of num_windows / window_length")
+        if self.num_windows is not None and self.num_windows < 1:
+            raise PipelineError(f"num_windows must be >= 1, got {self.num_windows}")
+        if self.window_length is not None and self.window_length <= 0:
+            raise PipelineError(
+                f"window_length must be positive, got {self.window_length}"
+            )
+        if self.error_budget is not None and self.error_budget < 0:
+            raise PipelineError(
+                f"error_budget must be non-negative, got {self.error_budget}"
+            )
+        if self.max_memory_cells is not None and self.max_memory_cells < 1:
+            raise PipelineError(
+                f"max_memory_cells must be >= 1, got {self.max_memory_cells}"
+            )
+        if self.window_deadline is not None and self.window_deadline <= 0:
+            raise PipelineError(
+                f"window_deadline must be positive, got {self.window_deadline}"
+            )
+
+
+@dataclass
+class PipelineResult:
+    """Final signatures per window plus the full provenance report."""
+
+    report: RunReport
+    signatures: List[Dict[str, Signature]] = field(default_factory=list)
+
+
+class SignaturePipeline:
+    """Fault-tolerant source -> windows -> signatures -> checkpoints runner.
+
+    ``hooks`` are called as ``hook(window_index, window_report)`` after each
+    window is durably checkpointed — the natural place for progress
+    callbacks, and where the fault harness's crash injector detonates.
+    ``clock`` and ``sleep`` are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        source: RecordSource,
+        store: CheckpointStore,
+        config: PipelineConfig | None = None,
+        *,
+        retry: RetryPolicy | None = None,
+        hooks: Iterable[WindowHook] = (),
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.source = source
+        self.store = store
+        self.config = config or PipelineConfig()
+        self.retry = retry or RetryPolicy()
+        self.hooks: Tuple[WindowHook, ...] = tuple(hooks)
+        self._clock = clock
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def run(self, resume: bool = False) -> PipelineResult:
+        """Execute the pipeline; with ``resume=True`` replay good checkpoints.
+
+        A fresh run (``resume=False``) clears any prior checkpoint state so
+        the directory always reflects exactly one run.
+        """
+        report = RunReport(
+            source=self.source.describe(),
+            scheme=self.config.scheme,
+            error_policy=getattr(self.source, "errors", "strict"),
+        )
+        result = PipelineResult(report=report)
+
+        read_report = self._read_source(report)
+        report.records_accepted = read_report.num_accepted
+        report.records_rejected = read_report.num_rejected
+        self._enforce_error_budget(read_report)
+        buckets = self._split_into_windows(read_report)
+
+        start_window = 0
+        if resume:
+            start_window = self._replay_checkpoints(len(buckets), report, result)
+        else:
+            self.store.clear()
+
+        scheme = create_scheme(
+            self.config.scheme, k=self.config.k, **self.config.scheme_params
+        )
+        for window in range(start_window, len(buckets)):
+            window_report, signatures = self._process_window(
+                window, buckets[window], scheme, report
+            )
+            report.windows.append(window_report)
+            result.signatures.append(signatures)
+            for hook in self.hooks:
+                hook(window, window_report)
+        return result
+
+    def resume(self) -> PipelineResult:
+        """Shorthand for ``run(resume=True)``."""
+        return self.run(resume=True)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _read_source(self, report: RunReport) -> ReadReport:
+        def count_retry(attempt: int, error: BaseException, delay: float) -> None:
+            report.retries += 1
+            report.issues.append(
+                f"source read attempt {attempt} failed ({error}); retrying"
+            )
+
+        return call_with_retry(
+            self.source.read,
+            self.retry,
+            sleep=self._sleep,
+            clock=self._clock,
+            rng=self.config.seed,
+            on_retry=count_retry,
+        )
+
+    def _enforce_error_budget(self, read_report: ReadReport) -> None:
+        budget = self.config.error_budget
+        if budget is None or not read_report.rejected:
+            return
+        if budget < 1.0:
+            over = read_report.rejected_fraction() > budget
+        else:
+            over = read_report.num_rejected > budget
+        if over:
+            raise ErrorBudgetExceeded(
+                read_report.num_rejected, read_report.num_seen, budget
+            )
+
+    def _split_into_windows(self, records: Sequence[EdgeRecord]) -> List[List[EdgeRecord]]:
+        if not records:
+            return []
+        config = self.config
+        times = [record.time for record in records]
+        start, end = min(times), max(times)
+        if config.num_windows is not None or config.window_length is not None:
+            span = end - start
+            if config.num_windows is not None:
+                count = config.num_windows
+                width = span / count if span > 0 else 1.0
+            else:
+                width = float(config.window_length)  # type: ignore[arg-type]
+                count = max(1, math.ceil(span / width)) if span > 0 else 1
+            buckets: List[List[EdgeRecord]] = [[] for _ in range(count)]
+            for record in records:
+                index = int((record.time - start) / width) if width > 0 else 0
+                buckets[min(index, count - 1)].append(record)
+            return buckets
+        # Interchange convention: times are integer window indices.
+        if any(t != int(t) or t < 0 for t in times):
+            raise PipelineError(
+                "without num_windows/window_length, record times must be "
+                "non-negative integer window indices"
+            )
+        buckets = [[] for _ in range(int(end) + 1)]
+        for record in records:
+            buckets[int(record.time)].append(record)
+        return buckets
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def _replay_checkpoints(
+        self, num_windows: int, report: RunReport, result: PipelineResult
+    ) -> int:
+        scan = self.store.scan()
+        report.issues.extend(scan.issues)
+        good = scan.good[:num_windows]
+        for entry in good:
+            signatures, meta = self.store.load_window(entry.window)
+            report.windows.append(
+                WindowReport(
+                    window=entry.window,
+                    mode=MODE_CACHED,
+                    num_records=int(meta.get("num_records", 0)),
+                    num_nodes=int(meta.get("num_nodes", 0)),
+                    num_edges=int(meta.get("num_edges", 0)),
+                    num_signatures=len(signatures),
+                    reason=f"replayed from checkpoint ({entry.mode})",
+                    checkpoint_file=entry.file,
+                    sha256=entry.sha256,
+                )
+            )
+            result.signatures.append(signatures)
+        if good:
+            report.resumed_from = len(good)
+        return len(good)
+
+    # ------------------------------------------------------------------
+    # Per-window computation
+    # ------------------------------------------------------------------
+    def _process_window(
+        self,
+        window: int,
+        records: List[EdgeRecord],
+        scheme: SignatureScheme,
+        report: RunReport,
+    ) -> Tuple[WindowReport, Dict[str, Signature]]:
+        started = self._clock()
+        # Canonicalise arrival order: records are a multiset per window, but
+        # float aggregation is order-sensitive, so sorting makes the output
+        # invariant to out-of-order delivery (and byte-stable across resumes).
+        records = sorted(records)
+        graph = aggregate_records(records, bipartite=self.config.bipartite)
+        mode, reason = MODE_EXACT, ""
+
+        cells = graph.num_nodes + graph.num_edges
+        if (
+            self.config.max_memory_cells is not None
+            and cells > self.config.max_memory_cells
+        ):
+            mode = MODE_DEGRADED
+            reason = (
+                f"memory budget: {cells} graph cells > "
+                f"{self.config.max_memory_cells}"
+            )
+
+        signatures: Dict[str, Signature] = {}
+        if mode == MODE_EXACT:
+            exact = self._compute_exact(graph, scheme, started)
+            if exact is None:
+                mode = MODE_DEGRADED
+                reason = (
+                    f"deadline: window exceeded {self.config.window_deadline}s "
+                    f"during exact computation"
+                )
+            else:
+                signatures = exact
+        if mode == MODE_DEGRADED:
+            signatures = self._compute_degraded(records)
+            if self.config.scheme not in ("tt", "ut"):
+                reason += (
+                    f"; streaming fallback approximates 'tt', not "
+                    f"{self.config.scheme!r}"
+                )
+
+        meta = {
+            "num_records": len(records),
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "reason": reason,
+        }
+        entry = self._save_window(window, signatures, meta, mode, report)
+        return (
+            WindowReport(
+                window=window,
+                mode=mode,
+                num_records=len(records),
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                num_signatures=len(signatures),
+                reason=reason,
+                checkpoint_file=entry.file,
+                sha256=entry.sha256,
+                elapsed=self._clock() - started,
+            ),
+            signatures,
+        )
+
+    def _population(self, graph: CommGraph) -> List:
+        """Owners to compute signatures for: nodes that sent anything."""
+        return [node for node in graph.nodes() if graph.out_strength(node) > 0]
+
+    def _compute_exact(
+        self, graph: CommGraph, scheme: SignatureScheme, started: float
+    ) -> Optional[Dict[str, Signature]]:
+        """Per-node exact signatures, or ``None`` if the deadline tripped."""
+        deadline = self.config.window_deadline
+        signatures: Dict[str, Signature] = {}
+        for node in self._population(graph):
+            if deadline is not None and self._clock() - started > deadline:
+                return None
+            signatures[str(node)] = scheme.compute(graph, node)
+        return signatures
+
+    def _compute_degraded(self, records: List[EdgeRecord]) -> Dict[str, Signature]:
+        """One-pass sketched signatures for the window (Section VI path)."""
+        if self.config.scheme == "ut":
+            builder: StreamingTopTalkers = StreamingUnexpectedTalkers(
+                k=self.config.k,
+                epsilon=self.config.streaming_epsilon,
+                delta=self.config.streaming_delta,
+                seed=self.config.seed,
+            )
+        else:
+            builder = StreamingTopTalkers(
+                k=self.config.k,
+                epsilon=self.config.streaming_epsilon,
+                delta=self.config.streaming_delta,
+                seed=self.config.seed,
+            )
+        builder.observe_records(records)
+        return {str(source): builder.signature(source) for source in builder.sources}
+
+    def _save_window(
+        self,
+        window: int,
+        signatures: Dict[str, Signature],
+        meta: Dict,
+        mode: str,
+        report: RunReport,
+    ):
+        def count_retry(attempt: int, error: BaseException, delay: float) -> None:
+            report.retries += 1
+            report.issues.append(
+                f"checkpoint write for window {window} attempt {attempt} "
+                f"failed ({error}); retrying"
+            )
+
+        return call_with_retry(
+            lambda: self.store.save_window(window, signatures, meta, mode=mode),
+            self.retry,
+            sleep=self._sleep,
+            clock=self._clock,
+            rng=self.config.seed + window + 1,
+            on_retry=count_retry,
+        )

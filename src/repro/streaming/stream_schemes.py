@@ -83,6 +83,16 @@ class StreamingTopTalkers:
         for src, dst, weight in stream:
             self.observe(src, dst, weight)
 
+    def observe_records(self, records: Iterable) -> None:
+        """Process :class:`~repro.graph.stream.EdgeRecord` objects.
+
+        Duck-typed (anything with ``src``/``dst``/``weight`` works) so the
+        sketches stay import-light; this is the entry point the
+        fault-tolerant pipeline's degraded path uses.
+        """
+        for record in records:
+            self.observe(record.src, record.dst, record.weight)
+
     # ------------------------------------------------------------------
     def estimated_edge_weight(self, src: NodeId, dst: NodeId) -> float:
         """CM estimate of ``C[src, dst]`` (0 when the source is unknown)."""

@@ -83,3 +83,91 @@ class TestCsvRoundTrip:
         path.write_text("time,src,dst,weight\n1,a,b,1\n\n2,c,d,2\n")
         loaded = read_edge_records(path)
         assert len(loaded) == 2
+
+
+class TestErrorPolicies:
+    def dirty_csv(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        path.write_text(
+            "time,src,dst,weight\n"
+            "1,a,b,1\n"
+            "bad-time,c,d,1\n"
+            "2,e,f\n"
+            "3,g,h,-4\n"
+            "4,i,j,2\n"
+        )
+        return path
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        path = self.dirty_csv(tmp_path)
+        with pytest.raises(DatasetError):
+            read_edge_records(path, errors="lenient")
+
+    def test_strict_is_default_and_raises(self, tmp_path):
+        path = self.dirty_csv(tmp_path)
+        with pytest.raises(DatasetError):
+            read_edge_records(path)
+
+    def test_skip_collects_rejections_with_reasons(self, tmp_path):
+        path = self.dirty_csv(tmp_path)
+        report = read_edge_records(path, errors="skip")
+        assert len(report) == 2
+        assert report.num_rejected == 3
+        assert [item.line_number for item in report.rejected] == [3, 4, 5]
+        reasons = " / ".join(item.reason for item in report.rejected)
+        assert "columns" in reasons and "non-negative" in reasons
+
+    def test_report_is_list_compatible(self, tmp_path):
+        path = self.dirty_csv(tmp_path)
+        report = read_edge_records(path, errors="skip")
+        assert isinstance(report, list)
+        assert report == [
+            EdgeRecord(time=1.0, src="a", dst="b", weight=1.0),
+            EdgeRecord(time=4.0, src="i", dst="j", weight=2.0),
+        ]
+        assert report.rejected_fraction() == pytest.approx(3 / 5)
+
+    def test_quarantine_writes_rejected_rows(self, tmp_path):
+        path = self.dirty_csv(tmp_path)
+        quarantine = tmp_path / "quarantine.csv"
+        report = read_edge_records(path, errors="quarantine", quarantine_path=quarantine)
+        assert report.num_rejected == 3
+        text = quarantine.read_text()
+        assert "line_number,reason,raw_row" in text
+        assert "bad-time" in text
+
+    def test_clean_file_reports_zero_rejections(self, tmp_path):
+        path = tmp_path / "clean.csv"
+        write_edge_records([EdgeRecord(time=0.0, src="a", dst="b")], path)
+        report = read_edge_records(path, errors="skip")
+        assert report.num_rejected == 0
+        assert report.rejected_fraction() == 0.0
+
+    def test_wrong_header_raises_under_every_policy(self, tmp_path):
+        path = tmp_path / "bad_header.csv"
+        path.write_text("completely,wrong,header,row\n1,a,b,1\n")
+        for policy in ("strict", "skip", "quarantine"):
+            with pytest.raises(DatasetError):
+                read_edge_records(path, errors=policy)
+
+
+class TestAtomicWrites:
+    def test_write_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_edge_records([EdgeRecord(time=0.0, src="a", dst="b")], path)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_write_preserves_previous_content(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_edge_records([EdgeRecord(time=0.0, src="a", dst="b")], path)
+        before = path.read_text()
+
+        def exploding_records():
+            yield EdgeRecord(time=1.0, src="x", dst="y")
+            raise RuntimeError("crash mid-write")
+
+        with pytest.raises(RuntimeError):
+            write_edge_records(exploding_records(), path)
+        assert path.read_text() == before
+        assert list(tmp_path.glob("*.tmp")) == []

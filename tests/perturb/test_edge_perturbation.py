@@ -165,3 +165,63 @@ class TestFullPerturbation:
             ) / len(hosts)
 
         assert mean_distortion(0.4) > mean_distortion(0.1)
+
+
+class TestPerturbationEdgeCases:
+    """Boundary cases of the full perturbation model (ISSUE 1 satellite)."""
+
+    def test_p_zero_is_exact_no_op_on_any_graph(self, weighted_graph, small_bipartite):
+        for graph in (weighted_graph, small_bipartite):
+            perturbed = perturb_graph(graph, 0.0, 0.0, rng=0)
+            assert perturbed == graph
+            assert perturbed is not graph  # still a defensive copy
+
+    def test_p_one_bounds(self, weighted_graph):
+        """alpha = beta = 1: at most |E| new edges, exactly |E| units deleted."""
+        num_edges = weighted_graph.num_edges
+        total = weighted_graph.total_weight
+        perturbed = perturb_graph(weighted_graph, alpha=1.0, beta=1.0, rng=3)
+        # Insertions can at most double the edge count (overwrites collapse).
+        assert perturbed.num_edges <= 2 * num_edges
+        # The insertion pass assigns weights from the original pool, so the
+        # perturbed total is bounded by (old + |E| * max_pool) - deleted units.
+        max_pool = max(weighted_graph.edge_weights())
+        assert perturbed.total_weight <= total + num_edges * max_pool
+        assert perturbed.total_weight >= 0.0
+
+    def test_empty_graph_zero_intensity_is_noop(self):
+        empty = CommGraph()
+        perturbed = perturb_graph(empty, 0.0, 0.0, rng=0)
+        assert perturbed.num_nodes == 0
+        assert perturbed.num_edges == 0
+
+    def test_empty_graph_positive_intensity_rejected(self):
+        # round(alpha * 0) == 0 insertions, so an edgeless graph only fails
+        # once a deletion/insertion is actually requested.
+        empty = CommGraph()
+        assert perturb_graph(empty, 0.4, 0.4, rng=0) == empty
+        with pytest.raises(PerturbationError):
+            insert_random_edges(empty, count=1, rng=0)
+        with pytest.raises(PerturbationError):
+            delete_weight_units(empty, count=1, rng=0)
+
+    def test_singleton_graph(self):
+        single = CommGraph()
+        single.add_node("loner")
+        perturbed = perturb_graph(single, 0.4, 0.4, rng=0)
+        assert perturbed.nodes() == ["loner"]
+        assert perturbed.num_edges == 0
+        with pytest.raises(PerturbationError):
+            insert_random_edges(single, count=1, rng=0)
+
+    def test_seed_determinism_across_two_runs(self, weighted_graph):
+        first = perturb_graph(weighted_graph, 0.3, 0.3, rng=1234)
+        second = perturb_graph(weighted_graph, 0.3, 0.3, rng=1234)
+        assert first == second
+        different = perturb_graph(weighted_graph, 0.3, 0.3, rng=4321)
+        assert different != first  # overwhelmingly likely for this size
+
+    def test_seed_determinism_with_generator_objects(self, weighted_graph):
+        first = perturb_graph(weighted_graph, 0.3, 0.3, rng=np.random.default_rng(7))
+        second = perturb_graph(weighted_graph, 0.3, 0.3, rng=np.random.default_rng(7))
+        assert first == second

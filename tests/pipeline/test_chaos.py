@@ -1,0 +1,183 @@
+"""Chaos tests: the pipeline under injected faults (``-m chaos``).
+
+These are the acceptance tests of the fault-tolerance work:
+
+* a run killed at a window boundary resumes from its checkpoint and
+  produces **byte-identical** signature files to an uninterrupted run;
+* with ~1% corrupt rows under the ``quarantine`` policy, per-window top-k
+  signature overlap against the clean run stays >= 0.9 on the synthetic
+  network dataset;
+* duplicated and out-of-order records leave drift bounded / output
+  unchanged respectively.
+"""
+
+import pytest
+
+from repro.datasets.enterprise import EnterpriseFlowGenerator, EnterpriseParams
+from repro.datasets.loaders import save_graph_sequence_csv
+from repro.pipeline import (
+    CheckpointStore,
+    CsvRecordSource,
+    PipelineConfig,
+    SignaturePipeline,
+    mean_topk_overlap,
+)
+from repro.pipeline.faults import (
+    CrashInjector,
+    FlakyCheckpointStore,
+    FlakySource,
+    SimulatedCrash,
+    corrupt_csv_rows,
+    duplicate_csv_rows,
+    shuffle_csv_rows,
+)
+
+pytestmark = pytest.mark.chaos
+
+NUM_WINDOWS = 3
+
+
+@pytest.fixture(scope="module")
+def network_trace(tmp_path_factory):
+    """The synthetic network dataset flattened to an interchange CSV."""
+    params = EnterpriseParams(
+        num_hosts=40,
+        num_external=400,
+        num_services=8,
+        num_windows=NUM_WINDOWS,
+        num_alias_users=5,
+        seed=11,
+    )
+    dataset = EnterpriseFlowGenerator(params).generate()
+    path = tmp_path_factory.mktemp("trace") / "network.csv"
+    save_graph_sequence_csv(dataset, path)
+    return path
+
+
+def run_pipeline(trace, directory, errors="strict", hooks=(), resume=False, **config_kwargs):
+    config = PipelineConfig(scheme="tt", k=10, bipartite=True, **config_kwargs)
+    pipeline = SignaturePipeline(
+        CsvRecordSource(trace, errors=errors),
+        CheckpointStore(directory),
+        config,
+        hooks=hooks,
+    )
+    return pipeline.run(resume=resume)
+
+
+class TestCrashResume:
+    def test_resume_is_byte_identical_to_uninterrupted_run(
+        self, network_trace, tmp_path
+    ):
+        crashed_dir = tmp_path / "crashed"
+        clean_dir = tmp_path / "clean"
+
+        crash = CrashInjector(at_window=1)
+        with pytest.raises(SimulatedCrash):
+            run_pipeline(network_trace, crashed_dir, hooks=[crash])
+        assert crash.fired
+
+        # The crash hit after window 1 was checkpointed: 0 and 1 survive.
+        partial = CheckpointStore(crashed_dir).scan()
+        assert [entry.window for entry in partial.good] == [0, 1]
+
+        resumed = run_pipeline(network_trace, crashed_dir, resume=True)
+        assert resumed.report.resumed_from == 2
+        assert len(resumed.signatures) == NUM_WINDOWS
+
+        reference = run_pipeline(network_trace, clean_dir)
+        assert len(reference.signatures) == NUM_WINDOWS
+        for window in range(NUM_WINDOWS):
+            crashed_bytes = (
+                CheckpointStore(crashed_dir).window_path(window).read_bytes()
+            )
+            clean_bytes = CheckpointStore(clean_dir).window_path(window).read_bytes()
+            assert crashed_bytes == clean_bytes, f"window {window} diverged"
+
+    def test_crash_with_flaky_io_still_resumes_correctly(
+        self, network_trace, tmp_path
+    ):
+        """Crash + transient IO faults together: the full gauntlet."""
+        gauntlet_dir = tmp_path / "gauntlet"
+        clean_dir = tmp_path / "clean"
+
+        config = PipelineConfig(scheme="tt", k=10, bipartite=True)
+        crash = CrashInjector(at_window=0)
+        pipeline = SignaturePipeline(
+            FlakySource(CsvRecordSource(network_trace), failures=2),
+            FlakyCheckpointStore(gauntlet_dir, failures=1),
+            config,
+            hooks=[crash],
+            sleep=lambda _s: None,
+        )
+        with pytest.raises(SimulatedCrash):
+            pipeline.run()
+
+        resumed = SignaturePipeline(
+            CsvRecordSource(network_trace),
+            CheckpointStore(gauntlet_dir),
+            config,
+        ).run(resume=True)
+        reference = run_pipeline(network_trace, clean_dir)
+        assert resumed.signatures == reference.signatures
+
+
+class TestCorruptIngestion:
+    def test_one_percent_corruption_keeps_topk_overlap_high(
+        self, network_trace, tmp_path
+    ):
+        corrupt_trace = tmp_path / "corrupt.csv"
+        corrupted = corrupt_csv_rows(
+            network_trace, corrupt_trace, fraction=0.01, seed=5
+        )
+        assert corrupted > 0
+
+        clean = run_pipeline(network_trace, tmp_path / "clean")
+        dirty = run_pipeline(
+            corrupt_trace,
+            tmp_path / "dirty",
+            errors="quarantine",
+            error_budget=0.05,
+        )
+        assert dirty.report.records_rejected == corrupted
+        for window in range(NUM_WINDOWS):
+            overlap = mean_topk_overlap(
+                clean.signatures[window], dirty.signatures[window]
+            )
+            assert overlap >= 0.9, f"window {window}: overlap {overlap:.3f}"
+
+    def test_heavy_corruption_trips_error_budget(self, network_trace, tmp_path):
+        from repro.exceptions import ErrorBudgetExceeded
+
+        corrupt_trace = tmp_path / "ruined.csv"
+        corrupt_csv_rows(network_trace, corrupt_trace, fraction=0.30, seed=5)
+        with pytest.raises(ErrorBudgetExceeded):
+            run_pipeline(
+                corrupt_trace,
+                tmp_path / "ckpt",
+                errors="quarantine",
+                error_budget=0.05,
+            )
+
+
+class TestDeliveryFaults:
+    def test_out_of_order_records_change_nothing(self, network_trace, tmp_path):
+        shuffled_trace = tmp_path / "shuffled.csv"
+        shuffle_csv_rows(network_trace, shuffled_trace, seed=9)
+        clean = run_pipeline(network_trace, tmp_path / "clean")
+        shuffled = run_pipeline(shuffled_trace, tmp_path / "shuffled")
+        assert clean.signatures == shuffled.signatures
+
+    def test_duplicate_records_cause_bounded_drift(self, network_trace, tmp_path):
+        duplicated_trace = tmp_path / "dup.csv"
+        duplicated = duplicate_csv_rows(
+            network_trace, duplicated_trace, fraction=0.01, seed=13
+        )
+        assert duplicated > 0
+        clean = run_pipeline(network_trace, tmp_path / "clean")
+        noisy = run_pipeline(duplicated_trace, tmp_path / "noisy")
+        for window in range(NUM_WINDOWS):
+            overlap = mean_topk_overlap(
+                clean.signatures[window], noisy.signatures[window]
+            )
+            assert overlap >= 0.9, f"window {window}: overlap {overlap:.3f}"

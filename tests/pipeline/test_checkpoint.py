@@ -1,0 +1,125 @@
+"""Unit tests for the atomic checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.core.signature import Signature
+from repro.exceptions import CheckpointError
+from repro.ioutils import atomic_write, file_sha256
+from repro.pipeline.checkpoint import CheckpointStore
+
+
+def sigs(*owners):
+    return {owner: Signature(owner, {f"{owner}-peer": 1.0}) for owner in owners}
+
+
+class TestAtomicWrite:
+    def test_success_replaces_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with atomic_write(path) as handle:
+            handle.write("new")
+        assert path.read_text() == "new"
+        assert not (tmp_path / "out.txt.tmp").exists()
+
+    def test_failure_preserves_original(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write("partial")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "old"
+        assert not (tmp_path / "out.txt.tmp").exists()
+
+    def test_read_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            with atomic_write(tmp_path / "x", mode="r"):
+                pass
+
+
+class TestCheckpointStore:
+    def test_save_and_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        entry = store.save_window(0, sigs("a", "b"), {"num_records": 7})
+        assert entry.window == 0
+        loaded, meta = store.load_window(0)
+        assert set(loaded) == {"a", "b"}
+        assert loaded["a"] == Signature("a", {"a-peer": 1.0})
+        assert meta["num_records"] == 7
+
+    def test_windows_must_be_sequential(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_window(0, sigs("a"))
+        with pytest.raises(CheckpointError):
+            store.save_window(2, sigs("a"))
+
+    def test_overwrite_truncates_later_windows(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        for window in range(3):
+            store.save_window(window, sigs(f"w{window}"))
+        store.save_window(1, sigs("redo"))
+        scan = store.scan()
+        assert [entry.window for entry in scan.good] == [0, 1]
+
+    def test_scan_verifies_hashes(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_window(0, sigs("a"))
+        store.save_window(1, sigs("b"))
+        scan = store.scan()
+        assert [entry.window for entry in scan.good] == [0, 1]
+        assert scan.next_window == 2
+        assert not scan.issues
+
+    def test_corrupt_window_truncates_good_prefix(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        for window in range(3):
+            store.save_window(window, sigs(f"w{window}"))
+        # Simulate on-disk corruption of window 1.
+        store.window_path(1).write_text("{torn")
+        scan = store.scan()
+        assert [entry.window for entry in scan.good] == [0]
+        assert any("hash" in issue for issue in scan.issues)
+
+    def test_missing_window_file_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_window(0, sigs("a"))
+        store.window_path(0).unlink()
+        scan = store.scan()
+        assert scan.good == []
+        assert any("missing" in issue for issue in scan.issues)
+
+    def test_unreadable_manifest_is_reported_not_fatal(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_window(0, sigs("a"))
+        store.manifest_path.write_text("not json at all")
+        scan = store.scan()
+        assert scan.good == []
+        assert any("manifest" in issue for issue in scan.issues)
+
+    def test_load_missing_window_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        with pytest.raises(CheckpointError):
+            store.load_window(0)
+
+    def test_load_corrupt_window_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_window(0, sigs("a"))
+        store.window_path(0).write_text('{"version": 1}')
+        with pytest.raises(CheckpointError):
+            store.load_window(0)
+
+    def test_manifest_hash_matches_file(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        entry = store.save_window(0, sigs("a"))
+        assert file_sha256(store.window_path(0)) == entry.sha256
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["entries"][0]["sha256"] == entry.sha256
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_window(0, sigs("a"))
+        store.clear()
+        assert store.scan().next_window == 0
+        assert not store.manifest_path.exists()

@@ -1,0 +1,123 @@
+"""Unit tests for the retry/backoff policy."""
+
+import random
+
+import pytest
+
+from repro.exceptions import PipelineError
+from repro.pipeline.retry import RetryPolicy, call_with_retry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+class Flaky:
+    """Callable failing ``failures`` times before returning ``value``."""
+
+    def __init__(self, failures, value="ok", error=OSError("boom")):
+        self.failures = failures
+        self.value = value
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(PipelineError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(PipelineError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(PipelineError):
+            RetryPolicy(deadline=0.0)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=3.0, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay_before(n, rng) for n in (2, 3, 4, 5)]
+        assert delays == [1.0, 2.0, 3.0, 3.0]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25)
+        rng = random.Random(42)
+        for _ in range(100):
+            delay = policy.delay_before(2, rng)
+            assert 0.75 <= delay <= 1.25
+
+
+class TestCallWithRetry:
+    def test_success_first_try(self):
+        assert call_with_retry(lambda: 7, RetryPolicy()) == 7
+
+    def test_recovers_after_transient_failures(self):
+        clock = FakeClock()
+        flaky = Flaky(failures=2)
+        result = call_with_retry(
+            flaky,
+            RetryPolicy(max_attempts=4, jitter=0.0),
+            sleep=clock.sleep,
+            clock=clock,
+        )
+        assert result == "ok"
+        assert flaky.calls == 3
+
+    def test_exhaustion_reraises_original(self):
+        clock = FakeClock()
+        flaky = Flaky(failures=10)
+        with pytest.raises(OSError):
+            call_with_retry(
+                flaky,
+                RetryPolicy(max_attempts=3, jitter=0.0),
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        assert flaky.calls == 3
+
+    def test_non_transient_error_propagates_immediately(self):
+        flaky = Flaky(failures=5, error=ValueError("not transient"))
+        with pytest.raises(ValueError):
+            call_with_retry(flaky, RetryPolicy(max_attempts=5))
+        assert flaky.calls == 1
+
+    def test_deadline_abandons_retry(self):
+        clock = FakeClock()
+        flaky = Flaky(failures=10)
+        with pytest.raises(OSError):
+            call_with_retry(
+                flaky,
+                RetryPolicy(
+                    max_attempts=100, base_delay=1.0, multiplier=1.0,
+                    jitter=0.0, deadline=2.5,
+                ),
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        # attempts at t=0, 1, 2; the retry that would start at t=3 > 2.5 is dropped
+        assert flaky.calls == 3
+
+    def test_on_retry_callback_counts(self):
+        clock = FakeClock()
+        seen = []
+        call_with_retry(
+            Flaky(failures=2),
+            RetryPolicy(max_attempts=4, jitter=0.0),
+            sleep=clock.sleep,
+            clock=clock,
+            on_retry=lambda attempt, exc, delay: seen.append((attempt, delay)),
+        )
+        assert [attempt for attempt, _delay in seen] == [1, 2]

@@ -1,0 +1,245 @@
+"""Unit tests for the fault-tolerant pipeline runner."""
+
+import pytest
+
+from repro.core.scheme import create_scheme
+from repro.exceptions import ErrorBudgetExceeded, PipelineError
+from repro.graph.builders import aggregate_records
+from repro.graph.stream import EdgeRecord, write_edge_records
+from repro.pipeline import (
+    CheckpointStore,
+    CsvRecordSource,
+    IterableRecordSource,
+    PipelineConfig,
+    SignaturePipeline,
+    mean_topk_overlap,
+)
+from repro.pipeline.faults import FlakyCheckpointStore, FlakySource
+from repro.pipeline.report import MODE_CACHED, MODE_DEGRADED, MODE_EXACT
+
+
+def make_records(num_windows=3, hosts=5, per_window=40):
+    records = []
+    for window in range(num_windows):
+        for i in range(per_window):
+            records.append(
+                EdgeRecord(
+                    time=float(window),
+                    src=f"h{i % hosts}",
+                    dst=f"e{(i * 3 + window) % 11}",
+                    weight=1.0 + i % 4,
+                )
+            )
+    return records
+
+
+@pytest.fixture
+def trace(tmp_path):
+    path = tmp_path / "trace.csv"
+    write_edge_records(make_records(), path)
+    return path
+
+
+def make_pipeline(trace, tmp_path, config=None, **kwargs):
+    return SignaturePipeline(
+        CsvRecordSource(trace),
+        CheckpointStore(tmp_path / "ckpt"),
+        config or PipelineConfig(scheme="tt", k=5),
+        **kwargs,
+    )
+
+
+class TestConfigValidation:
+    def test_bad_k(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(k=0)
+
+    def test_both_window_specs(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(num_windows=3, window_length=1.0)
+
+    def test_bad_budgets(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(error_budget=-0.1)
+        with pytest.raises(PipelineError):
+            PipelineConfig(max_memory_cells=0)
+        with pytest.raises(PipelineError):
+            PipelineConfig(window_deadline=0.0)
+
+
+class TestRun:
+    def test_exact_run_matches_direct_computation(self, trace, tmp_path):
+        result = make_pipeline(trace, tmp_path).run()
+        assert len(result.signatures) == 3
+        assert all(w.mode == MODE_EXACT for w in result.report.windows)
+        # Window 0 must equal computing the scheme by hand.
+        records = [r for r in make_records() if r.time == 0.0]
+        graph = aggregate_records(records)
+        scheme = create_scheme("tt", k=5)
+        for owner, signature in result.signatures[0].items():
+            assert signature == scheme.compute(graph, owner)
+
+    def test_integer_times_define_windows(self, trace, tmp_path):
+        result = make_pipeline(trace, tmp_path).run()
+        assert [w.num_records for w in result.report.windows] == [40, 40, 40]
+
+    def test_num_windows_split(self, trace, tmp_path):
+        config = PipelineConfig(scheme="tt", k=5, num_windows=2)
+        result = make_pipeline(trace, tmp_path, config).run()
+        assert len(result.report.windows) == 2
+
+    def test_non_integer_times_require_window_spec(self, tmp_path):
+        source = IterableRecordSource([(0.5, "a", "b", 1.0)])
+        pipeline = SignaturePipeline(
+            source, CheckpointStore(tmp_path / "ckpt"), PipelineConfig()
+        )
+        with pytest.raises(PipelineError):
+            pipeline.run()
+
+    def test_empty_source_produces_empty_result(self, tmp_path):
+        source = IterableRecordSource([])
+        result = SignaturePipeline(
+            source, CheckpointStore(tmp_path / "ckpt"), PipelineConfig()
+        ).run()
+        assert result.signatures == []
+
+    def test_fresh_run_clears_stale_checkpoints(self, trace, tmp_path):
+        pipeline = make_pipeline(trace, tmp_path)
+        pipeline.run()
+        result = pipeline.run()  # fresh again, not resumed
+        assert result.report.resumed_from is None
+        assert all(w.mode == MODE_EXACT for w in result.report.windows)
+
+
+class TestErrorBudget:
+    def make_dirty_source(self, bad=3, good=97):
+        items = [(float(i % 2), f"h{i % 4}", f"e{i % 7}", 1.0) for i in range(good)]
+        items += [("garbage", "x", "y", "z")] * bad
+        return IterableRecordSource(items, errors="skip")
+
+    def test_within_budget_passes(self, tmp_path):
+        source = self.make_dirty_source(bad=3)
+        config = PipelineConfig(error_budget=0.05)
+        result = SignaturePipeline(
+            source, CheckpointStore(tmp_path / "c"), config
+        ).run()
+        assert result.report.records_rejected == 3
+
+    def test_fraction_budget_trips(self, tmp_path):
+        source = self.make_dirty_source(bad=10)
+        config = PipelineConfig(error_budget=0.05)
+        with pytest.raises(ErrorBudgetExceeded) as excinfo:
+            SignaturePipeline(source, CheckpointStore(tmp_path / "c"), config).run()
+        assert excinfo.value.rejected == 10
+
+    def test_absolute_budget_trips(self, tmp_path):
+        source = self.make_dirty_source(bad=3)
+        config = PipelineConfig(error_budget=2)
+        with pytest.raises(ErrorBudgetExceeded):
+            SignaturePipeline(source, CheckpointStore(tmp_path / "c"), config).run()
+
+    def test_budget_is_catchable_as_pipeline_error(self, tmp_path):
+        source = self.make_dirty_source(bad=10)
+        config = PipelineConfig(error_budget=0.01)
+        with pytest.raises(PipelineError):
+            SignaturePipeline(source, CheckpointStore(tmp_path / "c"), config).run()
+
+
+class TestDegradation:
+    def test_memory_budget_degrades_to_streaming(self, trace, tmp_path):
+        config = PipelineConfig(scheme="tt", k=5, max_memory_cells=10)
+        result = make_pipeline(trace, tmp_path, config).run()
+        assert result.report.degraded_windows == [0, 1, 2]
+        for window in result.report.windows:
+            assert window.mode == MODE_DEGRADED
+            assert "memory budget" in window.reason
+
+    def test_deadline_degrades_to_streaming(self, trace, tmp_path):
+        # Fake clock: every call advances one second, so any per-window
+        # deadline below the population size trips mid-computation.
+        ticks = iter(range(100000))
+        config = PipelineConfig(scheme="tt", k=5, window_deadline=1.5)
+        result = make_pipeline(
+            trace, tmp_path, config, clock=lambda: float(next(ticks))
+        ).run()
+        assert result.report.degraded_windows == [0, 1, 2]
+        assert all("deadline" in w.reason for w in result.report.windows)
+
+    def test_degraded_signatures_stay_close_to_exact(self, trace, tmp_path):
+        exact = make_pipeline(trace, tmp_path / "a").run()
+        config = PipelineConfig(scheme="tt", k=5, max_memory_cells=10)
+        degraded = make_pipeline(trace, tmp_path / "b", config).run()
+        for window in range(3):
+            overlap = mean_topk_overlap(
+                exact.signatures[window], degraded.signatures[window]
+            )
+            assert overlap >= 0.9
+
+    def test_degradation_recorded_in_checkpoint_mode(self, trace, tmp_path):
+        config = PipelineConfig(scheme="tt", k=5, max_memory_cells=10)
+        pipeline = make_pipeline(trace, tmp_path, config)
+        pipeline.run()
+        scan = pipeline.store.scan()
+        assert all(entry.mode == MODE_DEGRADED for entry in scan.good)
+
+    def test_non_streaming_scheme_notes_fallback(self, trace, tmp_path):
+        config = PipelineConfig(
+            scheme="rwr",
+            k=5,
+            max_memory_cells=10,
+            scheme_params={"reset_probability": 0.1, "max_hops": 2},
+        )
+        result = make_pipeline(trace, tmp_path, config).run()
+        assert all("approximates 'tt'" in w.reason for w in result.report.windows)
+
+
+class TestTransientFailures:
+    def test_flaky_source_is_retried(self, trace, tmp_path):
+        source = FlakySource(CsvRecordSource(trace), failures=2)
+        pipeline = SignaturePipeline(
+            source,
+            CheckpointStore(tmp_path / "ckpt"),
+            PipelineConfig(scheme="tt", k=5),
+            sleep=lambda _s: None,
+        )
+        result = pipeline.run()
+        assert result.report.retries == 2
+        assert len(result.report.windows) == 3
+
+    def test_flaky_store_is_retried(self, trace, tmp_path):
+        store = FlakyCheckpointStore(tmp_path / "ckpt", failures=1)
+        pipeline = SignaturePipeline(
+            CsvRecordSource(trace),
+            store,
+            PipelineConfig(scheme="tt", k=5),
+            sleep=lambda _s: None,
+        )
+        result = pipeline.run()
+        assert result.report.retries == 1
+        assert store.scan().next_window == 3
+
+    def test_persistent_failure_escapes_after_retries(self, trace, tmp_path):
+        source = FlakySource(CsvRecordSource(trace), failures=100)
+        pipeline = SignaturePipeline(
+            source,
+            CheckpointStore(tmp_path / "ckpt"),
+            PipelineConfig(scheme="tt", k=5),
+            sleep=lambda _s: None,
+        )
+        with pytest.raises(OSError):
+            pipeline.run()
+
+
+class TestResume:
+    def test_resume_with_no_checkpoints_runs_everything(self, trace, tmp_path):
+        result = make_pipeline(trace, tmp_path).run(resume=True)
+        assert result.report.resumed_from is None
+        assert len(result.signatures) == 3
+
+    def test_resume_replays_prefix(self, trace, tmp_path):
+        pipeline = make_pipeline(trace, tmp_path)
+        full = pipeline.run()
+        resumed = make_pipeline(trace, tmp_path).run(resume=True)
+        assert resumed.report.resumed_from == 3
+        assert all(w.mode == MODE_CACHED for w in resumed.report.windows)
+        assert resumed.signatures == full.signatures

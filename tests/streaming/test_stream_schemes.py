@@ -130,3 +130,19 @@ class TestStreamingUnexpectedTalkers:
             ut_builder.observe(src, dst)
             tt_builder.observe(src, dst)
         assert ut_builder.memory_cells() > tt_builder.memory_cells()
+
+
+class TestObserveRecords:
+    def test_records_match_triple_stream(self):
+        from repro.graph.stream import EdgeRecord
+
+        triples = [("a", "b", 2.0), ("a", "c", 1.0), ("b", "c", 3.0)]
+        records = [
+            EdgeRecord(time=0.0, src=s, dst=d, weight=w) for s, d, w in triples
+        ]
+        via_stream = StreamingTopTalkers(k=5, seed=1)
+        via_stream.observe_stream(triples)
+        via_records = StreamingTopTalkers(k=5, seed=1)
+        via_records.observe_records(records)
+        for node in ("a", "b"):
+            assert via_stream.signature(node) == via_records.signature(node)

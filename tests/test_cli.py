@@ -59,3 +59,80 @@ class TestMain:
     def test_deanonymize_small(self, capsys):
         assert main(["deanonymize", "--scale", "small"]) == 0
         assert "De-anonymization attack" in capsys.readouterr().out
+
+
+class TestPipelineCli:
+    @pytest.fixture
+    def trace(self, tmp_path):
+        from repro.graph.stream import EdgeRecord, write_edge_records
+
+        path = tmp_path / "trace.csv"
+        records = [
+            EdgeRecord(time=float(w), src=f"h{i % 4}", dst=f"e{i % 9}", weight=1.0)
+            for w in range(2)
+            for i in range(20)
+        ]
+        write_edge_records(records, path)
+        return path
+
+    def test_pipeline_requires_input_and_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["pipeline", "run"])
+
+    def test_pipeline_run(self, trace, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "run",
+                    "--input",
+                    str(trace),
+                    "--checkpoint-dir",
+                    str(tmp_path / "ckpt"),
+                    "--scheme",
+                    "tt",
+                    "--k",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "pipeline run: 2 windows" in output
+        assert "exact" in output
+
+    def test_pipeline_resume_replays_checkpoints(self, trace, tmp_path, capsys):
+        argv_tail = [
+            "--input", str(trace), "--checkpoint-dir", str(tmp_path / "ckpt"),
+        ]
+        assert main(["pipeline", "run", *argv_tail]) == 0
+        capsys.readouterr()
+        assert main(["pipeline", "resume", *argv_tail]) == 0
+        output = capsys.readouterr().out
+        assert "resumed: windows 0..1 replayed from checkpoint" in output
+
+    def test_pipeline_quarantine_policy(self, trace, tmp_path, capsys):
+        trace.write_text(trace.read_text() + "garbage,row,here\n")
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "run",
+                    "--input",
+                    str(trace),
+                    "--checkpoint-dir",
+                    str(tmp_path / "ckpt"),
+                    "--errors",
+                    "quarantine",
+                    "--quarantine",
+                    str(tmp_path / "q.csv"),
+                ]
+            )
+            == 0
+        )
+        assert "1 rejected" in capsys.readouterr().out
+        assert (tmp_path / "q.csv").exists()
+
+    def test_list_mentions_pipeline(self, capsys):
+        assert main(["list"]) == 0
+        assert "pipeline run" in capsys.readouterr().out

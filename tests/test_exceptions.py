@@ -1,0 +1,70 @@
+"""The exception hierarchy contract: one base class catches everything.
+
+Callers embed this library behind ``except ReproError``; every public
+exception — including the pipeline additions — must stay catchable that
+way, and the hierarchy's intermediate bases must hold.
+"""
+
+import inspect
+
+import pytest
+
+import repro.exceptions as exceptions_module
+from repro.exceptions import (
+    CheckpointError,
+    DatasetError,
+    ErrorBudgetExceeded,
+    PipelineError,
+    ReproError,
+)
+
+
+def public_exception_classes():
+    return [
+        obj
+        for _name, obj in inspect.getmembers(exceptions_module, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == exceptions_module.__name__
+    ]
+
+
+class TestHierarchy:
+    def test_module_exports_every_class(self):
+        assert len(public_exception_classes()) >= 12
+
+    @pytest.mark.parametrize(
+        "exc_class",
+        public_exception_classes(),
+        ids=lambda cls: cls.__name__,
+    )
+    def test_every_exception_derives_from_base(self, exc_class):
+        assert issubclass(exc_class, ReproError)
+
+    def test_pipeline_errors_nest_under_pipeline_base(self):
+        assert issubclass(CheckpointError, PipelineError)
+        assert issubclass(ErrorBudgetExceeded, PipelineError)
+
+    def test_catchable_via_base_class(self):
+        with pytest.raises(ReproError):
+            raise ErrorBudgetExceeded(5, 100, 0.01)
+        with pytest.raises(ReproError):
+            raise CheckpointError("bad manifest")
+        with pytest.raises(ReproError):
+            raise DatasetError("bad row")
+
+    def test_error_budget_carries_counts(self):
+        error = ErrorBudgetExceeded(7, 200, 0.02)
+        assert error.rejected == 7
+        assert error.total == 200
+        assert error.budget == 0.02
+        assert "7 of 200" in str(error)
+
+    def test_programming_errors_not_swallowed(self):
+        """TypeError etc. must not be part of the hierarchy."""
+        for exc_class in public_exception_classes():
+            assert not issubclass(exc_class, (TypeError, KeyError, AttributeError))
+
+    def test_top_level_reexports(self):
+        import repro
+
+        for name in ("PipelineError", "CheckpointError", "ErrorBudgetExceeded"):
+            assert issubclass(getattr(repro, name), repro.ReproError)
