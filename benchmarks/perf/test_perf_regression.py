@@ -1,0 +1,80 @@
+"""Perf regression guard for the batch distance kernels.
+
+Run with the benchmark suite (``PYTHONPATH=src python -m pytest
+benchmarks/perf``).  Agreement between the scalar and batch paths is
+asserted tightly; the speedup floor is deliberately generous (3x on a
+2,000-node window, vs. the >= 10x recorded in
+``BENCH_distance_kernels.json``) so the guard catches a vectorization
+regression — a kernel silently falling back to the scalar loop — without
+flaking on noisy shared runners.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.distances import available_distances
+from repro.core.packed import SignaturePack, batch_disabled, cross_matrix
+from repro.core.properties import uniqueness_values
+
+from tools.bench import synthetic_window, warm_up
+
+BENCH_JSON = Path(__file__).parent / "BENCH_distance_kernels.json"
+SPEEDUP_FLOOR = 3.0
+
+
+@pytest.fixture(scope="module")
+def window():
+    warm_up()
+    return synthetic_window(2000, 10, seed=7)
+
+
+@pytest.mark.parametrize("distance", available_distances())
+def test_uniqueness_batch_beats_scalar(window, distance):
+    nodes = sorted(window)
+    start = time.perf_counter()
+    batch = uniqueness_values(window, distance, nodes=nodes)
+    batch_wall = time.perf_counter() - start
+    with batch_disabled():
+        start = time.perf_counter()
+        scalar = uniqueness_values(window, distance, nodes=nodes)
+        scalar_wall = time.perf_counter() - start
+    assert batch == pytest.approx(scalar, abs=1e-9)
+    assert scalar_wall / batch_wall >= SPEEDUP_FLOOR, (
+        f"{distance}: batch {batch_wall:.3f}s vs scalar {scalar_wall:.3f}s — "
+        "vectorized path regressed"
+    )
+
+
+def test_committed_bench_json_meets_acceptance():
+    """The committed record must show >= 10x on all-pairs uniqueness at n=2000."""
+    payload = json.loads(BENCH_JSON.read_text())
+    assert payload["benchmark"] == "distance_kernels"
+    assert payload["mode"] == "full"
+    assert payload["window"]["n"] == 2000
+    gate = [
+        record
+        for record in payload["results"]
+        if record["op"] == "uniqueness_all_pairs"
+    ]
+    assert {record["distance"] for record in gate} == set(available_distances())
+    for record in gate:
+        assert record["speedup"] >= 10, record
+        assert record["max_abs_diff"] <= 1e-9
+
+
+def test_cross_matrix_scalar_agreement_large_window():
+    window_now = synthetic_window(400, 10, seed=11)
+    window_next = synthetic_window(400, 10, seed=11, churn=0.3)
+    order = sorted(window_now)
+    pack_now = SignaturePack.from_signatures(window_now, order=order)
+    pack_next = SignaturePack.from_signatures(window_next, order=order)
+    for distance in available_distances():
+        batch = cross_matrix(pack_now, pack_next, distance)
+        with batch_disabled():
+            scalar = cross_matrix(pack_now, pack_next, distance)
+        assert batch == pytest.approx(scalar, abs=1e-9)

@@ -72,11 +72,16 @@ from repro.core import (
 from repro.core import (
     HistorySignatureBuilder,
     InTalkers,
+    SignaturePack,
+    cross_matrix,
     load_signatures,
     measure_scheme_properties,
+    pair_distances,
+    pairwise_matrix,
     save_signatures,
     select_scheme,
 )
+from repro.parallel import SerialExecutor, parallel_map
 from repro.perturb import apply_masquerade, perturb_graph, relabel_graph
 from repro.apps import (
     AnomalyDetector,
@@ -170,6 +175,13 @@ __all__ = [
     "HistorySignatureBuilder",
     "save_signatures",
     "load_signatures",
+    # batch distance kernels + parallel fan-out
+    "SignaturePack",
+    "pairwise_matrix",
+    "cross_matrix",
+    "pair_distances",
+    "parallel_map",
+    "SerialExecutor",
     # perturbation
     "perturb_graph",
     "apply_masquerade",

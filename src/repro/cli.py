@@ -216,6 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset scale: 'paper' mirrors the paper's populations, 'small' is fast",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment grid: 1 = serial (default), "
+        "N > 1 = up to N processes, 0 = one per CPU; results are "
+        "deterministic regardless of the setting",
+    )
+    parser.add_argument(
         "--dataset",
         choices=("network", "querylog"),
         default="network",
@@ -296,7 +304,7 @@ def main(argv=None) -> int:
             parser.error("pipeline requires --input and --checkpoint-dir")
         print(_cmd_pipeline(args))
         return 0
-    config = ExperimentConfig(scale=args.scale)
+    config = ExperimentConfig(scale=args.scale, jobs=args.jobs)
     commands = sorted(_COMMANDS) if args.command == "all" else [args.command]
     for name in commands:
         print(_COMMANDS[name](config, args))

@@ -28,7 +28,19 @@ from repro.core.distances import (
     dist_jaccard,
     dist_scaled_dice,
     dist_scaled_hellinger,
+    distance_name,
     get_distance,
+    resolve_distance,
+)
+from repro.core.packed import (
+    BATCH_METRICS,
+    SignaturePack,
+    batch_disabled,
+    batch_metric_name,
+    cross_matrix,
+    cross_pair_distances,
+    pair_distances,
+    pairwise_matrix,
 )
 from repro.core.properties import (
     PropertyEllipse,
@@ -65,7 +77,17 @@ __all__ = [
     "dist_dice",
     "dist_scaled_dice",
     "dist_scaled_hellinger",
+    "distance_name",
     "get_distance",
+    "resolve_distance",
+    "BATCH_METRICS",
+    "SignaturePack",
+    "batch_disabled",
+    "batch_metric_name",
+    "cross_matrix",
+    "cross_pair_distances",
+    "pair_distances",
+    "pairwise_matrix",
     "PropertyEllipse",
     "persistence",
     "uniqueness",

@@ -50,15 +50,17 @@ def dist_jaccard(first: Signature, second: Signature) -> float:
 
 
 def dist_dice(first: Signature, second: Signature) -> float:
-    """Weighted Dice distance: shared weight mass over total weight mass."""
+    """Weighted Dice distance: shared weight mass over total weight mass.
+
+    Since weights are zero outside a signature's own support, the union
+    mass ``sum_{j in S1 u S2} (w_1j + w_2j)`` equals the memoized
+    ``total_weight`` sum — only the intersection needs a pass.
+    """
     shared = first.nodes & second.nodes
-    union = first.nodes | second.nodes
-    if not union:
-        return 0.0
-    numerator = sum(first.weight(node) + second.weight(node) for node in shared)
-    denominator = sum(first.weight(node) + second.weight(node) for node in union)
+    denominator = first.total_weight + second.total_weight
     if denominator == 0:
         return 0.0
+    numerator = sum(first.weight(node) + second.weight(node) for node in shared)
     return _clamp01(1.0 - numerator / denominator)
 
 
@@ -66,14 +68,16 @@ def dist_scaled_dice(first: Signature, second: Signature) -> float:
     """Scaled Dice: min over intersection vs. max over union.
 
     Rewards signatures whose *individual* weights agree, not just their
-    membership; it is the strictest of the four distances.
+    membership; it is the strictest of the four distances.  Uses the
+    identity ``sum_union max = total_1 + total_2 - sum_shared min`` (exact
+    for non-negative weights) so only the intersection is iterated.
     """
     shared = first.nodes & second.nodes
-    union = first.nodes | second.nodes
-    if not union:
+    total = first.total_weight + second.total_weight
+    if total == 0:
         return 0.0
     numerator = sum(min(first.weight(node), second.weight(node)) for node in shared)
-    denominator = sum(max(first.weight(node), second.weight(node)) for node in union)
+    denominator = total - numerator
     if denominator == 0:
         return 0.0
     return _clamp01(1.0 - numerator / denominator)
@@ -83,15 +87,20 @@ def dist_scaled_hellinger(first: Signature, second: Signature) -> float:
     """Hellinger-style variant: geometric mean over intersection vs. max over union.
 
     Softens SDice's min-penalty for unequal weights (``sqrt(ab) >= min(a, b)``).
+    The max-over-union denominator reuses the same identity as
+    :func:`dist_scaled_dice`.
     """
     shared = first.nodes & second.nodes
-    union = first.nodes | second.nodes
-    if not union:
+    total = first.total_weight + second.total_weight
+    if total == 0:
         return 0.0
-    numerator = sum(
-        math.sqrt(first.weight(node) * second.weight(node)) for node in shared
-    )
-    denominator = sum(max(first.weight(node), second.weight(node)) for node in union)
+    numerator = 0.0
+    min_mass = 0.0
+    for node in shared:
+        weight_a, weight_b = first.weight(node), second.weight(node)
+        numerator += math.sqrt(weight_a * weight_b)
+        min_mass += weight_a if weight_a < weight_b else weight_b
+    denominator = total - min_mass
     if denominator == 0:
         return 0.0
     return _clamp01(1.0 - numerator / denominator)
@@ -123,3 +132,30 @@ def get_distance(name: str) -> DistanceFunction:
     if name not in _DISTANCES:
         raise UnknownDistanceError(name, available_distances())
     return _DISTANCES[name]
+
+
+def distance_name(function: DistanceFunction) -> str | None:
+    """Reverse registry lookup: the name of a registered distance function.
+
+    Returns ``None`` for callables not in the registry (custom lambdas,
+    wrapped functions...) — callers use this to decide whether a vectorized
+    batch kernel exists for the distance, falling back to scalar loops
+    otherwise.
+    """
+    for name, registered in _DISTANCES.items():
+        if registered is function:
+            return name
+    return None
+
+
+def resolve_distance(
+    spec: "str | DistanceFunction",
+) -> Tuple["str | None", DistanceFunction]:
+    """Normalise a distance spec (name or callable) to ``(name, function)``.
+
+    ``name`` is ``None`` when ``spec`` is an unregistered callable; the
+    function is always usable as a scalar ``DistanceFunction``.
+    """
+    if isinstance(spec, str):
+        return spec, get_distance(spec)
+    return distance_name(spec), spec

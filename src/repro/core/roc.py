@@ -23,7 +23,8 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.distances import DistanceFunction
+from repro.core.distances import DistanceFunction, resolve_distance
+from repro.core.packed import SignaturePack, batch_metric_name, cross_matrix
 from repro.core.signature import Signature
 from repro.exceptions import ExperimentError
 from repro.types import NodeId
@@ -145,7 +146,7 @@ class IdentityRocResult:
 def roc_identity(
     signatures_now: Mapping[NodeId, Signature],
     signatures_next: Mapping[NodeId, Signature],
-    distance: DistanceFunction,
+    distance: DistanceFunction | str,
     queries: Iterable[NodeId] | None = None,
     candidates: Sequence[NodeId] | None = None,
     grid_size: int = DEFAULT_GRID_SIZE,
@@ -156,23 +157,29 @@ def roc_identity(
     ``Dist(sigma_t(v), sigma_{t+1}(u))``; the positive is ``u = v``.
     Queries default to nodes with signatures in both windows; candidates
     default to all nodes with a ``t+1`` signature.
+
+    When ``distance`` is a registered distance, the full query-candidate
+    score matrix is computed in one shot through the batch kernels of
+    :mod:`repro.core.packed`; otherwise the scalar loop runs.
     """
     if queries is None:
         queries = [node for node in signatures_now if node in signatures_next]
     queries = list(queries)
     if candidates is None:
         candidates = list(signatures_next)
+    candidates = list(candidates)
     if not queries:
         raise ExperimentError("roc_identity requires at least one query node")
 
+    score_rows = _score_matrix(
+        signatures_now, signatures_next, distance, queries, candidates
+    )
     per_node_auc: Dict[NodeId, float] = {}
     curves: List[RocCurve] = []
-    for query in queries:
-        query_signature = signatures_now[query]
+    for query, scores in zip(queries, score_rows):
         positive_scores: List[float] = []
         negative_scores: List[float] = []
-        for candidate in candidates:
-            score = distance(query_signature, signatures_next[candidate])
+        for candidate, score in zip(candidates, scores):
             if candidate == query:
                 positive_scores.append(score)
             else:
@@ -188,6 +195,32 @@ def roc_identity(
     )
 
 
+def _score_matrix(
+    signatures_now: Mapping[NodeId, Signature],
+    signatures_next: Mapping[NodeId, Signature],
+    distance: DistanceFunction | str,
+    queries: Sequence[NodeId],
+    candidates: Sequence[NodeId],
+) -> Iterable[Sequence[float]]:
+    """Rows of ``Dist(sigma_t(query), sigma_{t+1}(candidate))`` scores.
+
+    Batch path: one :func:`~repro.core.packed.cross_matrix` call; scalar
+    path: lazy per-query rows (generator) so memory stays per-row.
+    """
+    kernel = batch_metric_name(distance)
+    if kernel is not None and candidates:
+        pack_queries = SignaturePack.from_signatures(signatures_now, order=queries)
+        pack_candidates = SignaturePack.from_signatures(
+            signatures_next, order=candidates
+        )
+        return cross_matrix(pack_queries, pack_candidates, kernel)
+    _name, function = resolve_distance(distance)
+    return (
+        [function(signatures_now[query], signatures_next[candidate]) for candidate in candidates]
+        for query in queries
+    )
+
+
 @dataclass(frozen=True)
 class SetQueryRocResult:
     """Output of :func:`roc_set_query`: per-query AUCs plus averaged curve."""
@@ -200,7 +233,7 @@ class SetQueryRocResult:
 def roc_set_query(
     signatures: Mapping[NodeId, Signature],
     positives_by_query: Mapping[NodeId, Iterable[NodeId]],
-    distance: DistanceFunction,
+    distance: DistanceFunction | str,
     candidates: Sequence[NodeId] | None = None,
     grid_size: int = DEFAULT_GRID_SIZE,
 ) -> SetQueryRocResult:
@@ -214,21 +247,24 @@ def roc_set_query(
     """
     if candidates is None:
         candidates = list(signatures)
-    per_query_auc: Dict[NodeId, float] = {}
-    curves: List[RocCurve] = []
-    for query, raw_positives in positives_by_query.items():
+    candidates = list(candidates)
+    queries = list(positives_by_query)
+    for query in queries:
         if query not in signatures:
             raise ExperimentError(f"query {query!r} has no signature")
+    score_rows = _score_matrix(signatures, signatures, distance, queries, candidates)
+    per_query_auc: Dict[NodeId, float] = {}
+    curves: List[RocCurve] = []
+    for query, scores in zip(queries, score_rows):
+        raw_positives = positives_by_query[query]
         positive_set = {node for node in raw_positives if node != query}
         if not positive_set:
             raise ExperimentError(f"query {query!r} has no positives besides itself")
-        query_signature = signatures[query]
         positive_scores: List[float] = []
         negative_scores: List[float] = []
-        for candidate in candidates:
+        for candidate, score in zip(candidates, scores):
             if candidate == query:
                 continue
-            score = distance(query_signature, signatures[candidate])
             if candidate in positive_set:
                 positive_scores.append(score)
             else:

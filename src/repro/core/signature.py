@@ -19,6 +19,7 @@ reproducible run-to-run.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, FrozenSet, Iterator, Mapping, Tuple
 
 from repro.exceptions import SchemeError
@@ -38,7 +39,7 @@ class Signature:
     descending) and as a mapping (:meth:`weight`).
     """
 
-    __slots__ = ("_owner", "_entries", "_weights", "_nodes")
+    __slots__ = ("_owner", "_entries", "_weights", "_nodes", "_total_weight")
 
     def __init__(self, owner: NodeId, entries: Mapping[NodeId, Weight] | None = None) -> None:
         self._owner = owner
@@ -54,6 +55,7 @@ class Signature:
         self._entries: Tuple[SignatureEntry, ...] = ordered
         self._weights: Dict[NodeId, Weight] = dict(ordered)
         self._nodes: FrozenSet[NodeId] = frozenset(self._weights)
+        self._total_weight: float = math.fsum(self._weights.values())
 
     # ------------------------------------------------------------------
     # Construction
@@ -102,6 +104,17 @@ class Signature:
         """Weight of ``node`` in the signature; zero if absent."""
         return self._weights.get(node, 0.0)
 
+    @property
+    def total_weight(self) -> float:
+        """Exact sum of all entry weights (memoized at construction).
+
+        Computed once with :func:`math.fsum` so repeated distance
+        evaluations — the hot path of every experiment — never re-reduce
+        the weight vector.  Signatures are immutable, so the cache can
+        never go stale.
+        """
+        return self._total_weight
+
     def as_dict(self) -> Dict[NodeId, Weight]:
         """Mutable copy of the node -> weight mapping."""
         return dict(self._weights)
@@ -113,7 +126,7 @@ class Signature:
         ratio structure intact for the weighted distances; it is useful
         when comparing signatures produced with different global scales.
         """
-        total = sum(self._weights.values())
+        total = self._total_weight
         if total == 0:
             return Signature(self._owner, {})
         return Signature(

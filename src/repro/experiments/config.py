@@ -37,12 +37,19 @@ RWR_HOPS: Tuple[int, ...] = (3, 5, 7)
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Bundle of knobs shared across experiment modules."""
+    """Bundle of knobs shared across experiment modules.
+
+    ``jobs`` fans the (scheme x distance x window) experiment grid across
+    worker processes via :mod:`repro.parallel`: ``1`` runs serially,
+    ``N > 1`` uses up to ``N`` processes, ``0``/negative uses every CPU.
+    Results are assembled in deterministic order regardless of ``jobs``.
+    """
 
     scale: str = "paper"
     distances: Tuple[str, ...] = ("jaccard", "dice", "sdice", "shel")
     reset_probability: float = RESET_PROBABILITY
     rwr_hops: Tuple[int, ...] = RWR_HOPS
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.scale not in ("paper", "small"):

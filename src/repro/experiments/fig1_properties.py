@@ -9,7 +9,7 @@ and lowest on persistence, RWR^h the opposite, TT in between.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.core.distances import DISPLAY_NAMES, get_distance
 from repro.core.properties import PropertyEllipse, property_ellipse
@@ -23,6 +23,7 @@ from repro.experiments.config import (
     make_schemes,
 )
 from repro.experiments.report import format_table
+from repro.parallel import MapExecutor, parallel_map
 
 #: Pair-sampling cap keeping the |V|^2 uniqueness enumeration tractable.
 MAX_UNIQUENESS_PAIRS = 20000
@@ -39,36 +40,54 @@ def _dataset_setup(dataset: str, config: ExperimentConfig):
     raise ExperimentError(f"unknown dataset {dataset!r}; use 'network' or 'querylog'")
 
 
+def _scheme_ellipses(
+    task: Tuple[str, ExperimentConfig, str]
+) -> List[PropertyEllipse]:
+    """One grid cell of the parallel fan-out: all ellipses for one scheme.
+
+    Module-level and config-driven so it pickles cleanly to worker
+    processes; datasets are deterministic and cached per process.
+    """
+    dataset, config, scheme_label = task
+    graph_now, graph_next, population, k = _dataset_setup(dataset, config)
+    scheme = make_schemes(k, config.reset_probability, config.rwr_hops)[scheme_label]
+    signatures_now = scheme.compute_all(graph_now, population)
+    signatures_next = scheme.compute_all(graph_next, population)
+    return [
+        property_ellipse(
+            signatures_now,
+            signatures_next,
+            get_distance(distance_name),
+            scheme_name=scheme_label,
+            distance_name=DISPLAY_NAMES[distance_name],
+            nodes=population,
+            max_pairs=MAX_UNIQUENESS_PAIRS,
+        )
+        for distance_name in config.distances
+    ]
+
+
 def run_fig1(
     dataset: str = "network",
     config: ExperimentConfig | None = None,
+    executor: MapExecutor | None = None,
 ) -> List[PropertyEllipse]:
     """Compute the Figure 1 ellipses for one dataset.
 
     Returns one :class:`PropertyEllipse` per (scheme, distance) pair, in
-    scheme-major order.
+    scheme-major order.  The per-scheme cells fan out across processes
+    when ``config.jobs`` > 1 (or through an injected ``executor``).
     """
     config = config or ExperimentConfig()
-    graph_now, graph_next, population, k = _dataset_setup(dataset, config)
-    schemes = make_schemes(k, config.reset_probability, config.rwr_hops)
-
-    ellipses: List[PropertyEllipse] = []
-    for scheme_label, scheme in schemes.items():
-        signatures_now = scheme.compute_all(graph_now, population)
-        signatures_next = scheme.compute_all(graph_next, population)
-        for distance_name in config.distances:
-            ellipses.append(
-                property_ellipse(
-                    signatures_now,
-                    signatures_next,
-                    get_distance(distance_name),
-                    scheme_name=scheme_label,
-                    distance_name=DISPLAY_NAMES[distance_name],
-                    nodes=population,
-                    max_pairs=MAX_UNIQUENESS_PAIRS,
-                )
-            )
-    return ellipses
+    _dataset_setup(dataset, config)  # validate the dataset name up front
+    scheme_labels = list(make_schemes(1, config.reset_probability, config.rwr_hops))
+    per_scheme = parallel_map(
+        _scheme_ellipses,
+        [(dataset, config, label) for label in scheme_labels],
+        jobs=config.jobs,
+        executor=executor,
+    )
+    return [ellipse for ellipses in per_scheme for ellipse in ellipses]
 
 
 def format_fig1(ellipses: List[PropertyEllipse], dataset: str = "network") -> str:

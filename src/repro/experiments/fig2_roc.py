@@ -23,6 +23,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.report import format_series_block
 from repro.graph.comm_graph import CommGraph
+from repro.parallel import MapExecutor, parallel_map
 from repro.types import NodeId
 
 
@@ -59,18 +60,45 @@ def identity_roc_for_schemes(
     return results
 
 
+def _scheme_identity_roc(task) -> IdentityRocResult:
+    """Parallel grid cell: identity ROC for one scheme (network data)."""
+    config, distance_name, scheme_label = task
+    data = get_enterprise_dataset(config.scale)
+    scheme = make_schemes(NETWORK_K, config.reset_probability, config.rwr_hops)[
+        scheme_label
+    ]
+    signatures_now = scheme.compute_all(data.graphs[0], data.local_hosts)
+    signatures_next = scheme.compute_all(data.graphs[1], data.local_hosts)
+    return roc_identity(
+        signatures_now,
+        signatures_next,
+        get_distance(distance_name),
+        queries=data.local_hosts,
+        candidates=list(data.local_hosts),
+    )
+
+
 def run_fig2(
     distance_name: str = "shel",
     config: ExperimentConfig | None = None,
+    executor: MapExecutor | None = None,
 ) -> Fig2Result:
-    """Compute the Figure 2 curves (network data, one distance)."""
+    """Compute the Figure 2 curves (network data, one distance).
+
+    The per-scheme curves fan out across processes when ``config.jobs``
+    exceeds one (or through an injected ``executor``).
+    """
     config = config or ExperimentConfig()
-    data = get_enterprise_dataset(config.scale)
-    schemes = make_schemes(NETWORK_K, config.reset_probability, config.rwr_hops)
-    results = identity_roc_for_schemes(
-        data.graphs[0], data.graphs[1], schemes, distance_name, data.local_hosts
+    scheme_labels = list(make_schemes(1, config.reset_probability, config.rwr_hops))
+    curves = parallel_map(
+        _scheme_identity_roc,
+        [(config, distance_name, label) for label in scheme_labels],
+        jobs=config.jobs,
+        executor=executor,
     )
-    return Fig2Result(distance=distance_name, results=results)
+    return Fig2Result(
+        distance=distance_name, results=dict(zip(scheme_labels, curves))
+    )
 
 
 def format_fig2(result: Fig2Result) -> str:

@@ -10,8 +10,9 @@ schemes are near-perfect on the query logs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
+from repro.core.roc import roc_identity
 from repro.exceptions import ExperimentError
 from repro.experiments.config import (
     NETWORK_K,
@@ -21,9 +22,9 @@ from repro.experiments.config import (
     get_querylog_dataset,
     make_schemes,
 )
-from repro.experiments.fig2_roc import identity_roc_for_schemes
 from repro.experiments.report import format_table
 from repro.core.distances import DISPLAY_NAMES
+from repro.parallel import MapExecutor, parallel_map
 
 
 @dataclass(frozen=True)
@@ -35,33 +36,65 @@ class Fig3Result:
     auc: Dict[str, Dict[str, float]]
 
 
+def _dataset_setup(dataset: str, config: ExperimentConfig):
+    if dataset == "network":
+        data = get_enterprise_dataset(config.scale)
+        return data.graphs[0], data.graphs[1], data.local_hosts, NETWORK_K
+    if dataset == "querylog":
+        data = get_querylog_dataset(config.scale)
+        return data.graphs[0], data.graphs[1], data.users, QUERYLOG_K
+    raise ExperimentError(f"unknown dataset {dataset!r}")
+
+
+def _scheme_aucs(task: Tuple[str, ExperimentConfig, str]) -> Dict[str, float]:
+    """Parallel grid cell: mean self-identification AUC per distance for
+    one scheme.  Signatures are computed once and scored through the
+    batch kernels for every distance."""
+    dataset, config, scheme_label = task
+    graph_now, graph_next, population, k = _dataset_setup(dataset, config)
+    scheme = make_schemes(k, config.reset_probability, config.rwr_hops)[scheme_label]
+    signatures_now = scheme.compute_all(graph_now, population)
+    signatures_next = scheme.compute_all(graph_next, population)
+    return {
+        distance_name: roc_identity(
+            signatures_now,
+            signatures_next,
+            distance_name,
+            queries=population,
+            candidates=list(population),
+        ).mean_auc
+        for distance_name in config.distances
+    }
+
+
 def run_fig3(
     dataset: str = "network",
     config: ExperimentConfig | None = None,
+    executor: MapExecutor | None = None,
 ) -> Fig3Result:
-    """Compute the Figure 3(a) or 3(b) AUC matrix."""
-    config = config or ExperimentConfig()
-    if dataset == "network":
-        data = get_enterprise_dataset(config.scale)
-        graph_now, graph_next = data.graphs[0], data.graphs[1]
-        population, k = data.local_hosts, NETWORK_K
-    elif dataset == "querylog":
-        data = get_querylog_dataset(config.scale)
-        graph_now, graph_next = data.graphs[0], data.graphs[1]
-        population, k = data.users, QUERYLOG_K
-    else:
-        raise ExperimentError(f"unknown dataset {dataset!r}")
+    """Compute the Figure 3(a) or 3(b) AUC matrix.
 
-    schemes = make_schemes(k, config.reset_probability, config.rwr_hops)
-    auc: Dict[str, Dict[str, float]] = {}
-    for distance_name in config.distances:
-        results = identity_roc_for_schemes(
-            graph_now, graph_next, schemes, distance_name, population
-        )
-        auc[distance_name] = {
-            label: result.mean_auc for label, result in results.items()
+    The per-scheme cells fan out across processes when ``config.jobs`` > 1
+    (or through an injected ``executor``); each cell computes a scheme's
+    signatures once and evaluates every distance on them.
+    """
+    config = config or ExperimentConfig()
+    _dataset_setup(dataset, config)  # validate the dataset name up front
+    scheme_labels = list(make_schemes(1, config.reset_probability, config.rwr_hops))
+    per_scheme = parallel_map(
+        _scheme_aucs,
+        [(dataset, config, label) for label in scheme_labels],
+        jobs=config.jobs,
+        executor=executor,
+    )
+    auc: Dict[str, Dict[str, float]] = {
+        distance_name: {
+            label: result[distance_name]
+            for label, result in zip(scheme_labels, per_scheme)
         }
-    return Fig3Result(dataset=dataset, scheme_labels=tuple(schemes), auc=auc)
+        for distance_name in config.distances
+    }
+    return Fig3Result(dataset=dataset, scheme_labels=tuple(scheme_labels), auc=auc)
 
 
 def format_fig3(result: Fig3Result) -> str:

@@ -18,6 +18,7 @@ from typing import Dict, Hashable, List, Set, Tuple
 import numpy as np
 
 from repro.core.distances import DistanceFunction, dist_jaccard
+from repro.core.packed import SignaturePack, batch_metric_name, cross_matrix
 from repro.core.signature import Signature
 from repro.exceptions import MatchingError
 from repro.matching.minhash import MinHasher
@@ -124,9 +125,32 @@ class ApproxSignatureIndex:
         sketch = self.minhasher.sketch_signature(signature)
         exclude = signature.owner if exclude_self else None
         candidates = self.lsh.candidates(sketch, exclude=exclude)
-        scored = [
-            (owner, self.distance(signature, self._signatures[owner]))
-            for owner in candidates
-        ]
+        scored = self._rerank(signature, candidates)
         scored.sort(key=lambda item: (item[1], str(item[0])))
         return scored[:k]
+
+    def _rerank(
+        self, signature: Signature, candidates: Set[Hashable]
+    ) -> List[Tuple[NodeId, float]]:
+        """Exact distances for the LSH candidate set.
+
+        Registered distances go through one batch
+        :func:`~repro.core.packed.cross_matrix` call (query row against
+        the packed candidate signatures); custom callables fall back to
+        the scalar loop.
+        """
+        if not candidates:
+            return []
+        kernel = batch_metric_name(self.distance)
+        if kernel is None:
+            return [
+                (owner, self.distance(signature, self._signatures[owner]))
+                for owner in candidates
+            ]
+        candidate_list = list(candidates)
+        pack_query = SignaturePack.from_signatures([signature])
+        pack_candidates = SignaturePack.from_signatures(
+            [self._signatures[owner] for owner in candidate_list]
+        )
+        distances = cross_matrix(pack_query, pack_candidates, kernel)[0]
+        return list(zip(candidate_list, distances.tolist()))

@@ -1,0 +1,76 @@
+"""Distance edge cases, asserted identically on the scalar and batch paths.
+
+Every distance must agree on the degenerate inputs that experiments
+actually produce: nodes absent from a window (empty signatures), disjoint
+neighbourhoods, self-comparison, and values clamped to [0, 1].
+"""
+
+import pytest
+
+from repro.core.distances import available_distances, get_distance
+from repro.core.packed import SignaturePack, cross_matrix
+from repro.core.signature import Signature
+
+DISTANCES = available_distances()
+
+EMPTY_A = Signature("a", {})
+EMPTY_B = Signature("b", {})
+SINGLE = Signature("s", {"x": 3.0})
+DISJOINT = Signature("d", {"y": 1.0, "z": 2.0})
+IDENTICAL_A = Signature("p", {"x": 1.0, "y": 2.5})
+IDENTICAL_B = Signature("q", {"x": 1.0, "y": 2.5})
+OVERLAP_A = Signature("o1", {"x": 4.0, "y": 1.0})
+OVERLAP_B = Signature("o2", {"x": 1.0, "z": 4.0})
+
+
+def batch_value(first, second, metric):
+    """The same comparison through the packed cross kernel."""
+    pack_a = SignaturePack.from_signatures([first])
+    pack_b = SignaturePack.from_signatures([second])
+    return float(cross_matrix(pack_a, pack_b, metric)[0, 0])
+
+
+def both_paths(first, second, metric):
+    scalar = get_distance(metric)(first, second)
+    batch = batch_value(first, second, metric)
+    assert batch == pytest.approx(scalar, abs=1e-12)
+    return scalar
+
+
+@pytest.mark.parametrize("metric", DISTANCES)
+class TestDistanceEdgeCases:
+    def test_empty_vs_empty_is_zero(self, metric):
+        assert both_paths(EMPTY_A, EMPTY_B, metric) == 0.0
+
+    def test_empty_vs_nonempty_is_one(self, metric):
+        assert both_paths(EMPTY_A, SINGLE, metric) == 1.0
+        assert both_paths(SINGLE, EMPTY_A, metric) == 1.0
+
+    def test_disjoint_supports_is_one(self, metric):
+        assert both_paths(SINGLE, DISJOINT, metric) == 1.0
+
+    def test_identical_entries_is_zero(self, metric):
+        assert both_paths(IDENTICAL_A, IDENTICAL_B, metric) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_self_comparison_is_zero(self, metric):
+        assert both_paths(SINGLE, SINGLE, metric) == pytest.approx(0.0, abs=1e-12)
+
+    def test_partial_overlap_strictly_between(self, metric):
+        value = both_paths(OVERLAP_A, OVERLAP_B, metric)
+        assert 0.0 < value < 1.0
+
+    def test_symmetry(self, metric):
+        forward = both_paths(OVERLAP_A, OVERLAP_B, metric)
+        backward = both_paths(OVERLAP_B, OVERLAP_A, metric)
+        assert forward == pytest.approx(backward, abs=1e-12)
+
+    def test_clamped_to_unit_interval(self, metric):
+        # Extreme magnitudes stress the floating-point clamp (kept within
+        # the range where products of weights stay representable).
+        tiny = Signature("t", {"x": 1e-30, "y": 1e-30})
+        huge = Signature("h", {"x": 1e30, "z": 1e30})
+        for first, second in [(tiny, huge), (tiny, tiny), (huge, huge)]:
+            value = both_paths(first, second, metric)
+            assert 0.0 <= value <= 1.0

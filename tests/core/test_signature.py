@@ -116,3 +116,38 @@ class TestEqualityAndHash:
         text = repr(signature)
         assert "owner='v'" in text
         assert "..." in text  # more than four entries elided
+
+
+class TestTotalWeightMemoization:
+    def test_total_weight_matches_fsum(self):
+        import math
+
+        weights = {f"n{i}": 0.1 for i in range(10)}
+        signature = Signature("v", weights)
+        assert signature.total_weight == math.fsum(weights.values())
+
+    def test_total_weight_empty(self):
+        assert Signature("v", {}).total_weight == 0.0
+
+    def test_signature_is_immutable(self):
+        signature = Signature("v", {"a": 1.0, "b": 2.0})
+        with pytest.raises(AttributeError):
+            signature.owner = "u"  # type: ignore[misc]
+        with pytest.raises(AttributeError):
+            signature.extra = 1  # type: ignore[attr-defined]
+        mutated = signature.as_dict()
+        mutated["a"] = 9.0
+        assert signature.weight("a") == 1.0
+        assert signature.total_weight == 3.0
+
+    def test_memoized_total_consistent_with_entries(self):
+        signature = Signature("v", {"a": 1.5, "b": 2.5, "c": 0.25})
+        assert signature.total_weight == sum(w for _, w in signature.entries)
+
+    def test_source_dict_mutation_does_not_leak(self):
+        weights = {"a": 1.0}
+        signature = Signature("v", weights)
+        weights["a"] = 100.0
+        weights["b"] = 5.0
+        assert signature.total_weight == 1.0
+        assert signature.nodes == {"a"}

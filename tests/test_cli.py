@@ -21,6 +21,13 @@ class TestParser:
         args = build_parser().parse_args(["fig2"])
         assert args.scale == "paper"
         assert args.distance == "shel"
+        assert args.jobs == 1
+
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["fig1", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["fig3", "--jobs", "0"])
+        assert args.jobs == 0
 
 
 class TestMain:

@@ -1,0 +1,102 @@
+"""Tests for the parallel experiment fan-out (`repro.parallel`)."""
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig1_properties import run_fig1
+from repro.experiments.fig3_auc import run_fig3
+from repro.parallel import SerialExecutor, effective_jobs, parallel_map
+
+
+def square(value):
+    return value * value
+
+
+def fail_on_three(value):
+    if value == 3:
+        raise ValueError("boom")
+    return value
+
+
+class RecordingExecutor:
+    """Injectable executor that records what it was asked to map."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def map(self, function, tasks):
+        self.calls += 1
+        return [function(task) for task in tasks]
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_empty_tasks(self):
+        assert parallel_map(square, [], jobs=4) == []
+
+    def test_single_task_stays_in_process(self):
+        assert parallel_map(square, [7], jobs=8) == [49]
+
+    def test_process_pool_preserves_input_order(self):
+        tasks = list(range(20))
+        assert parallel_map(square, tasks, jobs=2) == [t * t for t in tasks]
+
+    def test_process_pool_matches_serial(self):
+        tasks = list(range(12))
+        assert parallel_map(square, tasks, jobs=3) == parallel_map(
+            square, tasks, jobs=1
+        )
+
+    def test_injected_executor_wins_over_jobs(self):
+        executor = RecordingExecutor()
+        result = parallel_map(square, [1, 2, 3], jobs=64, executor=executor)
+        assert result == [1, 4, 9]
+        assert executor.calls == 1
+
+    def test_serial_executor(self):
+        executor = SerialExecutor()
+        assert list(executor.map(square, [2, 4])) == [4, 16]
+        executor.shutdown()  # no-op, must not raise
+
+    def test_exceptions_propagate_serial(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(fail_on_three, [1, 3], jobs=1)
+
+    def test_exceptions_propagate_across_processes(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(fail_on_three, [1, 2, 3, 4], jobs=2)
+
+
+class TestEffectiveJobs:
+    def test_positive_passthrough(self):
+        assert effective_jobs(1) == 1
+        assert effective_jobs(5) == 5
+
+    def test_nonpositive_means_cpu_count(self):
+        expected = os.cpu_count() or 1
+        assert effective_jobs(0) == expected
+        assert effective_jobs(-1) == expected
+
+
+class TestExperimentFanOut:
+    """The experiment grid gives identical results on every execution path."""
+
+    def test_fig1_executor_injection_matches_serial(self):
+        config = ExperimentConfig(scale="small")
+        serial = run_fig1("network", config)
+        injected = run_fig1("network", config, executor=SerialExecutor())
+        assert serial == injected
+
+    def test_fig3_processes_match_serial(self):
+        serial = run_fig3("network", ExperimentConfig(scale="small", jobs=1))
+        parallel = run_fig3("network", ExperimentConfig(scale="small", jobs=2))
+        assert serial.scheme_labels == parallel.scheme_labels
+        for distance_name, per_scheme in serial.auc.items():
+            for label, value in per_scheme.items():
+                assert parallel.auc[distance_name][label] == pytest.approx(
+                    value, abs=1e-12
+                )

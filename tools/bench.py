@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Perf regression harness: scalar vs. batch distance kernels.
+
+Times the vectorized kernels in :mod:`repro.core.packed` against the
+scalar fallback loops *through the same call sites* (the scalar side runs
+under :func:`repro.core.packed.batch_disabled`), asserts numerical
+agreement, and writes a machine-readable record to
+``benchmarks/perf/BENCH_distance_kernels.json``.
+
+Benchmarked operations:
+
+- ``uniqueness_all_pairs``: all-pairs uniqueness over a synthetic window
+  (the acceptance gate: >= 10x at n=2000 for every distance)
+- ``cross_identification``: the n x n identity score matrix between two
+  consecutive windows (the fig2/fig3 inner loop)
+- ``fig1_end_to_end`` / ``fig3_end_to_end``: full experiment drivers at
+  small scale, serial vs. batch
+
+Usage::
+
+    python tools/bench.py                 # full run, n=2000 windows
+    python tools/bench.py --quick         # CI smoke: small n, agreement only
+    python tools/bench.py --output out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.core.distances import available_distances
+from repro.core.packed import SignaturePack, batch_disabled, cross_matrix
+from repro.core.properties import uniqueness_values
+from repro.core.signature import Signature
+
+DEFAULT_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_distance_kernels.json"
+AGREEMENT_TOLERANCE = 1e-9
+
+
+def synthetic_window(count: int, k: int, seed: int, churn: float = 0.0) -> dict:
+    """A seeded window of ``count`` signatures with ``k`` entries each.
+
+    Members are drawn from a shared vocabulary sized for realistic overlap
+    (a few percent of pairs share members, like hosts sharing peers).
+    ``churn`` resamples that fraction of each signature's members — use it
+    to derive a correlated "next window" from the same seed.
+    """
+    rng = random.Random(seed)
+    vocab = [f"peer{i}" for i in range(max(4 * k, count // 2))]
+    signatures = {}
+    for i in range(count):
+        owner = f"host{i}"
+        members = rng.sample(vocab, k)
+        if churn:
+            fresh = rng.sample(vocab, k)
+            members = [
+                fresh[j] if rng.random() < churn else member
+                for j, member in enumerate(members)
+            ]
+        signatures[owner] = Signature(
+            owner, {member: rng.uniform(0.5, 20.0) for member in set(members)}
+        )
+    return signatures
+
+
+def timed(function, repeats: int = 1):
+    """Best-of-``repeats`` wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def check_agreement(op: str, distance: str, batch_values, scalar_values) -> float:
+    batch_array = np.asarray(batch_values, dtype=np.float64)
+    scalar_array = np.asarray(scalar_values, dtype=np.float64)
+    worst = float(np.abs(batch_array - scalar_array).max()) if batch_array.size else 0.0
+    if worst > AGREEMENT_TOLERANCE:
+        raise AssertionError(
+            f"{op}/{distance}: batch and scalar disagree by {worst:.3e} "
+            f"(tolerance {AGREEMENT_TOLERANCE:.0e})"
+        )
+    return worst
+
+
+def bench_uniqueness(n: int, k: int, repeats: int, records: list) -> None:
+    """All-pairs uniqueness: the paper's O(n^2) property measurement."""
+    signatures = synthetic_window(n, k, seed=7)
+    nodes = sorted(signatures)
+    for distance in available_distances():
+        batch_wall, batch_result = timed(
+            lambda: uniqueness_values(signatures, distance, nodes=nodes),
+            repeats=repeats,
+        )
+        with batch_disabled():
+            scalar_wall, scalar_result = timed(
+                lambda: uniqueness_values(signatures, distance, nodes=nodes)
+            )
+        worst = check_agreement(
+            "uniqueness_all_pairs", distance, batch_result, scalar_result
+        )
+        records.append(
+            {
+                "op": "uniqueness_all_pairs",
+                "distance": distance,
+                "n": n,
+                "pairs": n * (n - 1) // 2,
+                "scalar_wall_s": round(scalar_wall, 6),
+                "batch_wall_s": round(batch_wall, 6),
+                "speedup": round(scalar_wall / batch_wall, 2),
+                "max_abs_diff": worst,
+            }
+        )
+
+
+def bench_cross_identification(n: int, k: int, repeats: int, records: list) -> None:
+    """The n x n score matrix between two windows (fig2/fig3 inner loop)."""
+    signatures_now = synthetic_window(n, k, seed=7)
+    signatures_next = synthetic_window(n, k, seed=7, churn=0.3)
+    order = sorted(signatures_now)
+    pack_now = SignaturePack.from_signatures(signatures_now, order=order)
+    pack_next = SignaturePack.from_signatures(signatures_next, order=order)
+    for distance in available_distances():
+        batch_wall, batch_matrix = timed(
+            lambda: cross_matrix(pack_now, pack_next, distance), repeats=repeats
+        )
+        with batch_disabled():
+            scalar_wall, scalar_matrix = timed(
+                lambda: cross_matrix(pack_now, pack_next, distance)
+            )
+        worst = check_agreement(
+            "cross_identification", distance, batch_matrix, scalar_matrix
+        )
+        records.append(
+            {
+                "op": "cross_identification",
+                "distance": distance,
+                "n": n,
+                "pairs": n * n,
+                "scalar_wall_s": round(scalar_wall, 6),
+                "batch_wall_s": round(batch_wall, 6),
+                "speedup": round(scalar_wall / batch_wall, 2),
+                "max_abs_diff": worst,
+            }
+        )
+
+
+def bench_experiments(records: list) -> None:
+    """End-to-end fig1/fig3 at small scale, scalar vs. batch paths."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.fig1_properties import run_fig1
+    from repro.experiments.fig3_auc import run_fig3
+
+    config = ExperimentConfig(scale="small")
+    for op, runner in [
+        ("fig1_end_to_end", lambda: run_fig1("network", config)),
+        ("fig3_end_to_end", lambda: run_fig3("network", config)),
+    ]:
+        batch_wall, _ = timed(runner)
+        with batch_disabled():
+            scalar_wall, _ = timed(runner)
+        records.append(
+            {
+                "op": op,
+                "distance": "all",
+                "n": "small-scale",
+                "scalar_wall_s": round(scalar_wall, 6),
+                "batch_wall_s": round(batch_wall, 6),
+                "speedup": round(scalar_wall / batch_wall, 2),
+            }
+        )
+
+
+def warm_up() -> None:
+    """Prime BLAS threads / page caches so first-call cost is not timed."""
+    signatures = synthetic_window(64, 10, seed=1)
+    pack = SignaturePack.from_signatures(signatures)
+    for distance in available_distances():
+        cross_matrix(pack, pack, distance)
+        uniqueness_values(signatures, distance)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small windows, agreement checks only",
+    )
+    parser.add_argument("--n", type=int, default=2000, help="window size (hosts)")
+    parser.add_argument(
+        "--k",
+        type=int,
+        default=10,
+        help="signature length (default matches the experiments' NETWORK_K)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    n = 200 if args.quick else args.n
+    repeats = 1 if args.quick else 3
+
+    warm_up()
+    records: list = []
+    bench_uniqueness(n, args.k, repeats, records)
+    bench_cross_identification(min(n, 1000), args.k, repeats, records)
+    if not args.quick:
+        bench_experiments(records)
+
+    payload = {
+        "benchmark": "distance_kernels",
+        "mode": "quick" if args.quick else "full",
+        "window": {"n": n, "k": args.k},
+        "agreement_tolerance": AGREEMENT_TOLERANCE,
+        "results": records,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    width = max(len(record["op"]) for record in records)
+    for record in records:
+        print(
+            f"{record['op']:<{width}}  {record['distance']:<8}"
+            f"  scalar {record['scalar_wall_s']:>9.4f}s"
+            f"  batch {record['batch_wall_s']:>9.4f}s"
+            f"  speedup {record['speedup']:>8.2f}x"
+        )
+    print(f"\nwrote {args.output}")
+
+    gate = [
+        record
+        for record in records
+        if record["op"] == "uniqueness_all_pairs" and record["speedup"] < 10
+    ]
+    if not args.quick and gate:
+        print(
+            "FAIL: speedup below 10x for: "
+            + ", ".join(record["distance"] for record in gate)
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
