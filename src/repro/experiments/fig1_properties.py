@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.core.distances import DISPLAY_NAMES, get_distance
 from repro.core.properties import PropertyEllipse, property_ellipse
 from repro.exceptions import ExperimentError
@@ -49,22 +50,23 @@ def _scheme_ellipses(
     processes; datasets are deterministic and cached per process.
     """
     dataset, config, scheme_label = task
-    graph_now, graph_next, population, k = _dataset_setup(dataset, config)
-    scheme = make_schemes(k, config.reset_probability, config.rwr_hops)[scheme_label]
-    signatures_now = scheme.compute_all(graph_now, population)
-    signatures_next = scheme.compute_all(graph_next, population)
-    return [
-        property_ellipse(
-            signatures_now,
-            signatures_next,
-            get_distance(distance_name),
-            scheme_name=scheme_label,
-            distance_name=DISPLAY_NAMES[distance_name],
-            nodes=population,
-            max_pairs=MAX_UNIQUENESS_PAIRS,
-        )
-        for distance_name in config.distances
-    ]
+    with obs.span("fig1.cell", scheme=scheme_label):
+        graph_now, graph_next, population, k = _dataset_setup(dataset, config)
+        scheme = make_schemes(k, config.reset_probability, config.rwr_hops)[scheme_label]
+        signatures_now = scheme.compute_all(graph_now, population)
+        signatures_next = scheme.compute_all(graph_next, population)
+        return [
+            property_ellipse(
+                signatures_now,
+                signatures_next,
+                get_distance(distance_name),
+                scheme_name=scheme_label,
+                distance_name=DISPLAY_NAMES[distance_name],
+                nodes=population,
+                max_pairs=MAX_UNIQUENESS_PAIRS,
+            )
+            for distance_name in config.distances
+        ]
 
 
 def run_fig1(
@@ -81,12 +83,13 @@ def run_fig1(
     config = config or ExperimentConfig()
     _dataset_setup(dataset, config)  # validate the dataset name up front
     scheme_labels = list(make_schemes(1, config.reset_probability, config.rwr_hops))
-    per_scheme = parallel_map(
-        _scheme_ellipses,
-        [(dataset, config, label) for label in scheme_labels],
-        jobs=config.jobs,
-        executor=executor,
-    )
+    with obs.span("experiment.fig1", dataset=dataset):
+        per_scheme = parallel_map(
+            _scheme_ellipses,
+            [(dataset, config, label) for label in scheme_labels],
+            jobs=config.jobs,
+            executor=executor,
+        )
     return [ellipse for ellipses in per_scheme for ellipse in ellipses]
 
 

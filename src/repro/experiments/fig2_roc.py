@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from repro import obs
 from repro.core.distances import get_distance
 from repro.core.roc import IdentityRocResult, roc_identity
 from repro.core.scheme import SignatureScheme
@@ -63,19 +64,20 @@ def identity_roc_for_schemes(
 def _scheme_identity_roc(task) -> IdentityRocResult:
     """Parallel grid cell: identity ROC for one scheme (network data)."""
     config, distance_name, scheme_label = task
-    data = get_enterprise_dataset(config.scale)
-    scheme = make_schemes(NETWORK_K, config.reset_probability, config.rwr_hops)[
-        scheme_label
-    ]
-    signatures_now = scheme.compute_all(data.graphs[0], data.local_hosts)
-    signatures_next = scheme.compute_all(data.graphs[1], data.local_hosts)
-    return roc_identity(
-        signatures_now,
-        signatures_next,
-        get_distance(distance_name),
-        queries=data.local_hosts,
-        candidates=list(data.local_hosts),
-    )
+    with obs.span("fig2.cell", scheme=scheme_label, distance=distance_name):
+        data = get_enterprise_dataset(config.scale)
+        scheme = make_schemes(NETWORK_K, config.reset_probability, config.rwr_hops)[
+            scheme_label
+        ]
+        signatures_now = scheme.compute_all(data.graphs[0], data.local_hosts)
+        signatures_next = scheme.compute_all(data.graphs[1], data.local_hosts)
+        return roc_identity(
+            signatures_now,
+            signatures_next,
+            get_distance(distance_name),
+            queries=data.local_hosts,
+            candidates=list(data.local_hosts),
+        )
 
 
 def run_fig2(
@@ -90,12 +92,13 @@ def run_fig2(
     """
     config = config or ExperimentConfig()
     scheme_labels = list(make_schemes(1, config.reset_probability, config.rwr_hops))
-    curves = parallel_map(
-        _scheme_identity_roc,
-        [(config, distance_name, label) for label in scheme_labels],
-        jobs=config.jobs,
-        executor=executor,
-    )
+    with obs.span("experiment.fig2", distance=distance_name):
+        curves = parallel_map(
+            _scheme_identity_roc,
+            [(config, distance_name, label) for label in scheme_labels],
+            jobs=config.jobs,
+            executor=executor,
+        )
     return Fig2Result(
         distance=distance_name, results=dict(zip(scheme_labels, curves))
     )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.core.roc import roc_identity
 from repro.exceptions import ExperimentError
 from repro.experiments.config import (
@@ -51,20 +52,21 @@ def _scheme_aucs(task: Tuple[str, ExperimentConfig, str]) -> Dict[str, float]:
     one scheme.  Signatures are computed once and scored through the
     batch kernels for every distance."""
     dataset, config, scheme_label = task
-    graph_now, graph_next, population, k = _dataset_setup(dataset, config)
-    scheme = make_schemes(k, config.reset_probability, config.rwr_hops)[scheme_label]
-    signatures_now = scheme.compute_all(graph_now, population)
-    signatures_next = scheme.compute_all(graph_next, population)
-    return {
-        distance_name: roc_identity(
-            signatures_now,
-            signatures_next,
-            distance_name,
-            queries=population,
-            candidates=list(population),
-        ).mean_auc
-        for distance_name in config.distances
-    }
+    with obs.span("fig3.cell", scheme=scheme_label, dataset=dataset):
+        graph_now, graph_next, population, k = _dataset_setup(dataset, config)
+        scheme = make_schemes(k, config.reset_probability, config.rwr_hops)[scheme_label]
+        signatures_now = scheme.compute_all(graph_now, population)
+        signatures_next = scheme.compute_all(graph_next, population)
+        return {
+            distance_name: roc_identity(
+                signatures_now,
+                signatures_next,
+                distance_name,
+                queries=population,
+                candidates=list(population),
+            ).mean_auc
+            for distance_name in config.distances
+        }
 
 
 def run_fig3(
@@ -81,12 +83,13 @@ def run_fig3(
     config = config or ExperimentConfig()
     _dataset_setup(dataset, config)  # validate the dataset name up front
     scheme_labels = list(make_schemes(1, config.reset_probability, config.rwr_hops))
-    per_scheme = parallel_map(
-        _scheme_aucs,
-        [(dataset, config, label) for label in scheme_labels],
-        jobs=config.jobs,
-        executor=executor,
-    )
+    with obs.span("experiment.fig3", dataset=dataset):
+        per_scheme = parallel_map(
+            _scheme_aucs,
+            [(dataset, config, label) for label in scheme_labels],
+            jobs=config.jobs,
+            executor=executor,
+        )
     auc: Dict[str, Dict[str, float]] = {
         distance_name: {
             label: result[distance_name]

@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.distances import get_distance
 from repro.core.properties import persistence_values
 from repro.core.roc import roc_identity
@@ -53,35 +54,44 @@ class Fig4Result:
 def _perturbed_cell(task) -> Tuple[Dict[str, float], Dict[str, float]]:
     """Parallel grid cell: AUC + direct robustness for one
     (intensity, scheme) pair, over every distance."""
-    config, intensity, scheme_label, seed = task
-    data = get_enterprise_dataset(config.scale)
-    graph = data.graphs[0]
-    population = data.local_hosts
-    perturbed = perturb_graph(graph, alpha=intensity, beta=intensity, rng=seed)
-    scheme = application_schemes(NETWORK_K, config.reset_probability)[scheme_label]
-    signatures = scheme.compute_all(graph, population)
-    perturbed_signatures = scheme.compute_all(perturbed, population)
-    auc_by_distance: Dict[str, float] = {}
-    robustness_by_distance: Dict[str, float] = {}
-    for distance_name in config.distances:
-        distance = get_distance(distance_name)
-        result = roc_identity(
-            signatures,
-            perturbed_signatures,
-            distance,
-            queries=population,
-            candidates=list(population),
+    config, intensity_index, intensity, scheme_label, seed = task
+    with obs.span("fig4.cell", scheme=scheme_label, intensity=str(intensity)):
+        data = get_enterprise_dataset(config.scale)
+        graph = data.graphs[0]
+        population = data.local_hosts
+        # Derive an independent stream per intensity *position* in the grid.
+        # Passing the raw run seed to every cell gave all intensities the
+        # same perturbation stream (and made replicate intensities
+        # identical); schemes within one intensity still share the stream,
+        # so they are compared against the same perturbed graph.
+        cell_rng = np.random.default_rng(
+            np.random.SeedSequence((seed, intensity_index))
         )
-        auc_by_distance[distance_name] = result.mean_auc
-        # The direct Section II-C measure is exactly per-node persistence
-        # against the perturbed window, so it shares the batch diag kernel.
-        per_node = persistence_values(
-            signatures, perturbed_signatures, distance, nodes=population
-        )
-        robustness_by_distance[distance_name] = float(
-            np.mean(list(per_node.values()))
-        )
-    return auc_by_distance, robustness_by_distance
+        perturbed = perturb_graph(graph, alpha=intensity, beta=intensity, rng=cell_rng)
+        scheme = application_schemes(NETWORK_K, config.reset_probability)[scheme_label]
+        signatures = scheme.compute_all(graph, population)
+        perturbed_signatures = scheme.compute_all(perturbed, population)
+        auc_by_distance: Dict[str, float] = {}
+        robustness_by_distance: Dict[str, float] = {}
+        for distance_name in config.distances:
+            distance = get_distance(distance_name)
+            result = roc_identity(
+                signatures,
+                perturbed_signatures,
+                distance,
+                queries=population,
+                candidates=list(population),
+            )
+            auc_by_distance[distance_name] = result.mean_auc
+            # The direct Section II-C measure is exactly per-node persistence
+            # against the perturbed window, so it shares the batch diag kernel.
+            per_node = persistence_values(
+                signatures, perturbed_signatures, distance, nodes=population
+            )
+            robustness_by_distance[distance_name] = float(
+                np.mean(list(per_node.values()))
+            )
+        return auc_by_distance, robustness_by_distance
 
 
 def run_fig4(
@@ -100,15 +110,16 @@ def run_fig4(
         raise ExperimentError("need at least one perturbation intensity")
     scheme_labels = list(application_schemes(NETWORK_K, config.reset_probability))
     grid = [
-        (config, intensity, label, seed)
-        for intensity in intensities
+        (config, intensity_index, intensity, label, seed)
+        for intensity_index, intensity in enumerate(intensities)
         for label in scheme_labels
     ]
-    cells = parallel_map(_perturbed_cell, grid, jobs=config.jobs, executor=executor)
+    with obs.span("experiment.fig4"):
+        cells = parallel_map(_perturbed_cell, grid, jobs=config.jobs, executor=executor)
 
     auc: Dict[float, Dict[str, Dict[str, float]]] = {}
     robustness: Dict[float, Dict[str, Dict[str, float]]] = {}
-    for (_config, intensity, label, _seed), (auc_cell, robustness_cell) in zip(
+    for (_config, _index, intensity, label, _seed), (auc_cell, robustness_cell) in zip(
         grid, cells
     ):
         auc.setdefault(intensity, {name: {} for name in config.distances})

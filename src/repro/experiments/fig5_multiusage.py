@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro import obs
 from repro.core.distances import DISPLAY_NAMES, get_distance
 from repro.core.roc import SetQueryRocResult
 from repro.apps.multiusage import MultiusageDetector
@@ -44,13 +45,15 @@ def run_fig5(
     schemes = application_schemes(NETWORK_K, config.reset_probability)
 
     results: Dict[str, Dict[str, SetQueryRocResult]] = {}
-    for distance_name in config.distances:
-        results[distance_name] = {}
-        for label, scheme in schemes.items():
-            detector = MultiusageDetector(scheme, get_distance(distance_name))
-            results[distance_name][label] = detector.evaluate(
-                graph, positives, population=data.local_hosts
-            )
+    with obs.span("experiment.fig5"):
+        for distance_name in config.distances:
+            results[distance_name] = {}
+            for label, scheme in schemes.items():
+                with obs.span("fig5.cell", scheme=label, distance=distance_name):
+                    detector = MultiusageDetector(scheme, get_distance(distance_name))
+                    results[distance_name][label] = detector.evaluate(
+                        graph, positives, population=data.local_hosts
+                    )
     return Fig5Result(scheme_labels=tuple(schemes), results=results)
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.apps.masquerading import MasqueradeDetector, masquerade_accuracy
 from repro.core.distances import get_distance
 from repro.exceptions import ExperimentError
@@ -77,34 +78,36 @@ def run_fig6(
         for label, scheme in schemes.items()
     }
     totals: Dict[tuple, float] = {}
-    for trial in range(num_trials):
-        for fraction in fractions:
-            masqueraded, plan = apply_masquerade(
-                graph_next,
-                fraction=fraction,
-                candidates=population,
-                seed=seed + trial,
-            )
-            for label, scheme in schemes.items():
-                signatures_next = scheme.compute_all(masqueraded, population)
-                for budget in top_matches:
-                    detector = MasqueradeDetector(
-                        scheme,
-                        distance,
-                        top_matches=budget,
-                        threshold_scale=threshold_scale,
-                    )
-                    result = detector.detect(
-                        graph_now,
-                        masqueraded,
-                        population=population,
-                        signatures_now=signatures_now[label],
-                        signatures_next=signatures_next,
-                    )
-                    key = (budget, label, fraction)
-                    totals[key] = totals.get(key, 0.0) + masquerade_accuracy(
-                        result, plan
-                    )
+    with obs.span("experiment.fig6", distance=distance_name):
+        for trial in range(num_trials):
+            for fraction in fractions:
+                masqueraded, plan = apply_masquerade(
+                    graph_next,
+                    fraction=fraction,
+                    candidates=population,
+                    seed=seed + trial,
+                )
+                for label, scheme in schemes.items():
+                    with obs.span("fig6.cell", scheme=label, fraction=str(fraction)):
+                        signatures_next = scheme.compute_all(masqueraded, population)
+                        for budget in top_matches:
+                            detector = MasqueradeDetector(
+                                scheme,
+                                distance,
+                                top_matches=budget,
+                                threshold_scale=threshold_scale,
+                            )
+                            result = detector.detect(
+                                graph_now,
+                                masqueraded,
+                                population=population,
+                                signatures_now=signatures_now[label],
+                                signatures_next=signatures_next,
+                            )
+                            key = (budget, label, fraction)
+                            totals[key] = totals.get(key, 0.0) + masquerade_accuracy(
+                                result, plan
+                            )
     for (budget, label, fraction), total in totals.items():
         accuracy[budget][label][fraction] = total / num_trials
     return Fig6Result(

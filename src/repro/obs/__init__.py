@@ -1,0 +1,75 @@
+"""Observability for the reproduction: metrics, tracing, profiling hooks.
+
+Usage sketch::
+
+    from repro import obs
+
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        with obs.span("experiment.fig1"):
+            run_fig1(config)
+    payload = obs.build_payload(registry.snapshot(), meta={"cmd": "fig1"})
+
+When no registry is installed, every helper routes to a shared no-op
+:class:`NullRegistry`, so instrumented code pays a single attribute read.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    counter,
+    current_span_path,
+    detached_span_path,
+    enabled,
+    gauge,
+    get_registry,
+    histogram,
+    merge_into_active,
+    render_key,
+    span,
+    use_registry,
+)
+from repro.obs.export import (
+    SCHEMA_ID,
+    build_payload,
+    format_profile_report,
+    to_prometheus,
+    validate_payload,
+    write_json,
+    write_prometheus,
+)
+from repro.obs.profiling import format_hotspots
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "SCHEMA_ID",
+    "build_payload",
+    "counter",
+    "current_span_path",
+    "detached_span_path",
+    "enabled",
+    "format_hotspots",
+    "format_profile_report",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "merge_into_active",
+    "render_key",
+    "span",
+    "to_prometheus",
+    "use_registry",
+    "validate_payload",
+    "write_json",
+    "write_prometheus",
+]

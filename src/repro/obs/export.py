@@ -1,0 +1,240 @@
+"""Exporters for registry snapshots: JSON payload, Prometheus text, and a
+dependency-free structural validator for the JSON payload.
+
+The JSON payload (``schema: repro.obs/v1``) nests the flat span records
+from :meth:`MetricsRegistry.snapshot` into a parent/child tree and keys
+counters/gauges/histograms by their rendered ``name{label=value,...}``
+form, so the file is stable, diffable, and greppable.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional
+
+from repro.obs.profiling import format_hotspots
+from repro.obs.registry import render_key
+
+SCHEMA_ID = "repro.obs/v1"
+
+
+def _rendered(entries) -> Dict[str, object]:
+    return {
+        render_key(name, tuple(sorted(labels.items()))): value
+        for name, labels, value in entries
+    }
+
+
+def _span_tree(records: List[Dict]) -> List[Dict]:
+    """Nest flat ``{"path": [...], ...}`` span records into a tree."""
+    nodes: Dict[tuple, Dict] = {}
+    roots: List[Dict] = []
+    for record in sorted(records, key=lambda item: item["path"]):
+        path = tuple(record["path"])
+        node = {
+            "name": path[-1],
+            "count": record["count"],
+            "total_s": record["total_s"],
+            "min_s": record["min_s"],
+            "max_s": record["max_s"],
+            "values": dict(record.get("values", {})),
+            "children": [],
+        }
+        if record.get("hotspots") is not None:
+            node["hotspots"] = record["hotspots"]
+        nodes[path] = node
+        parent = nodes.get(path[:-1])
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def build_payload(snapshot: Dict, meta: Optional[Dict] = None) -> Dict:
+    """JSON-ready payload from a registry snapshot."""
+    payload = {
+        "schema": SCHEMA_ID,
+        "meta": dict(meta or {}),
+        "counters": _rendered(snapshot.get("counters", [])),
+        "gauges": _rendered(snapshot.get("gauges", [])),
+        "histograms": {
+            render_key(name, tuple(sorted(labels.items()))): dict(state)
+            for name, labels, state in snapshot.get("histograms", [])
+        },
+        "spans": _span_tree(snapshot.get("spans", [])),
+    }
+    return payload
+
+
+def write_json(path, snapshot: Dict, meta: Optional[Dict] = None) -> Dict:
+    payload = build_payload(snapshot, meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_BAD.sub("_", name)
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_PROM_BAD.sub("_", key)}="{value}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(snapshot: Dict) -> str:
+    """Prometheus text exposition of a registry snapshot."""
+    lines: List[str] = []
+    seen_types = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for name, labels, value in snapshot.get("counters", []):
+        prom = _prom_name(name) + "_total"
+        _type_line(prom, "counter")
+        lines.append(f"{prom}{_prom_labels(labels)} {value:g}")
+    for name, labels, value in snapshot.get("gauges", []):
+        prom = _prom_name(name)
+        _type_line(prom, "gauge")
+        lines.append(f"{prom}{_prom_labels(labels)} {value:g}")
+    for name, labels, state in snapshot.get("histograms", []):
+        prom = _prom_name(name)
+        _type_line(prom, "histogram")
+        cumulative = 0
+        for edge, count in zip(state["buckets"], state["counts"]):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = f"{edge:g}"
+            lines.append(f"{prom}_bucket{_prom_labels(bucket_labels)} {cumulative}")
+        cumulative += state["counts"][-1]
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        lines.append(f"{prom}_bucket{_prom_labels(inf_labels)} {cumulative}")
+        lines.append(f"{prom}_sum{_prom_labels(labels)} {state['sum']:g}")
+        lines.append(f"{prom}_count{_prom_labels(labels)} {state['count']}")
+    for record in snapshot.get("spans", []):
+        prom = _prom_name("span_seconds")
+        _type_line(prom, "summary")
+        labels = {"path": "/".join(record["path"])}
+        lines.append(f"{prom}_sum{_prom_labels(labels)} {record['total_s']:g}")
+        lines.append(f"{prom}_count{_prom_labels(labels)} {record['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path, snapshot: Dict) -> str:
+    text = to_prometheus(snapshot)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text
+
+
+# ----------------------------------------------------------------------
+# Structural validation (no jsonschema dependency in this environment)
+# ----------------------------------------------------------------------
+
+def validate_payload(payload: Dict) -> List[str]:
+    """Validate a ``repro.obs/v1`` JSON payload; return a list of problems
+    (empty when valid)."""
+    errors: List[str] = []
+
+    def _expect(condition: bool, message: str) -> None:
+        if not condition:
+            errors.append(message)
+
+    _expect(isinstance(payload, dict), "payload must be an object")
+    if not isinstance(payload, dict):
+        return errors
+    _expect(payload.get("schema") == SCHEMA_ID,
+            f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    _expect(isinstance(payload.get("meta"), dict), "meta must be an object")
+    for section in ("counters", "gauges"):
+        values = payload.get(section)
+        _expect(isinstance(values, dict), f"{section} must be an object")
+        if isinstance(values, dict):
+            for key, value in values.items():
+                _expect(isinstance(key, str), f"{section} key {key!r} must be a string")
+                _expect(isinstance(value, (int, float)) and not isinstance(value, bool),
+                        f"{section}[{key!r}] must be a number")
+    histograms = payload.get("histograms")
+    _expect(isinstance(histograms, dict), "histograms must be an object")
+    if isinstance(histograms, dict):
+        for key, state in histograms.items():
+            if not isinstance(state, dict):
+                errors.append(f"histograms[{key!r}] must be an object")
+                continue
+            for field in ("buckets", "counts", "sum", "count"):
+                _expect(field in state, f"histograms[{key!r}] missing {field!r}")
+            buckets = state.get("buckets", [])
+            counts = state.get("counts", [])
+            _expect(isinstance(buckets, list) and isinstance(counts, list),
+                    f"histograms[{key!r}] buckets/counts must be arrays")
+            if isinstance(buckets, list) and isinstance(counts, list):
+                _expect(len(counts) == len(buckets) + 1,
+                        f"histograms[{key!r}] needs len(counts) == len(buckets)+1")
+                _expect(list(buckets) == sorted(buckets),
+                        f"histograms[{key!r}] buckets must be sorted")
+                total = sum(count for count in counts if isinstance(count, int))
+                _expect(total == state.get("count"),
+                        f"histograms[{key!r}] bucket counts must sum to count")
+
+    def _check_span(node, where: str) -> None:
+        if not isinstance(node, dict):
+            errors.append(f"{where} must be an object")
+            return
+        for field, kind in (
+            ("name", str), ("count", int), ("total_s", (int, float)),
+            ("min_s", (int, float)), ("max_s", (int, float)),
+            ("values", dict), ("children", list),
+        ):
+            value = node.get(field)
+            _expect(isinstance(value, kind), f"{where}.{field} must be {kind}")
+        count = node.get("count")
+        if isinstance(count, int):
+            _expect(count >= 1, f"{where}.count must be >= 1")
+        total = node.get("total_s")
+        minimum = node.get("min_s")
+        maximum = node.get("max_s")
+        if all(isinstance(value, (int, float)) for value in (total, minimum, maximum)):
+            _expect(0.0 <= minimum <= maximum <= total + 1e-9,
+                    f"{where} timing invariant violated (min <= max <= total)")
+        for index, child in enumerate(node.get("children") or []):
+            _check_span(child, f"{where}.children[{index}]")
+
+    spans = payload.get("spans")
+    _expect(isinstance(spans, list), "spans must be an array")
+    if isinstance(spans, list):
+        for index, node in enumerate(spans):
+            _check_span(node, f"spans[{index}]")
+    return errors
+
+
+def format_profile_report(payload: Dict) -> str:
+    """Human-readable top-N hotspot tables for every profiled span."""
+    sections: List[str] = []
+
+    def _walk(node: Dict, path: str) -> None:
+        here = f"{path}/{node['name']}" if path else node["name"]
+        if "hotspots" in node:
+            sections.append(f"{here} ({node['total_s']:.4f}s over {node['count']} calls)")
+            sections.append(format_hotspots(node["hotspots"], indent="  "))
+        for child in node.get("children", []):
+            _walk(child, here)
+
+    for node in payload.get("spans", []):
+        _walk(node, "")
+    if not sections:
+        return "(no profiled spans — pass profile=True to obs.span under --obs-profile)"
+    return "\n".join(sections)

@@ -1,0 +1,62 @@
+"""Opt-in cProfile capture for spans.
+
+Only one profiler can be active per process (cProfile is a global
+tracer), so nested ``profile=True`` spans degrade gracefully: the
+outermost span wins and inner requests are silently skipped.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import threading
+from typing import List, Optional
+
+_ACTIVE = threading.local()
+
+
+class _ProfileCapture:
+    """Wraps a live ``cProfile.Profile`` so the span can finish it."""
+
+    __slots__ = ("_profiler",)
+
+    def __init__(self) -> None:
+        self._profiler = cProfile.Profile()
+
+    def enable(self) -> None:
+        self._profiler.enable()
+
+    def finish(self, top: int) -> List[List]:
+        """Stop profiling and return the top-``top`` hotspots by cumulative
+        time as ``[function, ncalls, tottime_s, cumtime_s]`` rows."""
+        self._profiler.disable()
+        _ACTIVE.capture = None
+        stats = pstats.Stats(self._profiler)
+        rows = []
+        for func, (cc, ncalls, tottime, cumtime, _callers) in stats.stats.items():
+            filename, lineno, name = func
+            label = f"{filename}:{lineno}({name})"
+            rows.append([label, int(ncalls), float(tottime), float(cumtime)])
+        rows.sort(key=lambda row: (-row[3], row[0]))
+        return rows[:top]
+
+
+def capture_profile() -> Optional[_ProfileCapture]:
+    """Start a profile capture, or ``None`` if one is already running."""
+    if getattr(_ACTIVE, "capture", None) is not None:
+        return None
+    capture = _ProfileCapture()
+    _ACTIVE.capture = capture
+    return capture
+
+
+def format_hotspots(rows: List[List], indent: str = "") -> str:
+    """Render hotspot rows (see ``_ProfileCapture.finish``) as a text table."""
+    if not rows:
+        return f"{indent}(no profile captured)"
+    lines = [f"{indent}{'ncalls':>8} {'tottime':>9} {'cumtime':>9}  function"]
+    for label, ncalls, tottime, cumtime in rows:
+        lines.append(
+            f"{indent}{ncalls:>8} {tottime:>9.4f} {cumtime:>9.4f}  {label}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,529 @@
+"""Process-local metrics registry: counters, gauges, histograms and spans.
+
+The registry is the hub of the observability layer (:mod:`repro.obs`).
+Design constraints, in priority order:
+
+* **Zero overhead when off.**  The default registry is the
+  :class:`NullRegistry` singleton; every instrument it hands out is a
+  shared no-op object, and hot paths guard their bookkeeping behind a
+  single ``registry.enabled`` attribute read.
+* **Mergeable across processes.**  :meth:`MetricsRegistry.snapshot`
+  produces a plain-data (picklable, JSON-able) image of the registry;
+  :meth:`MetricsRegistry.merge` folds a snapshot back in.  Counters and
+  histogram buckets add, gauges combine with ``max`` — all commutative
+  and associative, so the merged result is identical for any worker
+  scheduling as long as snapshots are merged in a fixed order (which
+  :func:`repro.parallel.parallel_map` guarantees by merging in input
+  order).
+* **Deterministic output.**  Snapshots are sorted by instrument key, so
+  two runs doing the same work export byte-identical payloads (modulo
+  wall-clock fields).
+
+Spans record wall time and call counts in a parent/child tree.  A span's
+identity is its name plus its *string-valued* attributes (so
+``span("fig1.cell", scheme="TT")`` and ``scheme="UT"`` are distinct tree
+nodes), while *numeric* attributes accumulate as per-span totals (so
+``span("kernel.pairwise", pairs=n * n)`` sums the workload across calls).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.profiling import capture_profile
+
+#: Default histogram buckets (seconds-ish scale; upper edges, +inf implied).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0
+)
+
+_LabelsKey = Tuple[Tuple[str, str], ...]
+_InstrumentKey = Tuple[str, _LabelsKey]
+
+
+def _labels_key(labels: Dict[str, object]) -> _LabelsKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def render_key(name: str, labels: Sequence[Tuple[str, str]]) -> str:
+    """Stable human/text form of an instrument key: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count; merged across workers by summing."""
+
+    __slots__ = ("_registry", "_key")
+
+    def __init__(self, registry: "MetricsRegistry", key: _InstrumentKey) -> None:
+        self._registry = registry
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        registry = self._registry
+        with registry._lock:
+            registry._counters[self._key] = (
+                registry._counters.get(self._key, 0.0) + amount
+            )
+
+
+class Gauge:
+    """Point-in-time value; merged across workers by taking the maximum."""
+
+    __slots__ = ("_registry", "_key")
+
+    def __init__(self, registry: "MetricsRegistry", key: _InstrumentKey) -> None:
+        self._registry = registry
+        self._key = key
+
+    def set(self, value: float) -> None:
+        with self._registry._lock:
+            self._registry._gauges[self._key] = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram; bucket counts merge by summing.
+
+    ``buckets`` are upper edges; an implicit ``+inf`` bucket catches the
+    tail.  All workers must agree on the edges for a merge to be valid.
+    """
+
+    __slots__ = ("_registry", "_key")
+
+    def __init__(self, registry: "MetricsRegistry", key: _InstrumentKey) -> None:
+        self._registry = registry
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        registry = self._registry
+        with registry._lock:
+            state = registry._histograms[self._key]
+            edges = state["buckets"]
+            index = len(edges)
+            for position, edge in enumerate(edges):
+                if value <= edge:
+                    index = position
+                    break
+            state["counts"][index] += 1
+            state["sum"] += value
+            state["count"] += 1
+            state["min"] = value if state["count"] == 1 else min(state["min"], value)
+            state["max"] = value if state["count"] == 1 else max(state["max"], value)
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram for the null registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+class _NullSpan:
+    """Reentrant no-op context manager (one shared instance, no state)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_SPAN = _NullSpan()
+
+#: The ambient span path (tuple of span keys), shared by all registries so
+#: spans nest naturally across subsystem boundaries.
+_SPAN_PATH: ContextVar[Tuple[str, ...]] = ContextVar("repro_obs_span_path", default=())
+
+
+def current_span_path() -> Tuple[str, ...]:
+    """The active span path (root-first); empty outside any span."""
+    return _SPAN_PATH.get()
+
+
+@contextmanager
+def detached_span_path() -> Iterator[None]:
+    """Run the block with an empty span path.
+
+    Worker-side entry points use this: with fork-start process pools the
+    child inherits the parent's contextvars, so without the reset a worker
+    would record spans already prefixed by the parent's active span — and
+    the parent's merge graft would then prefix them a second time.
+    """
+    token = _SPAN_PATH.set(())
+    try:
+        yield
+    finally:
+        _SPAN_PATH.reset(token)
+
+
+def _span_key(name: str, attrs: Dict[str, object]) -> Tuple[str, Dict[str, float]]:
+    """Split span attrs into identity (string-valued) and totals (numeric)."""
+    identity = {
+        key: value for key, value in attrs.items() if isinstance(value, str)
+    }
+    values = {
+        key: float(value)
+        for key, value in attrs.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    return render_key(name, _labels_key(identity)), values
+
+
+class _Span:
+    """Live span: times the ``with`` body and records into the registry."""
+
+    __slots__ = ("_registry", "_key", "_values", "_profile", "_token", "_start", "_profiler")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        key: str,
+        values: Dict[str, float],
+        profile: bool,
+    ) -> None:
+        self._registry = registry
+        self._key = key
+        self._values = values
+        self._profile = profile
+        self._token = None
+        self._start = 0.0
+        self._profiler = None
+
+    def __enter__(self) -> "_Span":
+        self._token = _SPAN_PATH.set(_SPAN_PATH.get() + (self._key,))
+        if self._profile and self._registry.profile:
+            self._profiler = capture_profile()
+            if self._profiler is not None:
+                self._profiler.enable()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        hotspots = None
+        if self._profiler is not None:
+            hotspots = self._profiler.finish(self._registry.profile_top)
+        path = _SPAN_PATH.get()
+        _SPAN_PATH.reset(self._token)
+        self._registry._record_span(path, elapsed, self._values, hotspots)
+
+
+def _new_span_stats() -> Dict:
+    return {
+        "count": 0,
+        "total_s": 0.0,
+        "min_s": float("inf"),
+        "max_s": 0.0,
+        "values": {},
+        "hotspots": None,
+    }
+
+
+class MetricsRegistry:
+    """A collecting registry.  See the module docstring for the contract."""
+
+    enabled = True
+
+    def __init__(self, profile: bool = False, profile_top: int = 10) -> None:
+        self.profile = profile
+        self.profile_top = profile_top
+        self._lock = threading.Lock()
+        self._counters: Dict[_InstrumentKey, float] = {}
+        self._gauges: Dict[_InstrumentKey, float] = {}
+        self._histograms: Dict[_InstrumentKey, Dict] = {}
+        self._spans: Dict[Tuple[str, ...], Dict] = {}
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        return Counter(self, (name, _labels_key(labels)))
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return Gauge(self, (name, _labels_key(labels)))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] | None = None, **labels
+    ) -> Histogram:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            state = self._histograms.get(key)
+            if state is None:
+                edges = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+                if list(edges) != sorted(edges):
+                    raise ValueError(f"histogram buckets must be sorted: {edges}")
+                self._histograms[key] = {
+                    "buckets": list(edges),
+                    "counts": [0] * (len(edges) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                    "min": 0.0,
+                    "max": 0.0,
+                }
+            elif buckets is not None and list(buckets) != state["buckets"]:
+                raise ValueError(
+                    f"histogram {render_key(*key)!r} already exists with "
+                    f"buckets {state['buckets']}"
+                )
+        return Histogram(self, key)
+
+    def span(self, name: str, profile: bool = False, **attrs) -> _Span:
+        key, values = _span_key(name, attrs)
+        return _Span(self, key, values, profile)
+
+    def _record_span(
+        self,
+        path: Tuple[str, ...],
+        elapsed: float,
+        values: Dict[str, float],
+        hotspots: Optional[List] = None,
+    ) -> None:
+        with self._lock:
+            stats = self._spans.setdefault(path, _new_span_stats())
+            stats["count"] += 1
+            stats["total_s"] += elapsed
+            stats["min_s"] = min(stats["min_s"], elapsed)
+            stats["max_s"] = max(stats["max_s"], elapsed)
+            for key, value in values.items():
+                stats["values"][key] = stats["values"].get(key, 0.0) + value
+            if hotspots is not None:
+                stats["hotspots"] = hotspots
+
+    # ------------------------------------------------------------------
+    # Snapshots and merging
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Plain-data image of the registry (picklable, JSON-able, sorted)."""
+        with self._lock:
+            return {
+                "counters": [
+                    [name, dict(labels), value]
+                    for (name, labels), value in sorted(self._counters.items())
+                ],
+                "gauges": [
+                    [name, dict(labels), value]
+                    for (name, labels), value in sorted(self._gauges.items())
+                ],
+                "histograms": [
+                    [
+                        name,
+                        dict(labels),
+                        {
+                            "buckets": list(state["buckets"]),
+                            "counts": list(state["counts"]),
+                            "sum": state["sum"],
+                            "count": state["count"],
+                            "min": state["min"],
+                            "max": state["max"],
+                        },
+                    ]
+                    for (name, labels), state in sorted(self._histograms.items())
+                ],
+                "spans": [
+                    {
+                        "path": list(path),
+                        "count": stats["count"],
+                        "total_s": stats["total_s"],
+                        "min_s": stats["min_s"],
+                        "max_s": stats["max_s"],
+                        "values": dict(stats["values"]),
+                        "hotspots": stats["hotspots"],
+                    }
+                    for path, stats in sorted(self._spans.items())
+                ],
+            }
+
+    def merge(self, snapshot: Dict, prefix: Tuple[str, ...] = ()) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        ``prefix`` grafts the snapshot's span trees under an existing span
+        path — :func:`repro.parallel.parallel_map` passes the caller's
+        active span path so worker span trees land exactly where the same
+        work would have landed had it run serially.
+        """
+        with self._lock:
+            for name, labels, value in snapshot.get("counters", []):
+                key = (name, _labels_key(labels))
+                self._counters[key] = self._counters.get(key, 0.0) + value
+            for name, labels, value in snapshot.get("gauges", []):
+                key = (name, _labels_key(labels))
+                self._gauges[key] = max(self._gauges.get(key, value), value)
+            for name, labels, incoming in snapshot.get("histograms", []):
+                key = (name, _labels_key(labels))
+                state = self._histograms.get(key)
+                if state is None:
+                    self._histograms[key] = {
+                        "buckets": list(incoming["buckets"]),
+                        "counts": list(incoming["counts"]),
+                        "sum": incoming["sum"],
+                        "count": incoming["count"],
+                        "min": incoming["min"],
+                        "max": incoming["max"],
+                    }
+                    continue
+                if state["buckets"] != list(incoming["buckets"]):
+                    raise ValueError(
+                        f"cannot merge histogram {render_key(name, _labels_key(labels))!r}:"
+                        f" bucket edges differ"
+                    )
+                state["counts"] = [
+                    mine + theirs
+                    for mine, theirs in zip(state["counts"], incoming["counts"])
+                ]
+                had_any = state["count"] > 0
+                state["sum"] += incoming["sum"]
+                state["count"] += incoming["count"]
+                if incoming["count"]:
+                    state["min"] = (
+                        min(state["min"], incoming["min"]) if had_any else incoming["min"]
+                    )
+                    state["max"] = (
+                        max(state["max"], incoming["max"]) if had_any else incoming["max"]
+                    )
+            for record in snapshot.get("spans", []):
+                path = prefix + tuple(record["path"])
+                stats = self._spans.setdefault(path, _new_span_stats())
+                stats["count"] += record["count"]
+                stats["total_s"] += record["total_s"]
+                stats["min_s"] = min(stats["min_s"], record["min_s"])
+                stats["max_s"] = max(stats["max_s"], record["max_s"])
+                for key, value in record.get("values", {}).items():
+                    stats["values"][key] = stats["values"].get(key, 0.0) + value
+                if record.get("hotspots") is not None and stats["hotspots"] is None:
+                    stats["hotspots"] = record["hotspots"]
+
+    # ------------------------------------------------------------------
+    # Convenience accessors (tests and report plumbing)
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels) -> float:
+        with self._lock:
+            return self._counters.get((name, _labels_key(labels)), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over all label sets."""
+        with self._lock:
+            return sum(
+                value
+                for (counter_name, _labels), value in self._counters.items()
+                if counter_name == name
+            )
+
+    def counters_flat(self, prefix: str = "") -> Dict[str, float]:
+        """Counters as a ``rendered-key -> value`` dict (optionally filtered)."""
+        with self._lock:
+            return {
+                render_key(name, labels): value
+                for (name, labels), value in sorted(self._counters.items())
+                if name.startswith(prefix)
+            }
+
+
+class NullRegistry:
+    """The default, do-nothing registry.  All instruments are shared no-ops."""
+
+    enabled = False
+    profile = False
+    profile_top = 0
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] | None = None, **labels
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def span(self, name: str, profile: bool = False, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def snapshot(self) -> Dict:
+        return {"counters": [], "gauges": [], "histograms": [], "spans": []}
+
+    def merge(self, snapshot: Dict, prefix: Tuple[str, ...] = ()) -> None:
+        return None
+
+    def counter_value(self, name: str, **labels) -> float:
+        return 0.0
+
+    def counter_total(self, name: str) -> float:
+        return 0.0
+
+    def counters_flat(self, prefix: str = "") -> Dict[str, float]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()
+
+_ACTIVE: ContextVar = ContextVar("repro_obs_registry", default=NULL_REGISTRY)
+
+
+def get_registry():
+    """The registry currently collecting metrics (the null one by default)."""
+    return _ACTIVE.get()
+
+
+def enabled() -> bool:
+    """Whether a real (collecting) registry is active."""
+    return _ACTIVE.get().enabled
+
+
+@contextmanager
+def use_registry(registry) -> Iterator:
+    """Route all :mod:`repro.obs` instrumentation to ``registry`` for the block."""
+    token = _ACTIVE.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.reset(token)
+
+
+def counter(name: str, **labels):
+    """Counter on the active registry (no-op when observability is off)."""
+    return _ACTIVE.get().counter(name, **labels)
+
+
+def gauge(name: str, **labels):
+    """Gauge on the active registry (no-op when observability is off)."""
+    return _ACTIVE.get().gauge(name, **labels)
+
+
+def histogram(name: str, buckets: Sequence[float] | None = None, **labels):
+    """Histogram on the active registry (no-op when observability is off)."""
+    return _ACTIVE.get().histogram(name, buckets=buckets, **labels)
+
+
+def span(name: str, profile: bool = False, **attrs):
+    """Span on the active registry (shared no-op CM when observability is off)."""
+    return _ACTIVE.get().span(name, profile=profile, **attrs)
+
+
+def merge_into_active(snapshot: Dict) -> None:
+    """Merge a worker snapshot into the active registry, grafting the
+    snapshot's spans under the caller's current span path.  No-op when
+    observability is off."""
+    registry = _ACTIVE.get()
+    if registry.enabled:
+        registry.merge(snapshot, prefix=current_span_path())

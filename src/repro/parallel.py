@@ -17,14 +17,27 @@ config rather than shipping graphs over pipes.
 
 * ``1`` (default) — run serially in-process, no pool;
 * ``N > 1`` — use up to ``N`` worker processes;
-* ``0`` or negative — use one worker per available CPU.
+* ``0`` — use one worker per available CPU;
+* negative — rejected with :class:`ValueError` (a negative ``--jobs`` is
+  almost always a typo for ``0``; silently meaning "all CPUs" hid that).
+
+Observability: when a collecting :class:`repro.obs.MetricsRegistry` is
+active in the caller, each worker process runs its task under a fresh
+registry and ships the snapshot back with the result; snapshots are
+merged into the caller's registry **in input order** (commutative metric
+merges + fixed order = deterministic, regardless of worker scheduling),
+with worker span trees grafted under the caller's active span.  If a
+worker raises mid-map, snapshots of the tasks that completed before the
+failure are still merged and the original exception propagates.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Protocol, Sequence, TypeVar
+from typing import Callable, Iterable, List, Protocol, Sequence, Tuple, TypeVar
+
+from repro import obs
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -52,10 +65,41 @@ class SerialExecutor:
 
 
 def effective_jobs(jobs: int) -> int:
-    """Resolve the ``jobs`` knob: non-positive means one per CPU."""
-    if jobs <= 0:
+    """Resolve the ``jobs`` knob: ``0`` means one per CPU, negative is an error."""
+    if jobs < 0:
+        raise ValueError(
+            f"jobs must be >= 0 (0 means one per CPU); got {jobs}"
+        )
+    if jobs == 0:
         return os.cpu_count() or 1
     return jobs
+
+
+class _InstrumentedTask:
+    """Picklable wrapper: run the task under a fresh worker registry and
+    return ``(result, registry snapshot)`` so the parent can merge it."""
+
+    __slots__ = ("function",)
+
+    def __init__(self, function: Callable[[TaskT], ResultT]) -> None:
+        self.function = function
+
+    def __call__(self, task: TaskT) -> Tuple[ResultT, dict]:
+        registry = obs.MetricsRegistry()
+        with obs.detached_span_path(), obs.use_registry(registry):
+            result = self.function(task)
+        return result, registry.snapshot()
+
+
+def _consume_merging(iterator: Iterable[Tuple[ResultT, dict]]) -> List[ResultT]:
+    """Unpack ``(result, snapshot)`` pairs, merging each snapshot into the
+    active registry as it arrives — so a mid-map failure still keeps the
+    metrics of every task that completed before it."""
+    results: List[ResultT] = []
+    for result, snapshot in iterator:
+        obs.merge_into_active(snapshot)
+        results.append(result)
+    return results
 
 
 def parallel_map(
@@ -70,12 +114,33 @@ def parallel_map(
     Otherwise ``jobs`` picks between a plain in-process loop and a
     :class:`~concurrent.futures.ProcessPoolExecutor`; ``Executor.map``
     preserves input order, so results are deterministic either way.
+
+    An empty ``tasks`` returns ``[]`` without touching the executor or
+    resolving ``jobs``.  A worker exception propagates unchanged (for the
+    process path, ``Executor.map`` re-raises the original exception in
+    the parent while the pool shuts down — no hang).
     """
     tasks = list(tasks)
+    if not tasks:
+        return []
+    registry = obs.get_registry()
+    collect = registry.enabled
+    if collect:
+        registry.counter("parallel.maps").inc()
+        registry.counter("parallel.tasks").inc(len(tasks))
     if executor is not None:
+        if collect:
+            return _consume_merging(executor.map(_InstrumentedTask(function), tasks))
         return list(executor.map(function, tasks))
     workers = effective_jobs(jobs)
     if workers <= 1 or len(tasks) <= 1:
+        # Serial path: run under the caller's registry directly — spans nest
+        # into the active span naturally, matching what the parallel path
+        # reconstructs via prefix grafting.
         return [function(task) for task in tasks]
+    if collect:
+        registry.gauge("parallel.workers").set(min(workers, len(tasks)))
     with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        if collect:
+            return _consume_merging(pool.map(_InstrumentedTask(function), tasks))
         return list(pool.map(function, tasks))

@@ -54,6 +54,10 @@ class RunReport:
     retries: int = 0
     resumed_from: Optional[int] = None
     issues: List[str] = field(default_factory=list)
+    #: Flat ``name{label=value,...} -> count`` counters collected by the
+    #: run's own observability registry (retry attempts, checkpoint writes,
+    #: quarantined records, degradation events, ...) — always populated.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def degraded_windows(self) -> List[int]:
@@ -74,6 +78,7 @@ class RunReport:
             "retries": self.retries,
             "resumed_from": self.resumed_from,
             "issues": list(self.issues),
+            "metrics": dict(self.metrics),
             "windows": [asdict(window) for window in self.windows],
         }
 

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
+from repro import obs
 from repro.exceptions import PipelineError
 
 T = TypeVar("T")
@@ -58,7 +59,10 @@ class RetryPolicy:
         raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 2))
         if self.jitter == 0:
             return raw
-        return raw * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        # Re-apply the cap after jitter: the upward jitter factor used to be
+        # applied to an already-capped delay, letting sleeps exceed max_delay
+        # by up to (1 + jitter)x.  max_delay is a hard ceiling.
+        return min(self.max_delay, raw * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
 
 
 #: Exception types treated as transient by default.
@@ -88,19 +92,31 @@ def call_with_retry(
     policy = policy or RetryPolicy()
     if not isinstance(rng, random.Random):
         rng = random.Random(rng)
+    registry = obs.get_registry()
     start = clock()
     attempt = 0
     while True:
         attempt += 1
+        if registry.enabled:
+            registry.counter("retry.attempts").inc()
         try:
             return fn()
         except retry_on as exc:
+            if registry.enabled:
+                registry.counter("retry.transient_failures").inc()
             if attempt >= policy.max_attempts:
+                if registry.enabled:
+                    registry.counter("retry.exhausted").inc()
                 raise
             delay = policy.delay_before(attempt + 1, rng)
             if policy.deadline is not None and (clock() - start) + delay > policy.deadline:
+                if registry.enabled:
+                    registry.counter("retry.deadline_abandoned").inc()
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc, delay)
+            if registry.enabled:
+                registry.counter("retry.sleeps").inc()
+                registry.histogram("retry.delay_s").observe(delay)
             if delay > 0:
                 sleep(delay)

@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.scheme import SignatureScheme, create_scheme
 from repro.core.signature import Signature
 from repro.exceptions import ErrorBudgetExceeded, PipelineError
@@ -155,7 +156,27 @@ class SignaturePipeline:
 
         A fresh run (``resume=False``) clears any prior checkpoint state so
         the directory always reflects exactly one run.
+
+        The run always collects its own ``pipeline.*``/``retry.*`` counters
+        into ``result.report.metrics`` (even with observability off
+        globally); when a collecting registry is active in the caller, the
+        run's full metrics and span tree are merged into it as well.
         """
+        parent = obs.get_registry()
+        local = obs.MetricsRegistry(profile=getattr(parent, "profile", False))
+        # Detach the ambient span path while collecting locally: the local
+        # registry must record paths relative to its own root, because the
+        # merge below grafts them under the caller's current span path —
+        # without the reset that prefix would be applied twice.
+        with obs.detached_span_path(), obs.use_registry(local):
+            with obs.span("pipeline.run", scheme=self.config.scheme):
+                result = self._run(resume)
+        result.report.metrics = local.counters_flat()
+        if parent.enabled:
+            parent.merge(local.snapshot(), prefix=obs.current_span_path())
+        return result
+
+    def _run(self, resume: bool) -> PipelineResult:
         report = RunReport(
             source=self.source.describe(),
             scheme=self.config.scheme,
@@ -166,6 +187,11 @@ class SignaturePipeline:
         read_report = self._read_source(report)
         report.records_accepted = read_report.num_accepted
         report.records_rejected = read_report.num_rejected
+        obs.counter("pipeline.records_accepted").inc(read_report.num_accepted)
+        if read_report.num_rejected:
+            obs.counter("pipeline.records_rejected").inc(read_report.num_rejected)
+            if report.error_policy == "quarantine":
+                obs.counter("pipeline.quarantined").inc(read_report.num_rejected)
         self._enforce_error_budget(read_report)
         buckets = self._split_into_windows(read_report)
 
@@ -179,9 +205,11 @@ class SignaturePipeline:
             self.config.scheme, k=self.config.k, **self.config.scheme_params
         )
         for window in range(start_window, len(buckets)):
-            window_report, signatures = self._process_window(
-                window, buckets[window], scheme, report
-            )
+            with obs.span("pipeline.window"):
+                window_report, signatures = self._process_window(
+                    window, buckets[window], scheme, report
+                )
+            obs.counter("pipeline.windows", mode=window_report.mode).inc()
             report.windows.append(window_report)
             result.signatures.append(signatures)
             for hook in self.hooks:
@@ -198,6 +226,7 @@ class SignaturePipeline:
     def _read_source(self, report: RunReport) -> ReadReport:
         def count_retry(attempt: int, error: BaseException, delay: float) -> None:
             report.retries += 1
+            obs.counter("pipeline.retries", op="read").inc()
             report.issues.append(
                 f"source read attempt {attempt} failed ({error}); retrying"
             )
@@ -279,6 +308,7 @@ class SignaturePipeline:
                 )
             )
             result.signatures.append(signatures)
+            obs.counter("pipeline.windows", mode=MODE_CACHED).inc()
         if good:
             report.resumed_from = len(good)
         return len(good)
@@ -324,6 +354,7 @@ class SignaturePipeline:
             else:
                 signatures = exact
         if mode == MODE_DEGRADED:
+            obs.counter("pipeline.degradations").inc()
             signatures = self._compute_degraded(records)
             if self.config.scheme not in ("tt", "ut"):
                 reason += (
@@ -399,12 +430,13 @@ class SignaturePipeline:
     ):
         def count_retry(attempt: int, error: BaseException, delay: float) -> None:
             report.retries += 1
+            obs.counter("pipeline.retries", op="checkpoint").inc()
             report.issues.append(
                 f"checkpoint write for window {window} attempt {attempt} "
                 f"failed ({error}); retrying"
             )
 
-        return call_with_retry(
+        entry = call_with_retry(
             lambda: self.store.save_window(window, signatures, meta, mode=mode),
             self.retry,
             sleep=self._sleep,
@@ -412,3 +444,5 @@ class SignaturePipeline:
             rng=self.config.seed + window + 1,
             on_retry=count_retry,
         )
+        obs.counter("pipeline.checkpoint_writes").inc()
+        return entry

@@ -107,6 +107,16 @@ class TestFig4:
         with pytest.raises(ExperimentError):
             run_fig4(intensities=(), config=config)
 
+    def test_each_intensity_gets_its_own_perturbation_stream(self, config):
+        """Regression: every grid cell used to receive the same raw run
+        seed, so all intensities drew the identical perturbation stream —
+        two intensities rounding to the same insert/delete counts then
+        produced byte-identical cells."""
+        nearly_equal = (0.1, 0.1 + 1e-9)
+        result = run_fig4(intensities=nearly_equal, config=config)
+        first, second = nearly_equal
+        assert result.robustness[first] != result.robustness[second]
+
     def test_harsher_perturbation_less_robust(self, config):
         result = run_fig4(intensities=(0.1, 0.4), config=config)
         for distance_name in ("shel",):

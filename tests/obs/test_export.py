@@ -1,0 +1,189 @@
+"""Tests for the JSON/Prometheus exporters and the payload validator."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    SCHEMA_ID,
+    build_payload,
+    format_profile_report,
+    to_prometheus,
+    validate_payload,
+    write_json,
+    write_prometheus,
+)
+
+
+def sample_registry() -> obs.MetricsRegistry:
+    registry = obs.MetricsRegistry()
+    registry.counter("kernel.calls", op="pairwise", path="batch").inc(3)
+    registry.gauge("parallel.workers").set(4)
+    registry.histogram("retry.delay_s", buckets=(0.1, 1.0)).observe(0.5)
+    with obs.use_registry(registry):
+        with obs.span("experiment", dataset="network"):
+            with obs.span("cell", scheme="TT", pairs=100):
+                pass
+            with obs.span("cell", scheme="UT", pairs=50):
+                pass
+    return registry
+
+
+class TestBuildPayload:
+    def test_sections_and_rendered_keys(self):
+        payload = build_payload(sample_registry().snapshot(), meta={"command": "fig1"})
+        assert payload["schema"] == SCHEMA_ID
+        assert payload["meta"] == {"command": "fig1"}
+        assert payload["counters"] == {
+            "kernel.calls{op=pairwise,path=batch}": 3.0
+        }
+        assert payload["gauges"] == {"parallel.workers": 4.0}
+        assert set(payload["histograms"]) == {"retry.delay_s"}
+
+    def test_span_tree_is_nested(self):
+        payload = build_payload(sample_registry().snapshot())
+        [root] = payload["spans"]
+        assert root["name"] == "experiment{dataset=network}"
+        children = {child["name"]: child for child in root["children"]}
+        assert set(children) == {"cell{scheme=TT}", "cell{scheme=UT}"}
+        assert children["cell{scheme=TT}"]["values"] == {"pairs": 100.0}
+
+    def test_validates_clean(self):
+        payload = build_payload(sample_registry().snapshot(), meta={})
+        assert validate_payload(payload) == []
+
+    def test_write_json_round_trips(self, tmp_path):
+        path = tmp_path / "obs.json"
+        written = write_json(path, sample_registry().snapshot(), meta={"n": 1})
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert validate_payload(loaded) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_payload([]) == ["payload must be an object"]
+
+    def test_rejects_wrong_schema_id(self):
+        payload = build_payload(obs.MetricsRegistry().snapshot())
+        payload["schema"] = "something/else"
+        assert any("schema must be" in error for error in validate_payload(payload))
+
+    def test_rejects_non_numeric_counter(self):
+        payload = build_payload(obs.MetricsRegistry().snapshot())
+        payload["counters"]["bad"] = "three"
+        assert any("must be a number" in error for error in validate_payload(payload))
+
+    def test_rejects_histogram_count_mismatch(self):
+        registry = obs.MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        payload = build_payload(registry.snapshot())
+        payload["histograms"]["h"]["count"] = 99
+        assert any("sum to count" in error for error in validate_payload(payload))
+
+    def test_rejects_unsorted_histogram_buckets(self):
+        registry = obs.MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        payload = build_payload(registry.snapshot())
+        payload["histograms"]["h"]["buckets"] = [2.0, 1.0]
+        assert any("sorted" in error for error in validate_payload(payload))
+
+    def test_rejects_span_timing_violation(self):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            with obs.span("root"):
+                pass
+        payload = build_payload(registry.snapshot())
+        payload["spans"][0]["min_s"] = 100.0
+        assert any("timing invariant" in error for error in validate_payload(payload))
+
+    def test_rejects_zero_count_span(self):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            with obs.span("root"):
+                pass
+        payload = build_payload(registry.snapshot())
+        payload["spans"][0]["count"] = 0
+        assert any("count must be >= 1" in error for error in validate_payload(payload))
+
+
+class TestPrometheus:
+    def test_counter_gauge_lines(self):
+        text = to_prometheus(sample_registry().snapshot())
+        assert "# TYPE repro_kernel_calls_total counter" in text
+        assert 'repro_kernel_calls_total{op="pairwise",path="batch"} 3' in text
+        assert "repro_parallel_workers 4" in text
+
+    def test_histogram_is_cumulative(self):
+        registry = obs.MetricsRegistry()
+        histogram = registry.histogram("delay", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 100.0):
+            histogram.observe(value)
+        text = to_prometheus(registry.snapshot())
+        assert 'repro_delay_bucket{le="1"} 1' in text
+        assert 'repro_delay_bucket{le="10"} 2' in text
+        assert 'repro_delay_bucket{le="+Inf"} 3' in text
+        assert "repro_delay_count 3" in text
+
+    def test_spans_exported_as_summaries(self):
+        text = to_prometheus(sample_registry().snapshot())
+        assert (
+            'repro_span_seconds_count{path="experiment{dataset=network}/'
+            'cell{scheme=TT}"} 1' in text
+        )
+
+    def test_write_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        text = write_prometheus(path, sample_registry().snapshot())
+        assert path.read_text() == text
+        assert text.endswith("\n")
+
+
+def busy_work() -> float:
+    total = 0.0
+    for i in range(20000):
+        total += i * 0.5
+    return total
+
+
+class TestProfiling:
+    def test_hotspots_captured_on_opted_in_span(self):
+        registry = obs.MetricsRegistry(profile=True, profile_top=5)
+        with obs.use_registry(registry):
+            with obs.span("hot", profile=True):
+                busy_work()
+        [record] = registry.snapshot()["spans"]
+        hotspots = record["hotspots"]
+        assert hotspots is not None
+        assert len(hotspots) <= 5
+        assert any("busy_work" in row[0] for row in hotspots)
+
+    def test_no_capture_when_registry_profiling_off(self):
+        registry = obs.MetricsRegistry(profile=False)
+        with obs.use_registry(registry):
+            with obs.span("hot", profile=True):
+                busy_work()
+        [record] = registry.snapshot()["spans"]
+        assert record["hotspots"] is None
+
+    def test_no_capture_when_span_not_opted_in(self):
+        registry = obs.MetricsRegistry(profile=True)
+        with obs.use_registry(registry):
+            with obs.span("cold"):
+                busy_work()
+        [record] = registry.snapshot()["spans"]
+        assert record["hotspots"] is None
+
+    def test_profile_report_lists_hotspot_table(self):
+        registry = obs.MetricsRegistry(profile=True)
+        with obs.use_registry(registry):
+            with obs.span("hot", profile=True):
+                busy_work()
+        report = format_profile_report(build_payload(registry.snapshot()))
+        assert "hot (" in report
+        assert "busy_work" in report
+
+    def test_profile_report_empty_message(self):
+        payload = build_payload(obs.MetricsRegistry().snapshot())
+        assert "no profiled spans" in format_profile_report(payload)

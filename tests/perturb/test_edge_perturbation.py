@@ -225,3 +225,28 @@ class TestPerturbationEdgeCases:
         first = perturb_graph(weighted_graph, 0.3, 0.3, rng=np.random.default_rng(7))
         second = perturb_graph(weighted_graph, 0.3, 0.3, rng=np.random.default_rng(7))
         assert first == second
+
+
+class TestGeneratorPlumbing:
+    """RNG plumbing guards (ISSUE 3 satellite): a shared generator must
+    advance between draws, never be silently re-seeded."""
+
+    def test_generator_instance_passes_through_default_rng(self):
+        # np.random.default_rng(gen) is gen — the contract _resolve_rng
+        # relies on: passing a Generator must not reset its stream.
+        generator = np.random.default_rng(3)
+        assert np.random.default_rng(generator) is generator
+
+    def test_sequential_perturbations_from_one_generator_differ(self, weighted_graph):
+        generator = np.random.default_rng(21)
+        first = perturb_graph(weighted_graph, 0.3, 0.3, rng=generator)
+        second = perturb_graph(weighted_graph, 0.3, 0.3, rng=generator)
+        # Had perturb_graph re-seeded internally, both draws would be
+        # identical; a shared stream must keep advancing.
+        assert first != second
+
+    def test_generator_state_advances(self, weighted_graph):
+        generator = np.random.default_rng(21)
+        before = generator.bit_generator.state
+        perturb_graph(weighted_graph, 0.3, 0.3, rng=generator)
+        assert generator.bit_generator.state != before

@@ -243,3 +243,56 @@ class TestResume:
         assert resumed.report.resumed_from == 3
         assert all(w.mode == MODE_CACHED for w in resumed.report.windows)
         assert resumed.signatures == full.signatures
+
+
+class TestRunObservability:
+    """The run report's metrics block and the obs merge contract."""
+
+    def test_report_metrics_always_populated(self, trace, tmp_path):
+        # No registry active: the run still collects its own counters.
+        result = make_pipeline(trace, tmp_path).run()
+        metrics = result.report.metrics
+        assert metrics["pipeline.records_accepted"] == 120
+        assert metrics["pipeline.windows{mode=exact}"] == 3
+        assert metrics["pipeline.checkpoint_writes"] == 3
+        assert "pipeline.records_rejected" not in metrics
+        assert result.report.to_dict()["metrics"] == metrics
+
+    def test_retries_and_kernel_traffic_counted(self, trace, tmp_path):
+        source = FlakySource(CsvRecordSource(trace), failures=2)
+        pipeline = SignaturePipeline(
+            source,
+            CheckpointStore(tmp_path / "ckpt"),
+            PipelineConfig(scheme="tt", k=5),
+            sleep=lambda _s: None,
+        )
+        metrics = pipeline.run().report.metrics
+        assert metrics["pipeline.retries{op=read}"] == 2
+        assert metrics["retry.transient_failures"] == 2
+
+    def test_resume_counts_cached_windows(self, trace, tmp_path):
+        make_pipeline(trace, tmp_path).run()
+        resumed = make_pipeline(trace, tmp_path).run(resume=True)
+        metrics = resumed.report.metrics
+        assert metrics["pipeline.windows{mode=cached}"] == 3
+        assert "pipeline.windows{mode=exact}" not in metrics
+
+    def test_degradation_counted(self, trace, tmp_path):
+        config = PipelineConfig(scheme="tt", k=5, max_memory_cells=10)
+        metrics = make_pipeline(trace, tmp_path, config).run().report.metrics
+        assert metrics["pipeline.degradations"] == 3
+        assert metrics[f"pipeline.windows{{mode={MODE_DEGRADED}}}"] == 3
+
+    def test_merges_into_parent_registry_under_active_span(self, trace, tmp_path):
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            with obs.span("driver"):
+                result = make_pipeline(trace, tmp_path).run()
+        assert registry.counter_value("pipeline.records_accepted") == 120
+        paths = {tuple(r["path"]) for r in registry.snapshot()["spans"]}
+        assert ("driver", "pipeline.run{scheme=tt}") in paths
+        assert ("driver", "pipeline.run{scheme=tt}", "pipeline.window") in paths
+        # The report still carries its own copy.
+        assert result.report.metrics["pipeline.records_accepted"] == 120

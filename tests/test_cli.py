@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import validate_payload
 
 
 class TestParser:
@@ -28,6 +31,13 @@ class TestParser:
         assert args.jobs == 4
         args = build_parser().parse_args(["fig3", "--jobs", "0"])
         assert args.jobs == 0
+
+    def test_negative_jobs_is_an_explicit_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--jobs", "-2"])
+        stderr = capsys.readouterr().err
+        assert "--jobs must be >= 0" in stderr
+        assert "-2" in stderr
 
 
 class TestMain:
@@ -66,6 +76,81 @@ class TestMain:
     def test_deanonymize_small(self, capsys):
         assert main(["deanonymize", "--scale", "small"]) == 0
         assert "De-anonymization attack" in capsys.readouterr().out
+
+
+class TestObservabilityCli:
+    def test_obs_out_writes_schema_valid_payload(self, tmp_path, capsys):
+        out = tmp_path / "obs.json"
+        assert main(["fig5", "--scale", "small", "--obs-out", str(out)]) == 0
+        assert f"observability payload written to {out}" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert validate_payload(payload) == []
+        assert payload["meta"] == {"command": "fig5", "scale": "small", "jobs": 1}
+        [root] = payload["spans"]
+        assert root["name"] == "cli.fig5"
+
+    def test_obs_prom_writes_prometheus_text(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        assert main(["fig5", "--scale", "small", "--obs-prom", str(prom)]) == 0
+        text = prom.read_text()
+        assert "# TYPE repro_kernel_calls_total counter" in text
+        assert "repro_span_seconds_count" in text
+
+    def test_no_obs_flags_writes_nothing(self, tmp_path, capsys):
+        assert main(["fig5", "--scale", "small"]) == 0
+        assert "observability payload" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_fig1_parallel_kernel_counts_match_workload_exactly(
+        self, tmp_path, capsys
+    ):
+        """Acceptance check: fig1 --jobs 4 --obs-out merges the worker
+        metrics into kernel call/pair counts that match the workload
+        (schemes x distances grid over the small network population)."""
+        from repro.experiments.config import (
+            ExperimentConfig,
+            get_enterprise_dataset,
+            make_schemes,
+        )
+
+        out = tmp_path / "obs.json"
+        assert (
+            main(
+                [
+                    "fig1", "--scale", "small", "--jobs", "4",
+                    "--obs-out", str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert validate_payload(payload) == []
+
+        config = ExperimentConfig(scale="small")
+        population = len(get_enterprise_dataset("small").local_hosts)
+        num_schemes = len(make_schemes(1, config.reset_probability, config.rwr_hops))
+        counters = payload["counters"]
+        for distance in config.distances:
+            # Uniqueness: one all-pairs batch kernel per (scheme, distance).
+            base = f"metric={distance},op=pairwise,path=batch"
+            assert counters[f"kernel.calls{{{base}}}"] == num_schemes
+            assert (
+                counters[f"kernel.pairs{{{base}}}"]
+                == num_schemes * population * population
+            )
+            # Persistence: one diagonal pair kernel per (scheme, distance).
+            base = f"metric={distance},op=pairs,path=batch"
+            assert counters[f"kernel.calls{{{base}}}"] == num_schemes
+            assert counters[f"kernel.pairs{{{base}}}"] == num_schemes * population
+        # The merged span tree nests worker cells under the CLI root.
+        [root] = payload["spans"]
+        assert root["name"] == "cli.fig1"
+        [experiment] = root["children"]
+        assert experiment["name"] == "experiment.fig1{dataset=network}"
+        cells = {child["name"] for child in experiment["children"]}
+        assert len(cells) == num_schemes
+        assert all(name.startswith("fig1.cell{scheme=") for name in cells)
 
 
 class TestPipelineCli:

@@ -4,6 +4,7 @@ import os
 
 import pytest
 
+from repro import obs
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig1_properties import run_fig1
 from repro.experiments.fig3_auc import run_fig3
@@ -76,10 +77,121 @@ class TestEffectiveJobs:
         assert effective_jobs(1) == 1
         assert effective_jobs(5) == 5
 
-    def test_nonpositive_means_cpu_count(self):
+    def test_zero_means_cpu_count(self):
         expected = os.cpu_count() or 1
         assert effective_jobs(0) == expected
-        assert effective_jobs(-1) == expected
+
+    def test_negative_is_an_error(self):
+        # Only 0 means auto; a negative count is almost certainly a typo and
+        # used to silently mean "all CPUs".
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            effective_jobs(-1)
+        with pytest.raises(ValueError, match="-8"):
+            effective_jobs(-8)
+
+
+def count_and_square(value):
+    """Worker that leaves deterministic tracks on the active registry."""
+    obs.counter("test.calls").inc()
+    obs.histogram("test.value", buckets=(1.0, 4.0, 16.0)).observe(value)
+    with obs.span("test.task"):
+        pass
+    return value * value
+
+
+def count_then_fail_on_three(value):
+    obs.counter("test.calls").inc()
+    if value == 3:
+        raise ValueError("boom")
+    return value
+
+
+class ReverseExecutor:
+    """Executes tasks in reverse order but returns results in input order —
+    models out-of-order worker scheduling for the determinism test."""
+
+    def map(self, function, tasks):
+        tasks = list(tasks)
+        return list(reversed([function(task) for task in reversed(tasks)]))
+
+
+def _structure(snapshot):
+    """Snapshot minus wall-clock fields (which legitimately vary run-to-run)."""
+    return (
+        snapshot["counters"],
+        snapshot["gauges"],
+        snapshot["histograms"],
+        [
+            (tuple(record["path"]), record["count"], record["values"])
+            for record in snapshot["spans"]
+        ],
+    )
+
+
+class TestParallelMapObservability:
+    def test_worker_metrics_merged_across_processes(self):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            with obs.span("driver"):
+                result = parallel_map(count_and_square, [1, 2, 3, 4, 5, 6], jobs=2)
+        assert result == [1, 4, 9, 16, 25, 36]
+        assert registry.counter_value("test.calls") == 6
+        snapshot = registry.snapshot()
+        # Worker span trees are grafted under the caller's active span.
+        span_paths = {tuple(record["path"]): record["count"] for record in snapshot["spans"]}
+        assert span_paths[("driver", "test.task")] == 6
+
+    def test_merge_is_deterministic_under_worker_scheduling(self):
+        tasks = [1, 2, 3, 4, 5]
+        snapshots = []
+        for executor in (SerialExecutor(), ReverseExecutor()):
+            registry = obs.MetricsRegistry()
+            with obs.use_registry(registry):
+                parallel_map(count_and_square, tasks, executor=executor)
+            snapshots.append(registry.snapshot())
+        assert _structure(snapshots[0]) == _structure(snapshots[1])
+
+    def test_serial_and_parallel_metrics_agree(self):
+        tasks = [1, 2, 3, 4]
+        structures = []
+        for jobs in (1, 2):
+            registry = obs.MetricsRegistry()
+            with obs.use_registry(registry):
+                parallel_map(count_and_square, tasks, jobs=jobs)
+            snapshot = registry.snapshot()
+            # parallel.workers gauge is only set on the pool path; drop it.
+            snapshot["gauges"] = []
+            structures.append(_structure(snapshot))
+        assert structures[0] == structures[1]
+
+    def test_midmap_exception_keeps_partial_metrics_process_pool(self):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            with pytest.raises(ValueError, match="boom"):
+                parallel_map(count_then_fail_on_three, [1, 2, 3, 4], jobs=2)
+        # Tasks 1 and 2 complete (in input order) before task 3's exception
+        # surfaces; their snapshots must already be merged.
+        assert registry.counter_value("test.calls") >= 2
+
+    def test_midmap_exception_keeps_partial_metrics_serial(self):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            with pytest.raises(ValueError, match="boom"):
+                parallel_map(count_then_fail_on_three, [1, 2, 3], jobs=1)
+        # Serial path runs on the caller's registry directly: tasks 1 and 2
+        # plus the failing task's own pre-raise increment are all retained.
+        assert registry.counter_value("test.calls") == 3
+
+    def test_empty_tasks_with_registry(self):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            assert parallel_map(count_and_square, [], jobs=4) == []
+        assert registry.counter_value("test.calls") == 0
+
+    def test_disabled_registry_does_not_wrap_workers(self):
+        executor = RecordingExecutor()
+        assert parallel_map(square, [2, 3], executor=executor) == [4, 9]
+        assert executor.calls == 1
 
 
 class TestExperimentFanOut:

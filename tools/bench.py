@@ -37,6 +37,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np
 
+from repro import obs
 from repro.core.distances import available_distances
 from repro.core.packed import SignaturePack, batch_disabled, cross_matrix
 from repro.core.properties import uniqueness_values
@@ -183,6 +184,41 @@ def bench_experiments(records: list) -> None:
         )
 
 
+def bench_obs_overhead(n: int, k: int, repeats: int, records: list) -> None:
+    """Cost of the observability instrumentation on the hot kernel path.
+
+    ``disabled`` times the instrumented kernels under the default no-op
+    registry (the zero-overhead contract); ``enabled`` times them under a
+    collecting :class:`repro.obs.MetricsRegistry`.
+    """
+    signatures = synthetic_window(n, k, seed=7)
+    nodes = sorted(signatures)
+
+    def run() -> dict:
+        return uniqueness_values(signatures, "jaccard", nodes=nodes)
+
+    disabled_wall, _ = timed(run, repeats=repeats)
+    registry = obs.MetricsRegistry()
+
+    def run_enabled() -> dict:
+        with obs.use_registry(registry):
+            return run()
+
+    enabled_wall, _ = timed(run_enabled, repeats=repeats)
+    records.append(
+        {
+            "op": "obs_overhead",
+            "distance": "jaccard",
+            "n": n,
+            "scalar_wall_s": round(enabled_wall, 6),
+            "batch_wall_s": round(disabled_wall, 6),
+            "speedup": round(enabled_wall / disabled_wall, 2),
+            "note": "scalar=collecting registry, batch=no-op registry; "
+            "speedup column is the enabled/disabled overhead ratio",
+        }
+    )
+
+
 def warm_up() -> None:
     """Prime BLAS threads / page caches so first-call cost is not timed."""
     signatures = synthetic_window(64, 10, seed=1)
@@ -209,6 +245,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path"
     )
+    parser.add_argument(
+        "--obs-out",
+        type=Path,
+        default=None,
+        help="collect kernel metrics/spans during the bench run and write "
+        "the repro.obs JSON payload here",
+    )
     args = parser.parse_args(argv)
 
     n = 200 if args.quick else args.n
@@ -216,10 +259,21 @@ def main(argv=None) -> int:
 
     warm_up()
     records: list = []
-    bench_uniqueness(n, args.k, repeats, records)
-    bench_cross_identification(min(n, 1000), args.k, repeats, records)
-    if not args.quick:
-        bench_experiments(records)
+    bench_registry = obs.MetricsRegistry() if args.obs_out else obs.NULL_REGISTRY
+    with obs.use_registry(bench_registry):
+        with obs.span("bench.distance_kernels"):
+            bench_uniqueness(n, args.k, repeats, records)
+            bench_cross_identification(min(n, 1000), args.k, repeats, records)
+            if not args.quick:
+                bench_experiments(records)
+    bench_obs_overhead(n, args.k, repeats, records)
+    if args.obs_out:
+        obs.write_json(
+            args.obs_out,
+            bench_registry.snapshot(),
+            meta={"command": "bench", "n": n, "k": args.k},
+        )
+        print(f"observability payload written to {args.obs_out}")
 
     payload = {
         "benchmark": "distance_kernels",
