@@ -72,6 +72,16 @@ def test_committed_bench_json_meets_acceptance():
         assert record["max_abs_diff"] <= 1e-9
 
 
+def test_bench_record_mirrored_to_repo_root():
+    """tools/bench.py mirrors its record to <repo>/BENCH_<name>.json so the
+    cross-PR perf trajectory is diffable without digging into benchmarks/."""
+    root_record = BENCH_JSON.parents[2] / "BENCH_distance_kernels.json"
+    assert root_record.exists(), "root BENCH mirror missing; run tools/bench.py"
+    payload = json.loads(root_record.read_text())
+    assert payload["benchmark"] == "distance_kernels"
+    assert payload["results"]
+
+
 def _best_wall(function, repeats: int = 5) -> float:
     best = float("inf")
     for _ in range(repeats):

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Dict
 
 from repro import obs
@@ -183,6 +184,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
         error_budget=args.error_budget,
         max_memory_cells=args.memory_budget,
         window_deadline=args.window_deadline,
+        # --obs-serve / --obs-sample attach to the pipeline's own live
+        # registry, so scrapes during the run see windows as they complete
+        # (the CLI-level registry only receives the merged result at the
+        # end); the CLI serves the merged registry during --obs-serve-linger.
+        obs_port=args.obs_serve,
+        sample_interval=args.obs_sample,
     )
     pipeline = SignaturePipeline(
         source, store, config, retry=RetryPolicy(max_attempts=args.max_attempts)
@@ -256,6 +263,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable per-span cProfile capture (spans opting in via "
         "profile=True) and print the top-N hotspot tables",
     )
+    obs_group.add_argument(
+        "--obs-serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live metrics over HTTP during the run (/metrics "
+        "Prometheus text, /healthz, /snapshot.json, /series.json); "
+        "0 binds an ephemeral port",
+    )
+    obs_group.add_argument(
+        "--obs-serve-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the --obs-serve endpoint up this long after the run "
+        "finishes, so scrapers can take a final pull (default: 0)",
+    )
+    obs_group.add_argument(
+        "--obs-log",
+        default=None,
+        metavar="PATH",
+        help="append structured JSON-lines events (levels, run-id, span "
+        "correlation; pipeline retry/quarantine/degradation warnings) to PATH",
+    )
+    obs_group.add_argument(
+        "--obs-sample",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sample counters/gauges/histogram quantiles into bounded "
+        "time series at this period (served at /series.json with --obs-serve)",
+    )
     pipeline_group = parser.add_argument_group("pipeline options")
     pipeline_group.add_argument("--input", help="edge-record CSV trace to ingest")
     pipeline_group.add_argument(
@@ -314,17 +353,71 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_with_observability(args: argparse.Namespace, body: Callable[[], None]) -> None:
     """Run ``body`` under a collecting registry when any --obs flag is set,
-    then write the requested exports."""
-    wants_obs = bool(args.obs_out or args.obs_prom or args.obs_profile)
+    then write the requested exports.
+
+    ``--obs-serve`` additionally exposes the registry over HTTP for the
+    duration of the run (plus ``--obs-serve-linger`` seconds afterwards,
+    so pull-based scrapers can take a final sample before the process
+    exits).  For the ``pipeline`` command the in-run server is started by
+    the pipeline itself on its live registry (see ``PipelineConfig``); the
+    CLI then serves the merged end state during the linger window.
+    """
+    wants_obs = bool(
+        args.obs_out
+        or args.obs_prom
+        or args.obs_profile
+        or args.obs_log
+        or args.obs_serve is not None
+        or args.obs_sample is not None
+    )
     if not wants_obs:
         body()
         return
     registry = obs.MetricsRegistry(profile=args.obs_profile)
-    with obs.use_registry(registry):
-        with obs.span(f"cli.{args.command}", profile=args.obs_profile):
-            body()
-    snapshot = registry.snapshot()
+    store = obs.TimeSeriesStore()
+    event_log = obs.EventLog(args.obs_log) if args.obs_log else obs.NULL_EVENT_LOG
     meta = {"command": args.command, "scale": args.scale, "jobs": args.jobs}
+    # The pipeline command serves its own live registry mid-run; starting a
+    # second CLI-level server on the same port would collide.
+    serve_during_body = args.obs_serve is not None and args.command != "pipeline"
+    server = sampler = None
+    try:
+        with obs.use_event_log(event_log), obs.use_registry(registry):
+            if serve_during_body:
+                server = obs.ObsServer(
+                    registry, store=store, port=args.obs_serve, meta=meta
+                ).start()
+                print(f"obs server listening on {server.url}")
+            if args.obs_sample is not None and args.command != "pipeline":
+                sampler = obs.Sampler(
+                    registry, store=store, interval=args.obs_sample
+                ).start()
+            obs.emit(
+                "cli.run.start",
+                command=args.command,
+                scale=args.scale,
+                jobs=args.jobs,
+            )
+            try:
+                with obs.span(f"cli.{args.command}", profile=args.obs_profile):
+                    body()
+            finally:
+                if sampler is not None:
+                    sampler.stop()
+                    sampler = None
+                obs.emit("cli.run.finish", command=args.command)
+            if args.obs_serve is not None and args.obs_serve_linger > 0:
+                if server is None:
+                    server = obs.ObsServer(
+                        registry, store=store, port=args.obs_serve, meta=meta
+                    ).start()
+                    print(f"obs server listening on {server.url} (linger)")
+                time.sleep(args.obs_serve_linger)
+    finally:
+        if server is not None:
+            server.stop()
+        event_log.close()
+    snapshot = registry.snapshot()
     if args.obs_out:
         payload = obs.write_json(args.obs_out, snapshot, meta=meta)
         print(f"observability payload written to {args.obs_out}")
@@ -333,6 +426,8 @@ def _run_with_observability(args: argparse.Namespace, body: Callable[[], None]) 
     if args.obs_prom:
         obs.write_prometheus(args.obs_prom, snapshot)
         print(f"prometheus metrics written to {args.obs_prom}")
+    if args.obs_log:
+        print(f"event log appended to {args.obs_log} (run_id={event_log.run_id})")
     if args.obs_profile:
         print(obs.format_profile_report(payload))
 
@@ -345,6 +440,16 @@ def main(argv=None) -> int:
         parser.error(
             f"--jobs must be >= 0 (0 means one worker per CPU); got {args.jobs}"
         )
+    if args.obs_serve is not None and not 0 <= args.obs_serve <= 65535:
+        parser.error(
+            f"--obs-serve must be a TCP port (0..65535); got {args.obs_serve}"
+        )
+    if args.obs_serve_linger < 0:
+        parser.error(
+            f"--obs-serve-linger must be >= 0; got {args.obs_serve_linger}"
+        )
+    if args.obs_sample is not None and args.obs_sample <= 0:
+        parser.error(f"--obs-sample must be positive; got {args.obs_sample}")
     if args.command == "list":
         print("available experiments:", ", ".join(sorted(_COMMANDS)))
         print("pipeline commands: pipeline run, pipeline resume")

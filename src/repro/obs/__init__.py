@@ -1,4 +1,6 @@
-"""Observability for the reproduction: metrics, tracing, profiling hooks.
+"""Observability for the reproduction: metrics, tracing, profiling hooks,
+structured event logging, time-series sampling, live HTTP export and
+threshold alerting.
 
 Usage sketch::
 
@@ -10,8 +12,17 @@ Usage sketch::
             run_fig1(config)
     payload = obs.build_payload(registry.snapshot(), meta={"cmd": "fig1"})
 
-When no registry is installed, every helper routes to a shared no-op
-:class:`NullRegistry`, so instrumented code pays a single attribute read.
+Live layer::
+
+    store = obs.TimeSeriesStore()
+    with obs.use_registry(registry), \
+         obs.use_event_log(obs.EventLog("events.jsonl")), \
+         obs.ObsServer(registry, store=store, port=9464), \
+         obs.Sampler(registry, store=store, interval=1.0):
+        long_running_monitoring()          # scrape localhost:9464/metrics
+
+When no registry / event log is installed, every helper routes to a
+shared no-op, so instrumented code pays a single attribute read.
 """
 
 from repro.obs.registry import (
@@ -40,36 +51,87 @@ from repro.obs.export import (
     format_profile_report,
     to_prometheus,
     validate_payload,
+    validate_prometheus,
     write_json,
     write_prometheus,
 )
 from repro.obs.profiling import format_hotspots
+from repro.obs.logs import (
+    EventLog,
+    LEVELS,
+    NULL_EVENT_LOG,
+    NullEventLog,
+    StdlibBridgeHandler,
+    attach_stdlib,
+    emit,
+    get_event_log,
+    new_run_id,
+    read_events,
+    use_event_log,
+)
+from repro.obs.timeseries import (
+    DEFAULT_QUANTILES,
+    Sampler,
+    Series,
+    TimeSeriesStore,
+    quantile_from_buckets,
+)
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, ObsServer
+from repro.obs.alerts import (
+    AlertEvent,
+    AlertManager,
+    AlertRule,
+    persistence_drop_rule,
+)
 
 __all__ = [
+    "AlertEvent",
+    "AlertManager",
+    "AlertRule",
     "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
+    "LEVELS",
     "MetricsRegistry",
+    "NullEventLog",
     "NullRegistry",
+    "NULL_EVENT_LOG",
     "NULL_REGISTRY",
+    "ObsServer",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Sampler",
     "SCHEMA_ID",
+    "Series",
+    "StdlibBridgeHandler",
+    "TimeSeriesStore",
+    "attach_stdlib",
     "build_payload",
     "counter",
     "current_span_path",
     "detached_span_path",
+    "emit",
     "enabled",
     "format_hotspots",
     "format_profile_report",
     "gauge",
+    "get_event_log",
     "get_registry",
     "histogram",
     "merge_into_active",
+    "new_run_id",
+    "persistence_drop_rule",
+    "quantile_from_buckets",
+    "read_events",
     "render_key",
     "span",
     "to_prometheus",
+    "use_event_log",
     "use_registry",
     "validate_payload",
+    "validate_prometheus",
     "write_json",
     "write_prometheus",
 ]

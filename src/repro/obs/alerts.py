@@ -1,0 +1,210 @@
+"""Declarative threshold alerting with hysteresis over metric series.
+
+The paper's anomaly-detection application (Section II-D) watches
+persistence ``1 - Dist(sigma_t(v), sigma_{t+1}(v))`` for abrupt drops;
+expressed as observability, that is a threshold alert on a time series.
+:class:`AlertRule` declares the condition, :class:`AlertManager` keeps the
+per-rule firing state, and hysteresis does the operational heavy lifting:
+
+* a rule **fires once** when the watched value breaches its threshold for
+  ``for_samples`` consecutive observations — and does *not* re-fire while
+  the condition persists (no alert storms);
+* it **clears** only when the value recovers past ``threshold`` by at
+  least ``clear_margin``, so a value oscillating around the threshold
+  cannot flap fire/clear/fire.
+
+Fired and cleared transitions are appended to the manager's event list,
+emitted to the active structured event log
+(:mod:`repro.obs.logs`) and counted on the active metrics registry
+(``alerts.fired{rule=...}`` / ``alerts.cleared{rule=...}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import logs
+from repro.obs.registry import get_registry
+from repro.obs.timeseries import TimeSeriesStore
+
+#: Rule directions: fire when the value drops below / rises above threshold.
+DIRECTION_BELOW = "below"
+DIRECTION_ABOVE = "above"
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative threshold condition on a named metric series.
+
+    ``metric`` is matched exactly against the series key fed to
+    :meth:`AlertManager.observe` (e.g. ``"monitor.persistence.median"``).
+    ``clear_margin`` is the hysteresis band: a ``below``-rule that fired at
+    ``threshold`` clears only at ``threshold + clear_margin`` or better.
+    ``for_samples`` requires that many *consecutive* breaching samples
+    before firing (debounce for noisy series).
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    direction: str = DIRECTION_BELOW
+    clear_margin: float = 0.0
+    for_samples: int = 1
+    level: str = "warning"
+
+    def __post_init__(self) -> None:
+        if self.direction not in (DIRECTION_BELOW, DIRECTION_ABOVE):
+            raise ValueError(
+                f"direction must be {DIRECTION_BELOW!r} or {DIRECTION_ABOVE!r}, "
+                f"got {self.direction!r}"
+            )
+        if self.clear_margin < 0:
+            raise ValueError(f"clear_margin must be >= 0, got {self.clear_margin}")
+        if self.for_samples < 1:
+            raise ValueError(f"for_samples must be >= 1, got {self.for_samples}")
+        if self.level not in logs.LEVELS:
+            raise ValueError(
+                f"level must be one of {sorted(logs.LEVELS)}, got {self.level!r}"
+            )
+
+    def breached(self, value: float) -> bool:
+        if self.direction == DIRECTION_BELOW:
+            return value < self.threshold
+        return value > self.threshold
+
+    def recovered(self, value: float) -> bool:
+        """Past the hysteresis band on the healthy side (clears a firing rule)."""
+        if self.direction == DIRECTION_BELOW:
+            return value >= self.threshold + self.clear_margin
+        return value <= self.threshold - self.clear_margin
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One state transition of a rule: ``fired`` or ``cleared``."""
+
+    rule: str
+    metric: str
+    kind: str  # "fired" | "cleared"
+    value: float
+    time: float
+    threshold: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "metric": self.metric,
+            "kind": self.kind,
+            "value": self.value,
+            "time": self.time,
+            "threshold": self.threshold,
+        }
+
+
+@dataclass
+class _RuleState:
+    firing: bool = False
+    streak: int = 0
+    fired_count: int = 0
+
+
+class AlertManager:
+    """Evaluate a fixed rule set against observed metric values."""
+
+    def __init__(self, rules: Sequence[AlertRule]) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names: {sorted(names)}")
+        self.rules: Tuple[AlertRule, ...] = tuple(rules)
+        self._state: Dict[str, _RuleState] = {
+            rule.name: _RuleState() for rule in rules
+        }
+        self.events: List[AlertEvent] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def firing(self) -> List[str]:
+        """Names of rules currently in the firing state (sorted)."""
+        return sorted(name for name, state in self._state.items() if state.firing)
+
+    def fired_count(self, rule_name: str) -> int:
+        return self._state[rule_name].fired_count
+
+    # ------------------------------------------------------------------
+    def observe(self, metric: str, value: float, t: float = 0.0) -> List[AlertEvent]:
+        """Feed one sample; returns the transitions it caused (often empty)."""
+        emitted: List[AlertEvent] = []
+        for rule in self.rules:
+            if rule.metric != metric:
+                continue
+            state = self._state[rule.name]
+            if rule.breached(value):
+                state.streak += 1
+                if not state.firing and state.streak >= rule.for_samples:
+                    state.firing = True
+                    state.fired_count += 1
+                    emitted.append(self._transition(rule, "fired", value, t))
+            else:
+                state.streak = 0
+                if state.firing and rule.recovered(value):
+                    state.firing = False
+                    emitted.append(self._transition(rule, "cleared", value, t))
+        self.events.extend(emitted)
+        return emitted
+
+    def observe_store(self, store: TimeSeriesStore, t: Optional[float] = None) -> List[AlertEvent]:
+        """Evaluate every rule against the latest point of its series."""
+        emitted: List[AlertEvent] = []
+        for rule in self.rules:
+            last = store.last(rule.metric)
+            if last is None:
+                continue
+            point_t, value = last
+            emitted.extend(
+                self.observe(rule.metric, value, t=point_t if t is None else t)
+            )
+        return emitted
+
+    def _transition(
+        self, rule: AlertRule, kind: str, value: float, t: float
+    ) -> AlertEvent:
+        event = AlertEvent(
+            rule=rule.name,
+            metric=rule.metric,
+            kind=kind,
+            value=value,
+            time=t,
+            threshold=rule.threshold,
+        )
+        logs.emit(
+            f"alert.{kind}",
+            level=rule.level if kind == "fired" else "info",
+            rule=rule.name,
+            metric=rule.metric,
+            value=value,
+            threshold=rule.threshold,
+            direction=rule.direction,
+        )
+        get_registry().counter(f"alerts.{kind}", rule=rule.name).inc()
+        return event
+
+
+def persistence_drop_rule(
+    threshold: float,
+    *,
+    name: str = "persistence-drop",
+    metric: str = "monitor.persistence.median",
+    clear_margin: float = 0.05,
+    for_samples: int = 1,
+) -> AlertRule:
+    """The paper's anomaly signal as a ready-made rule: fire when the
+    population's persistence trajectory drops below ``threshold``."""
+    return AlertRule(
+        name=name,
+        metric=metric,
+        threshold=threshold,
+        direction=DIRECTION_BELOW,
+        clear_margin=clear_margin,
+        for_samples=for_samples,
+    )

@@ -83,11 +83,24 @@ def _prom_name(name: str) -> str:
     return "repro_" + _PROM_BAD.sub("_", name)
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the exposition format: backslash first,
+    then double quote and newline (the three characters the format
+    reserves inside quoted label values)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{_PROM_BAD.sub("_", key)}="{value}"' for key, value in sorted(labels.items())
+        f'{_PROM_BAD.sub("_", key)}="{_prom_escape(value)}"'
+        for key, value in sorted(labels.items())
     )
     return "{" + inner + "}"
 
@@ -218,6 +231,97 @@ def validate_payload(payload: Dict) -> List[str]:
     if isinstance(spans, list):
         for index, node in enumerate(spans):
             _check_span(node, f"spans[{index}]")
+    return errors
+
+
+#: One exposition sample line: name, optional label block, value.
+_PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_PROM_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_PROM_TYPE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def _parse_prom_value(text: str) -> Optional[float]:
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def validate_prometheus(text: str) -> List[str]:
+    """Validate Prometheus text exposition; return problems (empty if valid).
+
+    Checks each line against the exposition grammar (metric name, quoted
+    and escaped label values, parseable sample value) plus the histogram
+    invariants a concurrent-scrape bug would break: cumulative ``_bucket``
+    counts must be non-decreasing toward ``+Inf``, and the ``+Inf`` bucket
+    must equal the matching ``_count`` sample.
+    """
+    errors: List[str] = []
+    buckets: Dict[tuple, List[tuple]] = {}
+    counts: Dict[tuple, float] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE") and not _PROM_TYPE.match(line):
+                errors.append(f"line {number}: malformed TYPE comment: {line!r}")
+            continue
+        match = _PROM_SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {number}: not a valid sample line: {line!r}")
+            continue
+        name = match.group("name")
+        label_block = match.group("labels")
+        labels: Dict[str, str] = {}
+        if label_block:
+            consumed = _PROM_LABEL_PAIR.sub("", label_block).strip(", \t")
+            if consumed:
+                errors.append(
+                    f"line {number}: malformed label block {label_block!r} "
+                    f"(unparsed: {consumed!r})"
+                )
+                continue
+            labels = dict(_PROM_LABEL_PAIR.findall(label_block))
+        value = _parse_prom_value(match.group("value"))
+        if value is None:
+            errors.append(
+                f"line {number}: unparseable value {match.group('value')!r}"
+            )
+            continue
+        if name.endswith("_bucket") and "le" in labels:
+            family = name[: -len("_bucket")]
+            rest = tuple(sorted(
+                (key, val) for key, val in labels.items() if key != "le"
+            ))
+            buckets.setdefault((family, rest), []).append((labels["le"], value))
+        elif name.endswith("_count"):
+            family = name[: -len("_count")]
+            rest = tuple(sorted(labels.items()))
+            counts[(family, rest)] = value
+    for (family, rest), series in buckets.items():
+        cumulative = [value for _le, value in series]
+        if cumulative != sorted(cumulative):
+            errors.append(
+                f"{family}{dict(rest)}: bucket counts not cumulative: {series}"
+            )
+        inf_values = [value for le, value in series if le == "+Inf"]
+        if not inf_values:
+            errors.append(f"{family}{dict(rest)}: missing +Inf bucket")
+        elif (family, rest) in counts and inf_values[0] != counts[(family, rest)]:
+            errors.append(
+                f"{family}{dict(rest)}: +Inf bucket {inf_values[0]} != "
+                f"_count {counts[(family, rest)]}"
+            )
     return errors
 
 

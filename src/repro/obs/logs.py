@@ -1,0 +1,262 @@
+"""Structured JSON-lines event logging, correlated with spans.
+
+Counters say *how much*; the event log says *what happened, when, and
+where in the call tree*.  Each event is one JSON object per line::
+
+    {"ts": 1722950000.123456, "level": "warning", "event": "pipeline.retry",
+     "run_id": "4f1c2b9a03de", "span": "pipeline.run{scheme=tt}/pipeline.window",
+     "op": "read", "attempt": 1, ...}
+
+Design mirrors the metrics registry (:mod:`repro.obs.registry`):
+
+* **Zero overhead when off.**  The default log is the shared
+  :data:`NULL_EVENT_LOG`; the module-level :func:`emit` routes to the
+  active log through a contextvar, so uninstrumented runs pay one
+  attribute read and no string formatting.
+* **Span correlation for free.**  Every event records the ambient span
+  path (:func:`repro.obs.registry.current_span_path`), so a grep for a
+  run-id reconstructs *where* in the pipeline each warning fired.
+* **Stdlib bridge.**  :func:`attach_stdlib` installs a
+  :class:`logging.Handler` that forwards stdlib records into whatever
+  event log is active at emit time — third-party libraries logging
+  through :mod:`logging` land in the same JSON-lines stream.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.obs.registry import current_span_path
+
+#: Event severities, least to most severe (numeric ranks for filtering).
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: Fields every event carries; user fields may not collide with them.
+RESERVED_FIELDS = ("ts", "level", "event", "run_id", "span", "seq")
+
+
+def new_run_id() -> str:
+    """A short random correlation id for one run (12 hex chars)."""
+    return uuid.uuid4().hex[:12]
+
+
+class EventLog:
+    """Thread-safe JSON-lines event sink.
+
+    ``sink`` is a path (opened in append mode, so several runs can share
+    one file) or any object with ``write(str)`` (e.g. ``io.StringIO``,
+    ``sys.stderr``).  Events below ``level`` are dropped.  ``clock`` is
+    injectable for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Union[str, Path, io.TextIOBase, "io.TextIOWrapper"],
+        *,
+        run_id: Optional[str] = None,
+        level: str = "debug",
+        clock=time.time,
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; choose from {sorted(LEVELS)}")
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.level = level
+        self._min_rank = LEVELS[level]
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._seq = 0
+        if isinstance(sink, (str, Path)):
+            self._handle = open(sink, "a", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = sink
+            self._owns_handle = False
+
+    # ------------------------------------------------------------------
+    def emit(self, event: str, level: str = "info", **fields) -> Optional[Dict]:
+        """Write one event; returns the record written (or ``None`` if
+        filtered out by the log's level)."""
+        rank = LEVELS.get(level)
+        if rank is None:
+            raise ValueError(f"unknown level {level!r}; choose from {sorted(LEVELS)}")
+        if rank < self._min_rank:
+            return None
+        for key in fields:
+            if key in RESERVED_FIELDS:
+                raise ValueError(f"field {key!r} collides with a reserved event field")
+        record: Dict = {
+            "ts": round(self._clock(), 6),
+            "level": level,
+            "event": event,
+            "run_id": self.run_id,
+            "span": "/".join(current_span_path()),
+        }
+        record.update(fields)
+        with self._lock:
+            # The sequence number is assigned under the lock so concurrent
+            # emitters get unique, ordered seq values.
+            record["seq"] = self._seq
+            self._seq += 1
+            self._handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+            flush = getattr(self._handle, "flush", None)
+            if flush is not None:
+                flush()
+        return record
+
+    def debug(self, event: str, **fields) -> Optional[Dict]:
+        return self.emit(event, level="debug", **fields)
+
+    def info(self, event: str, **fields) -> Optional[Dict]:
+        return self.emit(event, level="info", **fields)
+
+    def warning(self, event: str, **fields) -> Optional[Dict]:
+        return self.emit(event, level="warning", **fields)
+
+    def error(self, event: str, **fields) -> Optional[Dict]:
+        return self.emit(event, level="error", **fields)
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullEventLog:
+    """The default, do-nothing event log."""
+
+    enabled = False
+    run_id = ""
+    level = "debug"
+
+    def emit(self, event: str, level: str = "info", **fields) -> None:
+        return None
+
+    def debug(self, event: str, **fields) -> None:
+        return None
+
+    def info(self, event: str, **fields) -> None:
+        return None
+
+    def warning(self, event: str, **fields) -> None:
+        return None
+
+    def error(self, event: str, **fields) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_EVENT_LOG = NullEventLog()
+
+_ACTIVE_LOG: ContextVar = ContextVar("repro_obs_event_log", default=NULL_EVENT_LOG)
+
+
+def get_event_log():
+    """The event log currently receiving events (the null one by default)."""
+    return _ACTIVE_LOG.get()
+
+
+@contextmanager
+def use_event_log(log) -> Iterator:
+    """Route all :func:`emit` calls to ``log`` for the block."""
+    token = _ACTIVE_LOG.set(log)
+    try:
+        yield log
+    finally:
+        _ACTIVE_LOG.reset(token)
+
+
+def emit(event: str, level: str = "info", **fields) -> Optional[Dict]:
+    """Emit on the active event log (no-op when logging is off)."""
+    log = _ACTIVE_LOG.get()
+    if not log.enabled:
+        return None
+    return log.emit(event, level=level, **fields)
+
+
+def read_events(path: Union[str, Path]) -> List[Dict]:
+    """Parse a JSON-lines event file back into a list of records."""
+    records: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not a JSON event line ({error})"
+                ) from error
+    return records
+
+
+# ----------------------------------------------------------------------
+# Stdlib logging bridge
+# ----------------------------------------------------------------------
+
+_STDLIB_LEVELS = (
+    (logging.ERROR, "error"),
+    (logging.WARNING, "warning"),
+    (logging.INFO, "info"),
+)
+
+
+def _stdlib_level(levelno: int) -> str:
+    for rank, name in _STDLIB_LEVELS:
+        if levelno >= rank:
+            return name
+    return "debug"
+
+
+class StdlibBridgeHandler(logging.Handler):
+    """Forward stdlib :mod:`logging` records into the *active* event log.
+
+    The lookup happens at emit time, so the handler can be installed once
+    (e.g. at CLI startup) and respects whatever ``use_event_log`` block is
+    active when a library logs.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:  # pragma: no cover - trivial
+        self.forward(record)
+
+    def forward(self, record: logging.LogRecord) -> Optional[Dict]:
+        log = _ACTIVE_LOG.get()
+        if not log.enabled:
+            return None
+        return log.emit(
+            "log." + record.name,
+            level=_stdlib_level(record.levelno),
+            message=record.getMessage(),
+            logger=record.name,
+        )
+
+
+def attach_stdlib(
+    logger: Optional[logging.Logger] = None, level: int = logging.INFO
+) -> StdlibBridgeHandler:
+    """Install (and return) a bridge handler on ``logger`` (root by default).
+
+    Remove it with ``logger.removeHandler(handler)`` when done — tests do,
+    long-lived processes usually keep it for their lifetime.
+    """
+    handler = StdlibBridgeHandler(level=level)
+    (logger or logging.getLogger()).addHandler(handler)
+    return handler

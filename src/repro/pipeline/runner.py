@@ -72,6 +72,14 @@ class PipelineConfig:
     ``window_deadline`` (seconds per window) are the graceful-degradation
     triggers; exceeding either routes the window through the streaming
     sketches instead of the exact scheme.
+
+    Live observability opt-ins: ``obs_port`` serves the run's *own*
+    metrics registry over HTTP (``/metrics``, ``/healthz``,
+    ``/snapshot.json``, ``/series.json``; 0 binds an ephemeral port) for
+    the duration of the run, and ``sample_interval`` adds a background
+    sampler recording wall-clock metric trajectories at that period.  The
+    per-window trajectory samples in ``result.timeseries`` are always
+    recorded — they cost one registry snapshot per window.
     """
 
     scheme: str = "tt"
@@ -86,6 +94,8 @@ class PipelineConfig:
     streaming_epsilon: float = 0.005
     streaming_delta: float = 0.01
     seed: int = 0
+    obs_port: Optional[int] = None
+    sample_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -110,14 +120,28 @@ class PipelineConfig:
             raise PipelineError(
                 f"window_deadline must be positive, got {self.window_deadline}"
             )
+        if self.obs_port is not None and not 0 <= self.obs_port <= 65535:
+            raise PipelineError(
+                f"obs_port must be a TCP port (0..65535), got {self.obs_port}"
+            )
+        if self.sample_interval is not None and self.sample_interval <= 0:
+            raise PipelineError(
+                f"sample_interval must be positive, got {self.sample_interval}"
+            )
 
 
 @dataclass
 class PipelineResult:
-    """Final signatures per window plus the full provenance report."""
+    """Final signatures per window plus the full provenance report.
+
+    ``timeseries`` holds the run's metric trajectories (``{series key:
+    [[t, value], ...]}``): one sample per completed window always, plus
+    periodic wall-clock samples when ``config.sample_interval`` is set.
+    """
 
     report: RunReport
     signatures: List[Dict[str, Signature]] = field(default_factory=list)
+    timeseries: Dict[str, List[List[float]]] = field(default_factory=dict)
 
 
 class SignaturePipeline:
@@ -161,22 +185,61 @@ class SignaturePipeline:
         into ``result.report.metrics`` (even with observability off
         globally); when a collecting registry is active in the caller, the
         run's full metrics and span tree are merged into it as well.
+
+        Faults worth grepping for — retries, quarantined rows,
+        degradations, a tripped error budget — are additionally emitted as
+        structured JSON-lines events on the active event log
+        (:mod:`repro.obs.logs`); a no-op unless the caller installed one
+        with ``obs.use_event_log``.
         """
         parent = obs.get_registry()
         local = obs.MetricsRegistry(profile=getattr(parent, "profile", False))
+        store = obs.TimeSeriesStore()
+        server = sampler = None
+        obs.emit(
+            "pipeline.run.start",
+            level="info",
+            scheme=self.config.scheme,
+            source=self.source.describe(),
+            resume=resume,
+        )
         # Detach the ambient span path while collecting locally: the local
         # registry must record paths relative to its own root, because the
         # merge below grafts them under the caller's current span path —
         # without the reset that prefix would be applied twice.
         with obs.detached_span_path(), obs.use_registry(local):
-            with obs.span("pipeline.run", scheme=self.config.scheme):
-                result = self._run(resume)
+            if self.config.obs_port is not None:
+                server = obs.ObsServer(
+                    local, store=store, port=self.config.obs_port,
+                    meta={"pipeline": self.source.describe()},
+                ).start()
+            if self.config.sample_interval is not None:
+                sampler = obs.Sampler(
+                    local, store=store, interval=self.config.sample_interval
+                ).start()
+            try:
+                with obs.span("pipeline.run", scheme=self.config.scheme):
+                    result = self._run(resume, store)
+            finally:
+                if sampler is not None:
+                    sampler.stop()
+                if server is not None:
+                    server.stop()
         result.report.metrics = local.counters_flat()
+        result.timeseries = store.to_dict()
+        obs.emit(
+            "pipeline.run.finish",
+            level="info",
+            scheme=self.config.scheme,
+            windows=len(result.report.windows),
+            degraded=len(result.report.degraded_windows),
+            retries=result.report.retries,
+        )
         if parent.enabled:
             parent.merge(local.snapshot(), prefix=obs.current_span_path())
         return result
 
-    def _run(self, resume: bool) -> PipelineResult:
+    def _run(self, resume: bool, series: "obs.TimeSeriesStore") -> PipelineResult:
         report = RunReport(
             source=self.source.describe(),
             scheme=self.config.scheme,
@@ -192,6 +255,17 @@ class SignaturePipeline:
             obs.counter("pipeline.records_rejected").inc(read_report.num_rejected)
             if report.error_policy == "quarantine":
                 obs.counter("pipeline.quarantined").inc(read_report.num_rejected)
+            obs.emit(
+                "pipeline.records_rejected",
+                level="warning",
+                policy=report.error_policy,
+                rejected=read_report.num_rejected,
+                seen=read_report.num_seen,
+                rows=[
+                    {"line": row.line_number, "reason": row.reason}
+                    for row in read_report.rejected[:20]
+                ],
+            )
         self._enforce_error_budget(read_report)
         buckets = self._split_into_windows(read_report)
 
@@ -212,6 +286,17 @@ class SignaturePipeline:
             obs.counter("pipeline.windows", mode=window_report.mode).inc()
             report.windows.append(window_report)
             result.signatures.append(signatures)
+            obs.emit(
+                "pipeline.window",
+                level="debug",
+                window=window,
+                mode=window_report.mode,
+                signatures=window_report.num_signatures,
+                records=window_report.num_records,
+            )
+            # One trajectory point per completed window, so even a run
+            # without a background sampler records how its counters moved.
+            series.sample(obs.get_registry())
             for hook in self.hooks:
                 hook(window, window_report)
         return result
@@ -227,6 +312,14 @@ class SignaturePipeline:
         def count_retry(attempt: int, error: BaseException, delay: float) -> None:
             report.retries += 1
             obs.counter("pipeline.retries", op="read").inc()
+            obs.emit(
+                "pipeline.retry",
+                level="warning",
+                op="read",
+                attempt=attempt,
+                error=str(error),
+                delay_s=round(delay, 6),
+            )
             report.issues.append(
                 f"source read attempt {attempt} failed ({error}); retrying"
             )
@@ -249,6 +342,13 @@ class SignaturePipeline:
         else:
             over = read_report.num_rejected > budget
         if over:
+            obs.emit(
+                "pipeline.error_budget_exceeded",
+                level="error",
+                rejected=read_report.num_rejected,
+                seen=read_report.num_seen,
+                budget=budget,
+            )
             raise ErrorBudgetExceeded(
                 read_report.num_rejected, read_report.num_seen, budget
             )
@@ -311,6 +411,12 @@ class SignaturePipeline:
             obs.counter("pipeline.windows", mode=MODE_CACHED).inc()
         if good:
             report.resumed_from = len(good)
+            obs.emit(
+                "pipeline.resumed",
+                level="info",
+                windows=len(good),
+                issues=list(scan.issues),
+            )
         return len(good)
 
     # ------------------------------------------------------------------
@@ -361,6 +467,13 @@ class SignaturePipeline:
                     f"; streaming fallback approximates 'tt', not "
                     f"{self.config.scheme!r}"
                 )
+            obs.emit(
+                "pipeline.degraded",
+                level="warning",
+                window=window,
+                reason=reason,
+                scheme=self.config.scheme,
+            )
 
         meta = {
             "num_records": len(records),
@@ -431,6 +544,15 @@ class SignaturePipeline:
         def count_retry(attempt: int, error: BaseException, delay: float) -> None:
             report.retries += 1
             obs.counter("pipeline.retries", op="checkpoint").inc()
+            obs.emit(
+                "pipeline.retry",
+                level="warning",
+                op="checkpoint",
+                window=window,
+                attempt=attempt,
+                error=str(error),
+                delay_s=round(delay, 6),
+            )
             report.issues.append(
                 f"checkpoint write for window {window} attempt {attempt} "
                 f"failed ({error}); retrying"

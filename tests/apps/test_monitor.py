@@ -127,3 +127,164 @@ class TestPersistenceByLag:
             persistence_by_lag(
                 scheme, dist_scaled_hellinger, tiny_enterprise.graphs, population=[]
             )
+
+
+def steady_graph():
+    from repro.graph.comm_graph import CommGraph
+
+    graph = CommGraph()
+    for index in range(6):
+        node = f"host{index}"
+        for peer in range(4):
+            graph.add_edge(node, f"peer{peer}", 3.0)
+    return graph
+
+
+def broken_graph(tag):
+    """Every host talks to a fresh peer set: persistence collapses to ~0."""
+    from repro.graph.comm_graph import CommGraph
+
+    graph = CommGraph()
+    for index in range(6):
+        node = f"host{index}"
+        for peer in range(4):
+            graph.add_edge(node, f"odd-{tag}-{peer}", 3.0)
+    return graph
+
+
+class TestMonitorAlerting:
+    """Acceptance: a sustained persistence drop fires exactly one alert."""
+
+    POPULATION = [f"host{index}" for index in range(6)]
+
+    def drop_sequence(self):
+        # median persistence per transition: [1, ~0, ~0, ~0, ~0, 1]
+        graphs = [
+            steady_graph(),
+            steady_graph(),
+            broken_graph("a"),
+            broken_graph("b"),
+            broken_graph("c"),
+            steady_graph(),
+            steady_graph(),
+        ]
+        return GraphSequence(graphs=graphs)
+
+    def alerting_monitor(self, rules):
+        from repro.obs import persistence_drop_rule  # noqa: F401 - re-export check
+
+        return SequenceMonitor(
+            create_scheme("tt", k=10),
+            dist_scaled_hellinger,
+            threshold=0.05,
+            alert_rules=rules,
+        )
+
+    def test_sustained_drop_fires_exactly_one_alert(self):
+        from repro.obs import persistence_drop_rule
+
+        monitor = self.alerting_monitor([persistence_drop_rule(0.5)])
+        result = monitor.run(self.drop_sequence(), population=self.POPULATION)
+        # Four consecutive breached transitions -> one fired event, then one
+        # cleared event on recovery.  No re-fire while still below threshold.
+        assert [event.kind for event in result.alerts] == ["fired", "cleared"]
+        assert len(result.fired_alerts) == 1
+        fired = result.fired_alerts[0]
+        assert fired.metric == "monitor.persistence.median"
+        assert fired.time == 1.0  # first broken transition
+        assert fired.value < 0.5
+
+    def test_no_alerts_when_sequence_is_steady(self, tiny_enterprise):
+        from repro.obs import persistence_drop_rule
+
+        monitor = self.alerting_monitor([persistence_drop_rule(0.05)])
+        result = monitor.run(
+            tiny_enterprise.graphs, population=tiny_enterprise.local_hosts
+        )
+        assert result.alerts == ()
+
+    def test_per_node_rule_targets_one_trajectory(self, tiny_enterprise):
+        from repro.apps.monitor import node_persistence_key
+        from repro.obs import AlertRule
+
+        victim = tiny_enterprise.local_hosts[2]
+        graphs = list(tiny_enterprise.graphs)
+        graphs[2] = replace_behaviour(graphs[2], victim, seed=6)
+        rule = AlertRule(
+            name="victim-drop",
+            metric=node_persistence_key(victim),
+            threshold=0.3,
+        )
+        monitor = self.alerting_monitor([rule])
+        result = monitor.run(
+            GraphSequence(graphs=graphs), population=tiny_enterprise.local_hosts
+        )
+        assert [event.kind for event in result.alerts] == ["fired"]
+        assert result.alerts[0].time == 1.0  # transition 1 -> 2
+
+    def test_series_recorded_per_transition(self, monitor, tiny_enterprise):
+        from repro.apps.monitor import (
+            PERSISTENCE_MEAN,
+            PERSISTENCE_MEDIAN,
+            PERSISTENCE_MIN,
+            node_persistence_key,
+        )
+
+        result = monitor.run(
+            tiny_enterprise.graphs, population=tiny_enterprise.local_hosts
+        )
+        transitions = len(tiny_enterprise.graphs) - 1
+        for key in (PERSISTENCE_MEAN, PERSISTENCE_MEDIAN, PERSISTENCE_MIN):
+            points = result.series[key]
+            assert [point[0] for point in points] == [
+                float(index) for index in range(transitions)
+            ]
+        node = tiny_enterprise.local_hosts[0]
+        node_series = result.series[node_persistence_key(node)]
+        assert [value for _t, value in node_series] == result.trajectories[node]
+
+    def test_transitions_emit_structured_events_and_metrics(
+        self, monitor, tiny_enterprise
+    ):
+        import io
+        import json
+
+        from repro import obs
+
+        buffer = io.StringIO()
+        log = obs.EventLog(buffer, run_id="m", clock=lambda: 0.0)
+        registry = obs.MetricsRegistry()
+        with obs.use_event_log(log), obs.use_registry(registry):
+            monitor.run(
+                tiny_enterprise.graphs, population=tiny_enterprise.local_hosts
+            )
+        events = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        transition_events = [
+            event for event in events if event["event"] == "monitor.transition"
+        ]
+        assert len(transition_events) == len(tiny_enterprise.graphs) - 1
+        assert all(
+            event["span"].startswith("monitor.run") for event in transition_events
+        )
+        assert registry.counter_value("monitor.transitions") == len(
+            tiny_enterprise.graphs
+        ) - 1
+
+    def test_alert_events_reach_event_log(self):
+        import io
+        import json
+
+        from repro import obs
+        from repro.obs import persistence_drop_rule
+
+        buffer = io.StringIO()
+        log = obs.EventLog(buffer, run_id="m", clock=lambda: 0.0)
+        monitor = self.alerting_monitor([persistence_drop_rule(0.5)])
+        with obs.use_event_log(log):
+            monitor.run(self.drop_sequence(), population=self.POPULATION)
+        kinds = [
+            json.loads(line)["event"]
+            for line in buffer.getvalue().splitlines()
+            if json.loads(line)["event"].startswith("alert.")
+        ]
+        assert kinds == ["alert.fired", "alert.cleared"]

@@ -1,0 +1,149 @@
+"""Tests for declarative threshold alerting with hysteresis."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.alerts import AlertManager, AlertRule, persistence_drop_rule
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def drop_rule(**kwargs):
+    kwargs.setdefault("name", "drop")
+    kwargs.setdefault("metric", "persistence")
+    kwargs.setdefault("threshold", 0.5)
+    return AlertRule(**kwargs)
+
+
+class TestAlertRule:
+    def test_below_direction(self):
+        rule = drop_rule(clear_margin=0.1)
+        assert rule.breached(0.4)
+        assert not rule.breached(0.5)
+        assert not rule.recovered(0.55)  # inside the hysteresis band
+        assert rule.recovered(0.6)
+
+    def test_above_direction(self):
+        rule = drop_rule(direction="above", threshold=10.0, clear_margin=2.0)
+        assert rule.breached(11.0)
+        assert not rule.breached(10.0)
+        assert not rule.recovered(9.0)
+        assert rule.recovered(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="direction"):
+            drop_rule(direction="sideways")
+        with pytest.raises(ValueError, match="clear_margin"):
+            drop_rule(clear_margin=-1.0)
+        with pytest.raises(ValueError, match="for_samples"):
+            drop_rule(for_samples=0)
+        with pytest.raises(ValueError, match="level"):
+            drop_rule(level="fatal")
+
+
+class TestAlertManager:
+    def test_fires_once_and_does_not_refire_while_breached(self):
+        manager = AlertManager([drop_rule()])
+        transitions = []
+        for t, value in enumerate([0.9, 0.3, 0.2, 0.1, 0.3]):
+            transitions.extend(manager.observe("persistence", value, t=t))
+        assert [event.kind for event in transitions] == ["fired"]
+        assert transitions[0].value == 0.3
+        assert transitions[0].time == 1
+        assert manager.firing == ["drop"]
+        assert manager.fired_count("drop") == 1
+
+    def test_hysteresis_prevents_flapping(self):
+        manager = AlertManager([drop_rule(clear_margin=0.2)])
+        values = [0.4, 0.55, 0.45, 0.55, 0.69, 0.71]
+        kinds = []
+        for t, value in enumerate(values):
+            kinds.extend(e.kind for e in manager.observe("persistence", value, t=t))
+        # Oscillation inside [0.5, 0.7) never clears; only 0.71 does.
+        assert kinds == ["fired", "cleared"]
+        assert manager.firing == []
+
+    def test_refires_after_clean_recovery(self):
+        manager = AlertManager([drop_rule()])
+        kinds = []
+        for t, value in enumerate([0.4, 0.9, 0.4]):
+            kinds.extend(e.kind for e in manager.observe("persistence", value, t=t))
+        assert kinds == ["fired", "cleared", "fired"]
+        assert manager.fired_count("drop") == 2
+
+    def test_for_samples_debounce(self):
+        manager = AlertManager([drop_rule(for_samples=3)])
+        kinds = []
+        # Two breaches, a recovery (streak reset), then three in a row.
+        for t, value in enumerate([0.4, 0.4, 0.9, 0.4, 0.4, 0.4]):
+            kinds.extend(e.kind for e in manager.observe("persistence", value, t=t))
+        assert kinds == ["fired"]
+        assert manager.events[0].time == 5
+
+    def test_unmatched_metric_ignored(self):
+        manager = AlertManager([drop_rule()])
+        assert manager.observe("other.metric", 0.0, t=0) == []
+        assert manager.firing == []
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertManager([drop_rule(), drop_rule(threshold=0.1)])
+
+    def test_observe_store_uses_latest_points(self):
+        store = TimeSeriesStore()
+        store.record("persistence", 0.0, 0.9)
+        store.record("persistence", 1.0, 0.2)
+        manager = AlertManager([drop_rule()])
+        [event] = manager.observe_store(store)
+        assert event.kind == "fired"
+        assert event.time == 1.0
+        # Same latest point again: still breached, no re-fire.
+        assert manager.observe_store(store) == []
+
+    def test_events_accumulate_and_serialise(self):
+        manager = AlertManager([drop_rule()])
+        manager.observe("persistence", 0.1, t=3)
+        [event] = manager.events
+        assert event.to_dict() == {
+            "rule": "drop",
+            "metric": "persistence",
+            "kind": "fired",
+            "value": 0.1,
+            "time": 3,
+            "threshold": 0.5,
+        }
+
+
+class TestAlertObservability:
+    def test_transitions_hit_event_log_and_registry(self):
+        buffer = io.StringIO()
+        log = obs.EventLog(buffer, run_id="r", clock=lambda: 0.0)
+        registry = obs.MetricsRegistry()
+        manager = AlertManager([drop_rule(level="error")])
+        with obs.use_event_log(log), obs.use_registry(registry):
+            manager.observe("persistence", 0.1, t=0)
+            manager.observe("persistence", 0.9, t=1)
+        fired, cleared = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert fired["event"] == "alert.fired"
+        assert fired["level"] == "error"  # rule-configured severity
+        assert fired["rule"] == "drop"
+        assert cleared["event"] == "alert.cleared"
+        assert cleared["level"] == "info"
+        assert registry.counter_value("alerts.fired", rule="drop") == 1
+        assert registry.counter_value("alerts.cleared", rule="drop") == 1
+
+    def test_silent_without_active_log_or_registry(self):
+        manager = AlertManager([drop_rule()])
+        [event] = manager.observe("persistence", 0.1, t=0)
+        assert event.kind == "fired"  # transitions still recorded locally
+
+
+class TestPersistenceDropRule:
+    def test_defaults_match_monitor_series(self):
+        rule = persistence_drop_rule(0.3)
+        assert rule.metric == "monitor.persistence.median"
+        assert rule.direction == "below"
+        assert rule.threshold == 0.3
+        assert rule.clear_margin > 0  # hysteresis on by default

@@ -187,3 +187,89 @@ class TestProfiling:
     def test_profile_report_empty_message(self):
         payload = build_payload(obs.MetricsRegistry().snapshot())
         assert "no profiled spans" in format_profile_report(payload)
+
+
+class TestPrometheusLabelEscaping:
+    """Regression tests for raw label-value interpolation: `\\`, `"` and
+    newlines must be escaped per the exposition format (they used to pass
+    through raw, producing unparseable scrape output)."""
+
+    def test_double_quote_escaped(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("evil", label='say "hi"').inc()
+        text = to_prometheus(registry.snapshot())
+        assert 'label="say \\"hi\\""' in text
+        assert obs.validate_prometheus(text) == []
+
+    def test_backslash_escaped(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("evil", path="C:\\temp\\x").inc()
+        text = to_prometheus(registry.snapshot())
+        assert 'path="C:\\\\temp\\\\x"' in text
+        assert obs.validate_prometheus(text) == []
+
+    def test_newline_escaped(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("evil", note="line1\nline2").inc()
+        text = to_prometheus(registry.snapshot())
+        # One sample line, with a literal backslash-n escape sequence.
+        [sample] = [line for line in text.splitlines() if line.startswith("repro_evil")]
+        assert 'note="line1\\nline2"' in sample
+        assert obs.validate_prometheus(text) == []
+
+    def test_escaping_applies_to_span_paths_and_histograms(self):
+        registry = obs.MetricsRegistry()
+        registry.histogram("lat", label='q="x"').observe(0.01)
+        with obs.use_registry(registry):
+            with obs.span("cell", scheme='S"1"'):
+                pass
+        text = to_prometheus(registry.snapshot())
+        assert obs.validate_prometheus(text) == []
+        assert '\\"x\\"' in text
+        assert '\\"1\\"' in text
+
+
+class TestValidatePrometheus:
+    def test_accepts_exporter_output(self):
+        text = to_prometheus(sample_registry().snapshot())
+        assert obs.validate_prometheus(text) == []
+
+    def test_rejects_raw_quote_in_label(self):
+        bad = 'metric{label="say "hi""} 1\n'
+        assert obs.validate_prometheus(bad)
+
+    def test_rejects_garbage_line(self):
+        assert obs.validate_prometheus("not a metric line at all!\n")
+
+    def test_rejects_unparseable_value(self):
+        assert obs.validate_prometheus("metric twelve\n")
+
+    def test_rejects_non_cumulative_histogram(self):
+        bad = (
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 3\n"
+        )
+        problems = obs.validate_prometheus(bad)
+        assert any("not cumulative" in problem for problem in problems)
+
+    def test_rejects_missing_inf_bucket(self):
+        bad = 'h_bucket{le="0.1"} 5\n'
+        problems = obs.validate_prometheus(bad)
+        assert any("+Inf" in problem for problem in problems)
+
+    def test_rejects_inf_bucket_count_mismatch(self):
+        bad = (
+            'h_bucket{le="0.1"} 2\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 4\n"
+        )
+        problems = obs.validate_prometheus(bad)
+        assert any("!= _count" in problem for problem in problems)
+
+    def test_rejects_malformed_type_comment(self):
+        assert obs.validate_prometheus("# TYPE weird kind-of-thing\n")
+
+    def test_accepts_special_values(self):
+        assert obs.validate_prometheus("m 1.5e-3\nn +Inf\no NaN\n") == []

@@ -1,0 +1,192 @@
+"""Tests for structured JSON-lines event logging (repro.obs.logs)."""
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.logs import LEVELS, RESERVED_FIELDS, StdlibBridgeHandler
+
+
+def make_log(buffer=None, **kwargs):
+    buffer = buffer if buffer is not None else io.StringIO()
+    kwargs.setdefault("run_id", "testrun")
+    kwargs.setdefault("clock", lambda: 42.0)
+    return obs.EventLog(buffer, **kwargs), buffer
+
+
+def events_of(buffer):
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestEventLog:
+    def test_emits_one_json_object_per_line(self):
+        log, buffer = make_log()
+        log.emit("pipeline.retry", level="warning", op="read", attempt=2)
+        log.emit("pipeline.window", window=0)
+        first, second = events_of(buffer)
+        assert first["event"] == "pipeline.retry"
+        assert first["level"] == "warning"
+        assert first["op"] == "read"
+        assert first["attempt"] == 2
+        assert first["run_id"] == "testrun"
+        assert first["ts"] == 42.0
+        assert second["event"] == "pipeline.window"
+        assert second["level"] == "info"  # default
+
+    def test_sequence_numbers_are_unique_and_ordered(self):
+        log, buffer = make_log()
+        for index in range(5):
+            log.emit("tick", index=index)
+        assert [event["seq"] for event in events_of(buffer)] == [0, 1, 2, 3, 4]
+
+    def test_span_path_correlation(self):
+        log, buffer = make_log()
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            with obs.span("pipeline.run", scheme="tt"):
+                with obs.span("pipeline.window"):
+                    log.emit("inside")
+            log.emit("outside")
+        inside, outside = events_of(buffer)
+        assert inside["span"] == "pipeline.run{scheme=tt}/pipeline.window"
+        assert outside["span"] == ""
+
+    def test_level_filtering(self):
+        log, buffer = make_log(level="warning")
+        assert log.emit("quiet", level="debug") is None
+        assert log.emit("quiet", level="info") is None
+        assert log.emit("loud", level="warning") is not None
+        assert log.emit("louder", level="error") is not None
+        assert [event["event"] for event in events_of(buffer)] == ["loud", "louder"]
+
+    def test_unknown_level_rejected(self):
+        log, _buffer = make_log()
+        with pytest.raises(ValueError, match="unknown level"):
+            log.emit("x", level="fatal")
+        with pytest.raises(ValueError, match="unknown level"):
+            obs.EventLog(io.StringIO(), level="fatal")
+
+    def test_reserved_fields_rejected(self):
+        log, _buffer = make_log()
+        # "event" and "level" are real parameters (duplicating them is a
+        # TypeError from Python itself); the rest must be rejected here.
+        for reserved in set(RESERVED_FIELDS) - {"event", "level"}:
+            with pytest.raises(ValueError, match="reserved"):
+                log.emit("x", **{reserved: 1})
+
+    def test_level_helpers(self):
+        log, buffer = make_log()
+        log.debug("a")
+        log.info("b")
+        log.warning("c")
+        log.error("d")
+        assert [event["level"] for event in events_of(buffer)] == [
+            "debug", "info", "warning", "error",
+        ]
+
+    def test_non_json_fields_stringified(self):
+        log, buffer = make_log()
+        log.emit("oops", error=ValueError("boom"))
+        [event] = events_of(buffer)
+        assert event["error"] == "boom"
+
+    def test_concurrent_emitters_produce_parseable_lines(self):
+        log, buffer = make_log()
+
+        def hammer(worker):
+            for index in range(50):
+                log.emit("tick", worker=worker, index=index)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = events_of(buffer)  # raises if any line is torn
+        assert len(events) == 200
+        assert sorted(event["seq"] for event in events) == list(range(200))
+
+    def test_file_sink_appends_and_read_events_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with obs.EventLog(path, run_id="one", clock=lambda: 1.0) as log:
+            log.emit("first")
+        with obs.EventLog(path, run_id="two", clock=lambda: 2.0) as log:
+            log.emit("second")
+        events = obs.read_events(path)
+        assert [event["run_id"] for event in events] == ["one", "two"]
+
+    def test_read_events_rejects_garbage(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2|not a JSON"):
+            obs.read_events(path)
+
+    def test_run_ids_are_distinct_by_default(self):
+        first = obs.EventLog(io.StringIO())
+        second = obs.EventLog(io.StringIO())
+        assert first.run_id != second.run_id
+        assert len(first.run_id) == 12
+
+
+class TestActiveLogRouting:
+    def test_module_emit_is_noop_without_active_log(self):
+        assert obs.emit("anything", x=1) is None
+        assert obs.get_event_log() is obs.NULL_EVENT_LOG
+        assert not obs.get_event_log().enabled
+
+    def test_use_event_log_scopes_routing(self):
+        log, buffer = make_log()
+        with obs.use_event_log(log):
+            obs.emit("inside")
+        obs.emit("outside")
+        assert [event["event"] for event in events_of(buffer)] == ["inside"]
+
+    def test_null_log_helpers_are_noops(self):
+        null = obs.NULL_EVENT_LOG
+        assert null.emit("x") is None
+        assert null.debug("x") is None
+        assert null.info("x") is None
+        assert null.warning("x") is None
+        assert null.error("x") is None
+        null.close()
+
+
+class TestStdlibBridge:
+    def test_stdlib_records_forward_to_active_log(self):
+        log, buffer = make_log()
+        logger = logging.getLogger("repro.test.bridge")
+        logger.setLevel(logging.INFO)
+        handler = obs.attach_stdlib(logger)
+        try:
+            with obs.use_event_log(log):
+                logger.warning("disk %s is full", "sda")
+        finally:
+            logger.removeHandler(handler)
+        [event] = events_of(buffer)
+        assert event["event"] == "log.repro.test.bridge"
+        assert event["level"] == "warning"
+        assert event["message"] == "disk sda is full"
+
+    def test_bridge_is_noop_without_active_log(self):
+        handler = StdlibBridgeHandler()
+        record = logging.LogRecord(
+            "x", logging.INFO, __file__, 1, "hello", (), None
+        )
+        assert handler.forward(record) is None
+
+    def test_level_mapping(self):
+        log, buffer = make_log()
+        handler = StdlibBridgeHandler()
+        with obs.use_event_log(log):
+            for levelno in (logging.DEBUG, logging.INFO, logging.WARNING,
+                            logging.ERROR, logging.CRITICAL):
+                handler.forward(logging.LogRecord(
+                    "m", levelno, __file__, 1, "msg", (), None
+                ))
+        assert [event["level"] for event in events_of(buffer)] == [
+            "debug", "info", "warning", "error", "error",
+        ]

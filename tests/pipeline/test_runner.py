@@ -296,3 +296,178 @@ class TestRunObservability:
         assert ("driver", "pipeline.run{scheme=tt}", "pipeline.window") in paths
         # The report still carries its own copy.
         assert result.report.metrics["pipeline.records_accepted"] == 120
+
+
+class TestLiveObservability:
+    """Event-log routing, per-window time series, and the in-run server."""
+
+    def run_with_log(self, pipeline):
+        import io
+        import json
+
+        from repro import obs
+
+        buffer = io.StringIO()
+        log = obs.EventLog(buffer, run_id="p", clock=lambda: 0.0)
+        with obs.use_event_log(log):
+            result = pipeline.run()
+        events = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        return result, events
+
+    def test_run_brackets_and_window_events(self, trace, tmp_path):
+        _result, events = self.run_with_log(make_pipeline(trace, tmp_path))
+        names = [event["event"] for event in events]
+        assert names[0] == "pipeline.run.start"
+        assert names[-1] == "pipeline.run.finish"
+        windows = [event for event in events if event["event"] == "pipeline.window"]
+        assert [event["window"] for event in windows] == [0, 1, 2]
+        assert all(
+            event["span"].startswith("pipeline.run{scheme=tt}") for event in windows
+        )
+
+    def test_retry_warnings_routed(self, trace, tmp_path):
+        source = FlakySource(CsvRecordSource(trace), failures=2)
+        pipeline = SignaturePipeline(
+            source,
+            CheckpointStore(tmp_path / "ckpt"),
+            PipelineConfig(scheme="tt", k=5),
+            sleep=lambda _s: None,
+        )
+        _result, events = self.run_with_log(pipeline)
+        retries = [event for event in events if event["event"] == "pipeline.retry"]
+        assert len(retries) == 2
+        assert all(event["level"] == "warning" for event in retries)
+        assert all(event["op"] == "read" for event in retries)
+        assert [event["attempt"] for event in retries] == [1, 2]
+
+    def test_quarantine_warning_routed(self, tmp_path):
+        items = [(float(i % 2), f"h{i % 4}", f"e{i % 7}", 1.0) for i in range(50)]
+        items += [("garbage", "x", "y", "z")] * 2
+        pipeline = SignaturePipeline(
+            IterableRecordSource(items, errors="skip"),
+            CheckpointStore(tmp_path / "c"),
+            PipelineConfig(error_budget=0.1),
+        )
+        _result, events = self.run_with_log(pipeline)
+        [event] = [e for e in events if e["event"] == "pipeline.records_rejected"]
+        assert event["level"] == "warning"
+        assert event["rejected"] == 2
+        assert len(event["rows"]) == 2
+
+    def test_error_budget_event_routed(self, tmp_path):
+        items = [(float(i % 2), f"h{i % 4}", f"e{i % 7}", 1.0) for i in range(50)]
+        items += [("garbage", "x", "y", "z")] * 10
+        pipeline = SignaturePipeline(
+            IterableRecordSource(items, errors="skip"),
+            CheckpointStore(tmp_path / "c"),
+            PipelineConfig(error_budget=0.05),
+        )
+        import io
+        import json
+
+        from repro import obs
+
+        buffer = io.StringIO()
+        log = obs.EventLog(buffer, run_id="p", clock=lambda: 0.0)
+        with obs.use_event_log(log):
+            with pytest.raises(ErrorBudgetExceeded):
+                pipeline.run()
+        events = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        [budget] = [
+            e for e in events if e["event"] == "pipeline.error_budget_exceeded"
+        ]
+        assert budget["level"] == "error"
+        assert budget["rejected"] == 10
+
+    def test_degradation_warning_routed(self, trace, tmp_path):
+        config = PipelineConfig(scheme="tt", k=5, max_memory_cells=10)
+        _result, events = self.run_with_log(make_pipeline(trace, tmp_path, config))
+        degraded = [e for e in events if e["event"] == "pipeline.degraded"]
+        assert [event["window"] for event in degraded] == [0, 1, 2]
+        assert all("memory budget" in event["reason"] for event in degraded)
+
+    def test_resume_event_routed(self, trace, tmp_path):
+        make_pipeline(trace, tmp_path).run()
+        _result, events = self.run_with_log(
+            make_pipeline(trace, tmp_path)
+        )  # fresh run emits no resume event
+        assert not [e for e in events if e["event"] == "pipeline.resumed"]
+        import io
+        import json
+
+        from repro import obs
+
+        buffer = io.StringIO()
+        log = obs.EventLog(buffer, run_id="p", clock=lambda: 0.0)
+        with obs.use_event_log(log):
+            make_pipeline(trace, tmp_path).run(resume=True)
+        events = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        [resumed] = [e for e in events if e["event"] == "pipeline.resumed"]
+        assert resumed["windows"] == 3
+
+    def test_timeseries_records_per_window_trajectory(self, trace, tmp_path):
+        result = make_pipeline(trace, tmp_path).run()
+        series = result.timeseries["pipeline.windows{mode=exact}"]
+        assert [value for _t, value in series] == [1.0, 2.0, 3.0]
+        accepted = result.timeseries["pipeline.records_accepted"]
+        assert accepted[-1][1] == 120.0
+
+    def test_obs_port_serves_live_registry_mid_run(self, trace, tmp_path):
+        import json
+        import urllib.request
+
+        from repro import obs
+
+        scrapes = []
+
+        def scrape(url):
+            with urllib.request.urlopen(url, timeout=10) as response:
+                return response.read().decode("utf-8")
+
+        class SpyStore(CheckpointStore):
+            """Scrapes the pipeline's own server from inside the run.
+
+            Each checkpoint write happens mid-run, after the server started;
+            the ephemeral port is read from the ``obs.server.started`` event.
+            """
+
+            def save_window(self, window, signatures, meta, mode):
+                for line in buffer.getvalue().splitlines():
+                    event = json.loads(line)
+                    if event["event"] == "obs.server.started":
+                        port = int(event["url"].rsplit(":", 1)[1])
+                        scrapes.append(
+                            scrape(f"http://127.0.0.1:{port}/metrics")
+                        )
+                        break
+                return super().save_window(window, signatures, meta, mode=mode)
+
+        config = PipelineConfig(scheme="tt", k=5, obs_port=0)
+        import io
+
+        buffer = io.StringIO()
+        log = obs.EventLog(buffer, run_id="p", clock=lambda: 0.0)
+        store = SpyStore(tmp_path / "ckpt")
+        pipeline = SignaturePipeline(CsvRecordSource(trace), store, config)
+        with obs.use_event_log(log):
+            result = pipeline.run()
+        assert scrapes, "server never scraped mid-run"
+        for body in scrapes:
+            assert obs.validate_prometheus(body) == []
+        assert "repro_pipeline_windows_total" in scrapes[-1]
+        assert result.report.metrics["pipeline.windows{mode=exact}"] == 3
+
+    def test_sampler_attaches_when_interval_configured(self, trace, tmp_path):
+        config = PipelineConfig(scheme="tt", k=5, sample_interval=0.005)
+        result = make_pipeline(trace, tmp_path, config).run()
+        # Both the per-window samples and the background sampler land in the
+        # same store; the trajectory still ends at the final totals.
+        assert result.timeseries["pipeline.records_accepted"][-1][1] == 120.0
+
+    def test_config_validation(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(obs_port=-1)
+        with pytest.raises(PipelineError):
+            PipelineConfig(obs_port=65536)
+        with pytest.raises(PipelineError):
+            PipelineConfig(sample_interval=0.0)

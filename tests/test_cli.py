@@ -228,3 +228,80 @@ class TestPipelineCli:
     def test_list_mentions_pipeline(self, capsys):
         assert main(["list"]) == 0
         assert "pipeline run" in capsys.readouterr().out
+
+
+class TestLiveObservabilityCli:
+    def test_obs_log_writes_parseable_events(self, tmp_path, capsys):
+        from repro.obs import read_events
+
+        log_path = tmp_path / "events.jsonl"
+        assert main(["fig5", "--scale", "small", "--obs-log", str(log_path)]) == 0
+        output = capsys.readouterr().out
+        assert f"event log appended to {log_path}" in output
+        events = read_events(log_path)
+        assert events, "no events recorded"
+        run_ids = {event["run_id"] for event in events}
+        assert len(run_ids) == 1
+        assert all("ts" in event and "seq" in event for event in events)
+
+    def test_obs_serve_ephemeral_port_for_experiment_command(
+        self, tmp_path, capsys
+    ):
+        # Port 0: bind an ephemeral port and report it.  The server runs
+        # only during the body (no linger), so this just checks the
+        # lifecycle messages and a clean exit.
+        assert main(["fig5", "--scale", "small", "--obs-serve", "0"]) == 0
+        assert "obs server listening on http://127.0.0.1:" in capsys.readouterr().out
+
+    def test_obs_serve_validation(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--obs-serve", "65536"])
+        assert "--obs-serve must be a TCP port" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["fig5", "--obs-serve", "0", "--obs-serve-linger", "-1"])
+        assert "--obs-serve-linger must be >= 0" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["fig5", "--obs-sample", "0"])
+        assert "--obs-sample must be positive" in capsys.readouterr().err
+
+    def test_pipeline_obs_log_routes_run_events(self, tmp_path, capsys):
+        from repro.graph.stream import EdgeRecord, write_edge_records
+        from repro.obs import read_events
+
+        trace = tmp_path / "trace.csv"
+        records = [
+            EdgeRecord(time=float(w), src=f"h{i % 4}", dst=f"e{i % 9}", weight=1.0)
+            for w in range(2)
+            for i in range(20)
+        ]
+        write_edge_records(records, trace)
+        log_path = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "pipeline", "run",
+                    "--input", str(trace),
+                    "--checkpoint-dir", str(tmp_path / "ckpt"),
+                    "--obs-log", str(log_path),
+                ]
+            )
+            == 0
+        )
+        names = [event["event"] for event in read_events(log_path)]
+        assert "pipeline.run.start" in names
+        assert "pipeline.window" in names
+        assert "pipeline.run.finish" in names
+
+    def test_obs_sample_records_series_alongside_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "obs.json"
+        assert (
+            main(
+                [
+                    "fig5", "--scale", "small",
+                    "--obs-sample", "0.01",
+                    "--obs-out", str(out),
+                ]
+            )
+            == 0
+        )
+        assert out.exists()

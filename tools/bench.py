@@ -284,6 +284,13 @@ def main(argv=None) -> int:
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    # Mirror the record to the repo root so the cross-PR perf trajectory is
+    # greppable without digging into benchmarks/ (BENCH_*.json is the
+    # per-benchmark convention; diff it across commits).
+    root_output = REPO_ROOT / f"BENCH_{payload['benchmark']}.json"
+    if root_output != args.output:
+        root_output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"mirrored bench record to {root_output}")
 
     width = max(len(record["op"]) for record in records)
     for record in records:
