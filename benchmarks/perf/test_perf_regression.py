@@ -120,6 +120,59 @@ def test_noop_registry_adds_no_measurable_overhead(window):
     assert registry.counter_total("kernel.calls") >= 1
 
 
+def test_full_recompute_path_not_slowed_by_incremental_indirection():
+    """``compute_all`` without a delta must stay close to the raw per-node
+    loop: the incremental engine's hooks (dirty-set dispatch, counters,
+    versioned-cache plumbing) may not tax the full-recompute path.  The
+    1.5x bound is generous — the two paths should be near-identical."""
+    from repro.core.scheme import create_scheme
+    from repro.graph.comm_graph import CommGraph
+
+    rng = __import__("random").Random(13)
+    graph = CommGraph()
+    for _ in range(4000):
+        graph.add_edge(f"n{rng.randrange(400)}", f"n{rng.randrange(400)}", 1.0)
+    scheme = create_scheme("tt", k=10)
+    nodes = graph.nodes()
+
+    def direct():
+        return {node: scheme.compute(graph, node) for node in nodes}
+
+    def batched():
+        return scheme.compute_all(graph, nodes)
+
+    assert direct() == batched()  # warm + agreement
+    direct_wall = _best_wall(direct)
+    batched_wall = _best_wall(batched)
+    assert batched_wall <= direct_wall * 1.5 + OBS_OVERHEAD_SLACK_S, (
+        f"compute_all (no delta) took {batched_wall:.4f}s vs {direct_wall:.4f}s "
+        "for the raw per-node loop — incremental indirection regressed the "
+        "full path"
+    )
+
+
+def test_committed_incremental_bench_meets_acceptance():
+    """The committed incremental record must show >= 3x where <= 10% of the
+    population is dirty per window (the ISSUE's acceptance gate)."""
+    payload = json.loads(
+        (Path(__file__).parent / "BENCH_incremental_engine.json").read_text()
+    )
+    assert payload["benchmark"] == "incremental_engine"
+    assert payload["mode"] == "full"
+    gated = [
+        record
+        for record in payload["results"]
+        if record["dirty_fraction"] <= payload["gate"]["max_dirty_fraction"]
+    ]
+    assert gated, "no scheme ran below the dirty-fraction threshold"
+    for record in gated:
+        assert record["speedup"] >= payload["gate"]["min_speedup"], record
+    # The bench payload must expose the dirty-set and matrix-cache metrics.
+    counters = payload["obs_counters"]
+    assert any(key.startswith("incremental.dirty_nodes") for key in counters)
+    assert any(key.startswith("matrix_cache.hits") for key in counters)
+
+
 def test_cross_matrix_scalar_agreement_large_window():
     window_now = synthetic_window(400, 10, seed=11)
     window_next = synthetic_window(400, 10, seed=11, churn=0.3)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.distances import DistanceFunction
 from repro.core.scheme import SignatureScheme
+from repro.core.signature import Signature
 from repro.exceptions import ExperimentError
 from repro.graph.comm_graph import CommGraph
 from repro.types import NodeId
@@ -88,6 +89,26 @@ class AnomalyDetector:
 
         signatures_now = self.scheme.compute_all(graph_now, population)
         signatures_next = self.scheme.compute_all(graph_next, population)
+        return self.detect_from_signatures(signatures_now, signatures_next, population)
+
+    def detect_from_signatures(
+        self,
+        signatures_now: Dict[NodeId, "Signature"],
+        signatures_next: Dict[NodeId, "Signature"],
+        population: Sequence[NodeId] | None = None,
+    ) -> AnomalyReport:
+        """Flag nodes given precomputed signature maps for both windows.
+
+        The entry point for callers that already hold per-window signature
+        maps — notably the sequence monitor, which computes each window's
+        map once (incrementally, when window deltas are available) instead
+        of twice via :meth:`detect`.
+        """
+        if population is None:
+            population = [node for node in signatures_now if node in signatures_next]
+        population = list(population)
+        if not population:
+            raise ExperimentError("anomaly detection needs a non-empty population")
         persistence_by_node = {
             node: 1.0 - self.distance(signatures_now[node], signatures_next[node])
             for node in population

@@ -22,6 +22,7 @@ from repro import obs
 from repro.apps.anomaly import AnomalyDetector, AnomalyReport
 from repro.core.distances import DistanceFunction
 from repro.core.scheme import SignatureScheme
+from repro.core.signature import Signature
 from repro.exceptions import ExperimentError
 from repro.graph.windows import GraphSequence
 from repro.obs.alerts import AlertEvent, AlertManager, AlertRule
@@ -123,10 +124,13 @@ class SequenceMonitor:
         trajectories: Dict[NodeId, List[float]] = {node: [] for node in population}
         flag_counts: Dict[NodeId, int] = {node: 0 for node in population}
         with obs.span("monitor.run", transitions=len(sequence) - 1):
-            for index, (graph_now, graph_next) in enumerate(
-                sequence.consecutive_pairs()
-            ):
-                report = self.detector.detect(graph_now, graph_next, population)
+            signature_maps = _sequence_signature_maps(
+                self.scheme, sequence, population
+            )
+            for index in range(len(sequence) - 1):
+                report = self.detector.detect_from_signatures(
+                    signature_maps[index], signature_maps[index + 1], population
+                )
                 reports.append(report)
                 for node in population:
                     trajectories[node].append(report.persistence_by_node[node])
@@ -169,6 +173,32 @@ class SequenceMonitor:
         alerts.observe_store(store, t=t)
 
 
+def _sequence_signature_maps(
+    scheme: SignatureScheme,
+    sequence: GraphSequence,
+    population: Sequence[NodeId],
+) -> List[Dict[NodeId, "Signature"]]:
+    """One signature map per window, computed once each.
+
+    When the sequence carries window deltas (built via
+    :meth:`GraphSequence.from_sliding_records`), each map after the first
+    is chained incrementally — ``compute_all(delta=..., previous=...)``
+    recomputes only the scheme's dirty set, byte-identical to a full
+    recompute by the incremental contract.  Either way every window is
+    computed exactly once, where the naive per-transition detector
+    computed interior windows twice.
+    """
+    population = list(population)
+    maps: List[Dict[NodeId, "Signature"]] = []
+    for index, graph in enumerate(sequence.graphs):
+        delta = sequence.delta_for(index - 1) if index > 0 else None
+        previous = maps[-1] if maps else None
+        maps.append(
+            scheme.compute_all(graph, population, delta=delta, previous=previous)
+        )
+    return maps
+
+
 def persistence_by_lag(
     scheme: SignatureScheme,
     distance: DistanceFunction,
@@ -191,9 +221,7 @@ def persistence_by_lag(
         raise ExperimentError("empty population")
     horizon = len(sequence) - 1 if max_lag is None else min(max_lag, len(sequence) - 1)
 
-    signature_maps = [
-        scheme.compute_all(graph, population) for graph in sequence.graphs
-    ]
+    signature_maps = _sequence_signature_maps(scheme, sequence, population)
     by_lag: Dict[int, float] = {}
     for lag in range(1, horizon + 1):
         values = []

@@ -181,6 +181,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
         num_windows=args.num_windows,
         window_length=args.window_length,
         bipartite=args.bipartite,
+        incremental=args.incremental,
         error_budget=args.error_budget,
         max_memory_cells=args.memory_budget,
         window_deadline=args.window_deadline,
@@ -242,6 +243,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("jaccard", "dice", "sdice", "shel"),
         default="shel",
         help="distance function for fig2",
+    )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="route consecutive-window signature computation through the "
+        "delta engine (experiments: reuse across the window pair; "
+        "pipeline: sliding aggregator + dirty-set recompute); outputs "
+        "are byte-identical to the full path",
     )
     obs_group = parser.add_argument_group("observability options")
     obs_group.add_argument(
@@ -459,7 +468,9 @@ def main(argv=None) -> int:
             parser.error("pipeline requires --input and --checkpoint-dir")
         _run_with_observability(args, lambda: print(_cmd_pipeline(args)))
         return 0
-    config = ExperimentConfig(scale=args.scale, jobs=args.jobs)
+    config = ExperimentConfig(
+        scale=args.scale, jobs=args.jobs, incremental=args.incremental
+    )
     commands = sorted(_COMMANDS) if args.command == "all" else [args.command]
 
     def run_commands() -> None:

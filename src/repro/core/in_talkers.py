@@ -21,10 +21,11 @@ this database table's user community changed?").
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional, Set
 
 from repro.core.scheme import SignatureScheme, register_scheme
 from repro.graph.comm_graph import CommGraph
+from repro.graph.delta import WindowDelta
 from repro.types import NodeId, Weight
 
 
@@ -51,3 +52,10 @@ class InTalkers(SignatureScheme):
             for src, weight in neighbours.items()
             if src != node
         }
+
+    def dirty_nodes(
+        self, graph: CommGraph, delta: WindowDelta
+    ) -> Optional[Set[NodeId]]:
+        """IT mirrors TT on the transposed graph: only destinations of
+        changed edges (plus churned nodes) see a different in-view."""
+        return delta.destinations() | delta.churned_nodes()

@@ -34,16 +34,22 @@ Two practical details the paper leaves implicit:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, List, Mapping, Optional, Set
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.incremental import (
+    dangling_set_changed,
+    reverse_reachable,
+    walk_changed_nodes,
+)
 from repro.core.scheme import SignatureScheme, register_scheme
 from repro.core.signature import Signature
 from repro.exceptions import SchemeError
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.comm_graph import CommGraph
+from repro.graph.delta import WindowDelta
 from repro.types import NodeId, Weight
 
 #: Extra candidates retained around the top-k cut to keep tie-breaking exact.
@@ -121,8 +127,26 @@ class RandomWalkWithResets(SignatureScheme):
         return bool(self.symmetrize)
 
     def _walk_matrix(self, graph: CommGraph, position: Mapping[NodeId, int]) -> sp.csr_matrix:
-        """``P^T`` (column = source) for the walk, after optional symmetrisation."""
-        if self._should_symmetrize(graph):
+        """``P^T`` (column = source) for the walk, after optional symmetrisation.
+
+        Cached on the graph's versioned cache for the default node
+        ordering, so repeated signature computation on an unmutated graph
+        (e.g. both transitions touching ``G_t`` in the monitor) reuses the
+        sparse build.
+        """
+        symmetrize = self._should_symmetrize(graph)
+        if graph._is_default_position(position):
+            key = f"rwr.walk_t[sym={symmetrize}]"
+            return graph.versioned_cache(
+                key, lambda: self._build_walk_matrix(graph, position, symmetrize)
+            )
+        return self._build_walk_matrix(graph, position, symmetrize)
+
+    @staticmethod
+    def _build_walk_matrix(
+        graph: CommGraph, position: Mapping[NodeId, int], symmetrize: bool
+    ) -> sp.csr_matrix:
+        if symmetrize:
             adjacency = graph.to_adjacency_csr(position)
             adjacency = (adjacency + adjacency.T).tocsr()
             row_sums = np.asarray(adjacency.sum(axis=1)).ravel()
@@ -183,11 +207,19 @@ class RandomWalkWithResets(SignatureScheme):
             for index in np.flatnonzero(column > 0)
         }
 
-    def compute_all(
-        self, graph: CommGraph, nodes: Iterable[NodeId] | None = None
+    def _compute_batch(
+        self, graph: CommGraph, targets: List[NodeId]
     ) -> Dict[NodeId, Signature]:
-        """Batched computation: one shared ``P^T``, all queries iterated together."""
-        targets: List[NodeId] = list(nodes) if nodes is not None else graph.nodes()
+        """Batched computation: one shared ``P^T``, all queries iterated together.
+
+        For hop-limited walks each query's occupancy column is computed
+        independently (fixed iteration count, column-local arithmetic), so
+        batching any subset of queries yields bit-identical columns — the
+        property the incremental path relies on.  The unbounded walk's
+        convergence test couples the batch (``max`` over columns decides
+        the iteration count), which is why :meth:`dirty_nodes` refuses to
+        bound it.
+        """
         if not targets:
             return {}
         missing = [node for node in targets if node not in graph]
@@ -206,7 +238,7 @@ class RandomWalkWithResets(SignatureScheme):
         right_mask = None
         left_side = None
         if isinstance(graph, BipartiteGraph):
-            right = set(graph.right_nodes)
+            right = graph.right_node_set()
             right_mask = np.asarray([node in right for node in ordering])
             left_side = {node: graph.side(node) == "left" for node in present}
 
@@ -218,6 +250,41 @@ class RandomWalkWithResets(SignatureScheme):
                 weights = np.where(right_mask, weights, 0.0)
             signatures[node] = self._extract_top_k(node, weights, node_array)
         return signatures
+
+    def dirty_nodes(
+        self, graph: CommGraph, delta: WindowDelta
+    ) -> Optional[Set[NodeId]]:
+        """Owners whose hop-limited walk can feel the delta.
+
+        A query column only depends on the transition-matrix rows its
+        walk can reach within ``h`` hops, so the dirty set is the reverse
+        ``<= h``-hop neighbourhood (over the union of old and new edges)
+        of every node whose walk view changed.  Byte-identity caveats
+        force a full recompute (``None``) when:
+
+        - ``max_hops is None``: the convergence test maxes over the
+          whole batch, coupling every query's iteration count;
+        - the node set changed: matrix shape and dangling-mask length
+          change the vectorised summation grouping;
+        - the dangling set changed (same reason, non-symmetrised); or
+        - the walk is symmetrised and edge existence changed (the old
+          symmetrised degree is not cheaply reconstructible).
+        """
+        if delta.is_empty:
+            return set()
+        if self.max_hops is None:
+            return None
+        if delta.has_node_churn:
+            return None
+        symmetrize = self._should_symmetrize(graph)
+        if symmetrize and any(True for _ in delta.structural_changes()):
+            return None
+        if not symmetrize and dangling_set_changed(graph, delta):
+            return None
+        seeds = walk_changed_nodes(delta, symmetrize)
+        return reverse_reachable(
+            graph, seeds, delta, symmetrize, max_depth=self.max_hops
+        )
 
     def _extract_top_k(
         self, owner: NodeId, weights: np.ndarray, node_array: List[NodeId]

@@ -12,12 +12,14 @@ them from strings such as ``"tt"`` or ``"rwr"``.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, Mapping, Tuple, Type
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Type
 
+from repro import obs
 from repro.core.signature import Signature
 from repro.exceptions import SchemeError, UnknownSchemeError
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.comm_graph import CommGraph
+from repro.graph.delta import WindowDelta
 from repro.types import NodeId, Weight
 
 
@@ -63,16 +65,77 @@ class SignatureScheme(abc.ABC):
         return Signature.from_relevance(node, vector, self.k)
 
     def compute_all(
-        self, graph: CommGraph, nodes: Iterable[NodeId] | None = None
+        self,
+        graph: CommGraph,
+        nodes: Iterable[NodeId] | None = None,
+        *,
+        delta: Optional[WindowDelta] = None,
+        previous: Optional[Mapping[NodeId, Signature]] = None,
     ) -> Dict[NodeId, Signature]:
         """Signatures for ``nodes`` (default: every node in the graph).
 
+        **Incremental path**: when both ``delta`` (the
+        :class:`~repro.graph.delta.WindowDelta` for ``G_t -> graph``) and
+        ``previous`` (this scheme's signatures on ``G_t``, same ``k`` and
+        parameters) are supplied, only the owners in
+        :meth:`dirty_nodes` are recomputed; everything else is reused
+        from ``previous``.  Contract: the result is **byte-identical** to
+        a full recompute on ``graph`` — dirty sets are conservative
+        over-approximations, and schemes whose per-owner results are not
+        independent under the change fall back to a full recompute by
+        returning ``None`` from :meth:`dirty_nodes`.
+
         Subclasses with batched implementations (e.g. matrix-based RWR)
-        override this for efficiency; the contract is identical to calling
-        :meth:`compute` per node.
+        override :meth:`_compute_batch`; the contract is identical to
+        calling :meth:`compute` per node.
         """
-        targets = list(nodes) if nodes is not None else graph.nodes()
+        targets: List[NodeId] = list(nodes) if nodes is not None else graph.nodes()
+        if delta is not None and previous is not None:
+            dirty = self.dirty_nodes(graph, delta)
+            if dirty is not None:
+                stale = set(dirty) | delta.added_nodes | delta.removed_nodes
+                to_compute = [
+                    node for node in targets if node in stale or node not in previous
+                ]
+                fresh = self._compute_batch(graph, to_compute)
+                reused = len(targets) - len(to_compute)
+                obs.counter("incremental.dirty_nodes", scheme=self.name).inc(
+                    len(to_compute)
+                )
+                obs.counter("incremental.reused_signatures", scheme=self.name).inc(
+                    reused
+                )
+                return {
+                    node: fresh[node] if node in fresh else previous[node]
+                    for node in targets
+                }
+        return self._compute_batch(graph, targets)
+
+    def _compute_batch(
+        self, graph: CommGraph, targets: List[NodeId]
+    ) -> Dict[NodeId, Signature]:
+        """Full computation for an explicit target list (no reuse).
+
+        Batched schemes override this instead of :meth:`compute_all` so
+        the incremental bookkeeping stays in one place.
+        """
         return {node: self.compute(graph, node) for node in targets}
+
+    def dirty_nodes(
+        self, graph: CommGraph, delta: WindowDelta
+    ) -> Optional[Set[NodeId]]:
+        """Owners whose signature may differ on ``graph`` vs. the pre-delta
+        graph — a conservative over-approximation.
+
+        ``graph`` is the *post*-delta graph.  Return ``None`` when the
+        scheme cannot bound the affected set for this delta (the caller
+        then recomputes everything).  The default is ``None``: schemes
+        must opt in by proving which owners are untouched.  Added/removed
+        nodes need not be included — the caller always recomputes owners
+        missing from ``previous`` and drops owners absent from the target
+        population.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -92,7 +155,9 @@ class SignatureScheme(abc.ABC):
             return vector
         if node not in graph or graph.side(node) != "left":
             return vector
-        right = set(graph.right_nodes)
+        # Cached per graph version: one set construction per compute_all,
+        # not one per node.
+        right = graph.right_node_set()
         return {candidate: weight for candidate, weight in vector.items() if candidate in right}
 
     def describe(self) -> str:

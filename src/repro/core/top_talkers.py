@@ -8,10 +8,11 @@ Communities-of-Interest fraud-detection work of Cortes et al.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional, Set
 
 from repro.core.scheme import SignatureScheme, register_scheme
 from repro.graph.comm_graph import CommGraph
+from repro.graph.delta import WindowDelta
 from repro.types import NodeId, Weight
 
 
@@ -43,3 +44,10 @@ class TopTalkers(SignatureScheme):
             for dst, weight in neighbours.items()
             if dst != node
         }
+
+    def dirty_nodes(
+        self, graph: CommGraph, delta: WindowDelta
+    ) -> Optional[Set[NodeId]]:
+        """TT reads only the owner's out-neighbour view: exactly the
+        sources of changed edges (plus churned nodes) are affected."""
+        return delta.sources() | delta.churned_nodes()

@@ -14,12 +14,17 @@ little sensitivity to this choice, which our ablation bench verifies.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional, Set
 
 from repro.core.relevance import get_scaling
 from repro.core.scheme import SignatureScheme, register_scheme
 from repro.graph.comm_graph import CommGraph
+from repro.graph.delta import WindowDelta
 from repro.types import NodeId, Weight
+
+#: Scalings whose value ignores ``num_nodes`` — for these, node churn alone
+#: cannot dirty an owner; ``tfidf`` reads ``|V|`` and is excluded.
+_SIZE_INDEPENDENT_SCALINGS = frozenset({"inverse", "sqrt"})
 
 
 @register_scheme
@@ -50,3 +55,24 @@ class UnexpectedTalkers(SignatureScheme):
 
     def describe(self) -> str:
         return f"{self.name}(k={self.k}, scaling={self.scaling_name})"
+
+    def dirty_nodes(
+        self, graph: CommGraph, delta: WindowDelta
+    ) -> Optional[Set[NodeId]]:
+        """UT owners are dirtied by their own out-view changes *and* by
+        in-degree changes of their destinations.
+
+        A structural change (edge added/removed) alters ``|I(dst)|``, so
+        every current in-neighbour of that destination is dirty; old
+        in-neighbours that dropped the edge are already sources of a
+        change.  Pure reweights leave in-degrees alone.  When the scaling
+        reads ``|V|`` (tfidf) and the node set changed, every owner may
+        shift — no useful bound.
+        """
+        if delta.has_node_churn and self.scaling_name not in _SIZE_INDEPENDENT_SCALINGS:
+            return None
+        dirty = delta.sources() | delta.churned_nodes()
+        for change in delta.structural_changes():
+            if change.dst in graph:
+                dirty.update(graph.in_neighbors(change.dst))
+        return dirty

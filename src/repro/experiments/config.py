@@ -43,6 +43,11 @@ class ExperimentConfig:
     worker processes via :mod:`repro.parallel`: ``1`` runs serially,
     ``N > 1`` uses up to ``N`` processes, ``0``/negative uses every CPU.
     Results are assembled in deterministic order regardless of ``jobs``.
+
+    ``incremental`` routes consecutive-window signature computation
+    through the delta engine (:func:`consecutive_signature_maps`): the
+    second window's map reuses the first via the scheme's dirty set,
+    byte-identical to a full recompute by the incremental contract.
     """
 
     scale: str = "paper"
@@ -50,6 +55,7 @@ class ExperimentConfig:
     reset_probability: float = RESET_PROBABILITY
     rwr_hops: Tuple[int, ...] = RWR_HOPS
     jobs: int = 1
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if self.scale not in ("paper", "small"):
@@ -97,6 +103,34 @@ def get_querylog_dataset(scale: str = "paper") -> QueryLogDataset:
     if scale not in _QUERYLOG_PARAMS:
         raise ExperimentError(f"unknown scale {scale!r}")
     return QueryLogGenerator(_QUERYLOG_PARAMS[scale]).generate()
+
+
+def consecutive_signature_maps(
+    scheme: SignatureScheme,
+    graph_now,
+    graph_next,
+    population,
+    incremental: bool = False,
+):
+    """Signature maps for a consecutive window pair, optionally delta-reused.
+
+    With ``incremental=True`` the second map is computed through
+    ``compute_all(delta=..., previous=...)`` with the delta diffed from
+    the two graphs — recomputing only the scheme's dirty set.  The
+    incremental contract guarantees the result is byte-identical to the
+    full recompute, so experiment outputs do not depend on the flag.
+    """
+    from repro.graph.delta import WindowDelta
+
+    signatures_now = scheme.compute_all(graph_now, population)
+    if incremental:
+        delta = WindowDelta.from_graphs(graph_now, graph_next)
+        signatures_next = scheme.compute_all(
+            graph_next, population, delta=delta, previous=signatures_now
+        )
+    else:
+        signatures_next = scheme.compute_all(graph_next, population)
+    return signatures_now, signatures_next
 
 
 def make_schemes(

@@ -19,6 +19,7 @@ from repro.experiments.config import (
     NETWORK_K,
     QUERYLOG_K,
     ExperimentConfig,
+    consecutive_signature_maps,
     get_enterprise_dataset,
     get_querylog_dataset,
     make_schemes,
@@ -53,8 +54,9 @@ def _scheme_ellipses(
     with obs.span("fig1.cell", scheme=scheme_label):
         graph_now, graph_next, population, k = _dataset_setup(dataset, config)
         scheme = make_schemes(k, config.reset_probability, config.rwr_hops)[scheme_label]
-        signatures_now = scheme.compute_all(graph_now, population)
-        signatures_next = scheme.compute_all(graph_next, population)
+        signatures_now, signatures_next = consecutive_signature_maps(
+            scheme, graph_now, graph_next, population, config.incremental
+        )
         return [
             property_ellipse(
                 signatures_now,

@@ -8,6 +8,7 @@ streams, window splitting and summary statistics.
 
 from repro.graph.comm_graph import CommGraph
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.delta import EdgeChange, WindowDelta
 from repro.graph.stream import (
     EdgeRecord,
     ReadReport,
@@ -21,12 +22,19 @@ from repro.graph.builders import (
     combine_with_decay,
     graph_from_edges,
 )
-from repro.graph.windows import GraphSequence, split_records_into_windows
+from repro.graph.windows import (
+    GraphSequence,
+    SlidingWindowAggregator,
+    split_records_into_windows,
+    window_index_of,
+)
 from repro.graph.stats import GraphSummary, estimate_effective_diameter, summarize_graph
 
 __all__ = [
     "CommGraph",
     "BipartiteGraph",
+    "EdgeChange",
+    "WindowDelta",
     "EdgeRecord",
     "ReadReport",
     "RejectedRow",
@@ -37,7 +45,9 @@ __all__ = [
     "combine_with_decay",
     "graph_from_edges",
     "GraphSequence",
+    "SlidingWindowAggregator",
     "split_records_into_windows",
+    "window_index_of",
     "GraphSummary",
     "summarize_graph",
     "estimate_effective_diameter",

@@ -11,7 +11,7 @@ bipartite.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import FrozenSet, Iterable, List, Set
 
 from repro.exceptions import GraphError
 from repro.graph.comm_graph import CommGraph
@@ -42,6 +42,15 @@ class BipartiteGraph(CommGraph):
     def right_nodes(self) -> List[NodeId]:
         """``V2`` members in graph insertion order."""
         return [node for node in self.nodes() if node in self._right]
+
+    def right_node_set(self) -> FrozenSet[NodeId]:
+        """``V2`` as a frozen set, cached per graph :attr:`version`.
+
+        The signature machinery restricts left-node signatures to ``V2``
+        members; building the set once per version (instead of once per
+        node) keeps ``compute_all`` linear in the population.
+        """
+        return self.versioned_cache("right_node_set", lambda: frozenset(self._right))
 
     def side(self, node: NodeId) -> str:
         """Return ``"left"`` or ``"right"`` for a known node."""
@@ -81,20 +90,29 @@ class BipartiteGraph(CommGraph):
         self._right.add(dst)
         super().add_edge(src, dst, weight)
 
+    def set_edge_weight(self, src: NodeId, dst: NodeId, weight: Weight) -> None:
+        if src in self._right:
+            raise GraphError(
+                f"edge source {src!r} is in the right partition; edges must go V1 -> V2"
+            )
+        if dst in self._left:
+            raise GraphError(
+                f"edge destination {dst!r} is in the left partition; edges must go V1 -> V2"
+            )
+        self._left.add(src)
+        self._right.add(dst)
+        super().set_edge_weight(src, dst, weight)
+
     def remove_node(self, node: NodeId) -> None:
         super().remove_node(node)
         self._left.discard(node)
         self._right.discard(node)
 
-    def copy(self) -> "BipartiteGraph":
-        clone = BipartiteGraph()
-        for node in self.left_nodes:
-            clone.add_left_node(node)
-        for node in self.right_nodes:
-            clone.add_right_node(node)
-        for src, dst, weight in self.edges():
-            clone.add_edge(src, dst, weight)
-        return clone
+    def _clone_state_from(self, other: "CommGraph") -> None:
+        super()._clone_state_from(other)
+        assert isinstance(other, BipartiteGraph)
+        self._left = set(other._left)
+        self._right = set(other._right)
 
     def __repr__(self) -> str:
         return (

@@ -11,13 +11,32 @@ in/out-neighbour access and repeated conversion to sparse matrices; a
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graph.delta import EdgeChange, WindowDelta
 from repro.types import NodeId, Weight, WeightedEdge
+
+
+class _MutationJournal:
+    """First-touch journal of mutations between :meth:`begin_delta_journal`
+    and :meth:`end_delta_journal`.
+
+    For every edge first touched inside the journal window we record the
+    weight it had *before* the first mutation; for every node, whether it
+    existed.  Comparing against the final state coalesces arbitrary
+    mutation sequences into one :class:`WindowDelta`.
+    """
+
+    __slots__ = ("edge_old", "node_was_present")
+
+    def __init__(self) -> None:
+        self.edge_old: Dict[Tuple[NodeId, NodeId], Weight] = {}
+        self.node_was_present: Dict[NodeId, bool] = {}
 
 
 class CommGraph:
@@ -38,9 +57,95 @@ class CommGraph:
         self._in: Dict[NodeId, Dict[NodeId, Weight]] = {}
         self._num_edges = 0
         self._total_weight = 0.0
+        self._version = 0
+        self._cache: Dict[str, Tuple[int, Any]] = {}
+        self._cache_stats: Dict[str, Dict[str, int]] = {}
+        self._journal: Optional[_MutationJournal] = None
         if edges is not None:
             for src, dst, weight in edges:
                 self.add_edge(src, dst, weight)
+
+    # ------------------------------------------------------------------
+    # Versioning, journalling and the derived-structure cache
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonically-increasing mutation counter.
+
+        Every structural or weight mutation bumps it; derived structures
+        (CSR matrices, node orderings) are cached keyed on this value.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
+
+    def begin_delta_journal(self) -> None:
+        """Start recording mutations for :meth:`end_delta_journal`."""
+        if self._journal is not None:
+            raise GraphError("a delta journal is already active on this graph")
+        self._journal = _MutationJournal()
+
+    def end_delta_journal(self) -> WindowDelta:
+        """Stop journalling and return the coalesced :class:`WindowDelta`."""
+        journal = self._journal
+        if journal is None:
+            raise GraphError("no delta journal is active on this graph")
+        self._journal = None
+        changes = []
+        for (src, dst), old_weight in journal.edge_old.items():
+            new_weight = self.weight(src, dst)
+            if new_weight != old_weight:
+                changes.append(EdgeChange(src, dst, old_weight, new_weight))
+        added = set()
+        removed = set()
+        for node, was_present in journal.node_was_present.items():
+            present_now = node in self
+            if present_now and not was_present:
+                added.add(node)
+            elif was_present and not present_now:
+                removed.add(node)
+        return WindowDelta(
+            changes=tuple(changes),
+            added_nodes=frozenset(added),
+            removed_nodes=frozenset(removed),
+        )
+
+    def _journal_edge(self, src: NodeId, dst: NodeId) -> None:
+        journal = self._journal
+        if journal is not None:
+            key = (src, dst)
+            if key not in journal.edge_old:
+                journal.edge_old[key] = self.weight(src, dst)
+
+    def _journal_node(self, node: NodeId, was_present: bool) -> None:
+        journal = self._journal
+        if journal is not None and node not in journal.node_was_present:
+            journal.node_was_present[node] = was_present
+
+    def versioned_cache(self, key: str, build: Callable[[], Any]) -> Any:
+        """Return ``build()`` memoised against the current :attr:`version`.
+
+        Derived structures (adjacency/transition CSR, node orderings,
+        partition sets, schemes' walk matrices) are invalidated by any
+        mutation; hit/miss traffic is exported as
+        ``matrix_cache.{hits,misses}`` obs counters labelled by ``key``.
+        """
+        stats = self._cache_stats.setdefault(key, {"hits": 0, "misses": 0})
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] == self._version:
+            stats["hits"] += 1
+            obs.counter("matrix_cache.hits", key=key).inc()
+            return entry[1]
+        stats["misses"] += 1
+        obs.counter("matrix_cache.misses", key=key).inc()
+        value = build()
+        self._cache[key] = (self._version, value)
+        return value
+
+    def cache_info(self) -> Dict[str, Dict[str, int]]:
+        """Per-key hit/miss counts of the versioned cache (for tests)."""
+        return {key: dict(stats) for key, stats in self._cache_stats.items()}
 
     # ------------------------------------------------------------------
     # Construction and mutation
@@ -48,8 +153,10 @@ class CommGraph:
     def add_node(self, node: NodeId) -> None:
         """Ensure ``node`` exists in ``V`` (no-op if already present)."""
         if node not in self._out:
+            self._journal_node(node, was_present=False)
             self._out[node] = {}
             self._in[node] = {}
+            self._bump_version()
 
     def add_edge(self, src: NodeId, dst: NodeId, weight: Weight = 1.0) -> None:
         """Accumulate ``weight`` onto the directed edge ``(src, dst)``.
@@ -68,6 +175,7 @@ class CommGraph:
             return
         self.add_node(src)
         self.add_node(dst)
+        self._journal_edge(src, dst)
         out_row = self._out[src]
         if dst not in out_row:
             self._num_edges += 1
@@ -76,6 +184,7 @@ class CommGraph:
         out_row[dst] += weight
         self._in[dst][src] += weight
         self._total_weight += weight
+        self._bump_version()
 
     def set_edge_weight(self, src: NodeId, dst: NodeId, weight: Weight) -> None:
         """Set (replace) the weight of edge ``(src, dst)``.
@@ -115,9 +224,11 @@ class CommGraph:
             raise GraphError(f"edge ({src!r}, {dst!r}) not present")
         new_weight = current - amount
         if new_weight > 0:
+            self._journal_edge(src, dst)
             self._out[src][dst] = new_weight
             self._in[dst][src] = new_weight
             self._total_weight -= amount
+            self._bump_version()
         else:
             self._remove_edge_entry(src, dst, current)
 
@@ -129,14 +240,18 @@ class CommGraph:
             self._remove_edge_entry(node, dst, self._out[node][dst])
         for src in list(self._in[node]):
             self._remove_edge_entry(src, node, self._out[src][node])
+        self._journal_node(node, was_present=True)
         del self._out[node]
         del self._in[node]
+        self._bump_version()
 
     def _remove_edge_entry(self, src: NodeId, dst: NodeId, weight: Weight) -> None:
+        self._journal_edge(src, dst)
         del self._out[src][dst]
         del self._in[dst][src]
         self._num_edges -= 1
         self._total_weight -= weight
+        self._bump_version()
 
     # ------------------------------------------------------------------
     # Queries
@@ -221,23 +336,51 @@ class CommGraph:
     # Copies and conversions
     # ------------------------------------------------------------------
     def copy(self) -> "CommGraph":
-        """Deep copy of the graph (nodes, edges and weights)."""
-        clone = CommGraph()
-        for node in self._out:
-            clone.add_node(node)
-        for src, dst, weight in self.edges():
-            clone.add_edge(src, dst, weight)
+        """Deep copy of the graph (nodes, edges and weights).
+
+        Structural clone: the adjacency rows are copied verbatim, so node
+        order and per-row neighbour order — and therefore any
+        order-sensitive float reduction over the rows — are preserved
+        bit-for-bit.  (Replaying ``edges()`` instead would rebuild the
+        in-rows in out-traversal order, silently perturbing reductions.)
+        The clone starts with a fresh version counter and an empty
+        derived-structure cache.
+        """
+        clone = type(self)()
+        clone._clone_state_from(self)
         return clone
+
+    def _clone_state_from(self, other: "CommGraph") -> None:
+        self._out = {src: dict(row) for src, row in other._out.items()}
+        self._in = {dst: dict(row) for dst, row in other._in.items()}
+        self._num_edges = other._num_edges
+        self._total_weight = other._total_weight
 
     def node_index(self) -> Tuple[List[NodeId], Dict[NodeId, int]]:
         """Stable node ordering for matrix computations.
 
         Returns ``(ordering, position)`` where ``ordering[i]`` is the node
-        at row/column ``i`` and ``position[node] = i``.
+        at row/column ``i`` and ``position[node] = i``.  Cached per
+        :attr:`version`, so repeated calls on an unmutated graph return the
+        *same* objects — callers may rely on identity.
         """
+        return self.versioned_cache("node_index", self._build_node_index)
+
+    def _build_node_index(self) -> Tuple[List[NodeId], Dict[NodeId, int]]:
         ordering = self.nodes()
         position = {node: i for i, node in enumerate(ordering)}
         return ordering, position
+
+    def _is_default_position(self, position: Mapping[NodeId, int] | None) -> bool:
+        """Whether ``position`` is (identically) the default node ordering."""
+        if position is None:
+            return True
+        cached = self._cache.get("node_index")
+        return (
+            cached is not None
+            and cached[0] == self._version
+            and position is cached[1][1]
+        )
 
     def to_adjacency_csr(
         self, position: Mapping[NodeId, int] | None = None
@@ -246,9 +389,19 @@ class CommGraph:
 
         ``position`` may supply an externally fixed node ordering (it must
         cover every node); by default :meth:`node_index` order is used.
+        The default-ordering matrix is cached per :attr:`version` (callers
+        must not mutate it); custom orderings are built fresh, except when
+        ``position`` *is* the cached :meth:`node_index` mapping.
         """
-        if position is None:
-            _, position = self.node_index()
+        if self._is_default_position(position):
+            return self.versioned_cache(
+                "adjacency_csr",
+                lambda: self._build_adjacency_csr(self.node_index()[1]),
+            )
+        assert position is not None
+        return self._build_adjacency_csr(position)
+
+    def _build_adjacency_csr(self, position: Mapping[NodeId, int]) -> sp.csr_matrix:
         n = len(position)
         rows: List[int] = []
         cols: List[int] = []
@@ -269,7 +422,18 @@ class CommGraph:
 
         Rows for nodes with no outgoing edges are left all-zero (the random
         walk "stalls" there; the RWR reset term keeps total mass bounded).
+        Cached per :attr:`version` for the default ordering.
         """
+        if self._is_default_position(position):
+            return self.versioned_cache(
+                "transition_csr",
+                lambda: self._build_transition_csr(None),
+            )
+        return self._build_transition_csr(position)
+
+    def _build_transition_csr(
+        self, position: Mapping[NodeId, int] | None
+    ) -> sp.csr_matrix:
         adjacency = self.to_adjacency_csr(position)
         row_sums = np.asarray(adjacency.sum(axis=1)).ravel()
         inverse = np.zeros_like(row_sums)

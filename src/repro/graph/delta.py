@@ -1,0 +1,135 @@
+"""Edge/node deltas between consecutive window graphs.
+
+The paper's methodology is built on *consecutive* windows: persistence,
+identification and monitoring all compare ``G_t`` against ``G_{t+1}``,
+which typically share most of their edges.  A :class:`WindowDelta` is the
+compact description of what changed between two such graphs — per-edge
+``(old_weight, new_weight)`` records plus the node churn — and is the
+input contract of the incremental signature engine
+(:meth:`repro.core.scheme.SignatureScheme.compute_all` with ``delta=``).
+
+Deltas come from two producers:
+
+- :meth:`CommGraph.begin_delta_journal` / :meth:`CommGraph.end_delta_journal`
+  record mutations as they happen (used by
+  :class:`repro.graph.windows.SlidingWindowAggregator`);
+- :meth:`WindowDelta.from_graphs` diffs two already-built graphs (used by
+  the experiments, which hold full per-window graphs in memory).
+
+Both produce the same coalesced form: at most one :class:`EdgeChange` per
+ordered pair, comparing the weight before the first mutation against the
+final weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Set, Tuple
+
+from repro.types import NodeId, Weight
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.comm_graph import CommGraph
+
+KIND_ADD = "add"
+KIND_REMOVE = "remove"
+KIND_REWEIGHT = "reweight"
+
+
+@dataclass(frozen=True)
+class EdgeChange:
+    """One coalesced edge mutation: ``C[src, dst]`` went from ``old_weight``
+    to ``new_weight`` (zero means "absent")."""
+
+    src: NodeId
+    dst: NodeId
+    old_weight: Weight
+    new_weight: Weight
+
+    @property
+    def kind(self) -> str:
+        """``"add"`` (absent -> present), ``"remove"`` (present -> absent)
+        or ``"reweight"`` (present both sides, weight changed)."""
+        if self.old_weight == 0:
+            return KIND_ADD
+        if self.new_weight == 0:
+            return KIND_REMOVE
+        return KIND_REWEIGHT
+
+    @property
+    def structural(self) -> bool:
+        """True when edge *existence* changed (add or remove) — the cases
+        that alter degrees, not just weights."""
+        return self.old_weight == 0 or self.new_weight == 0
+
+
+@dataclass(frozen=True)
+class WindowDelta:
+    """The difference ``G_t -> G_{t+1}`` between two window graphs.
+
+    ``changes`` holds one :class:`EdgeChange` per edge whose weight
+    differs; ``added_nodes``/``removed_nodes`` record node churn (a node
+    may churn without any weighted edge changing, e.g. endpoints of
+    zero-weight records).  An empty delta means the graphs are identical.
+    """
+
+    changes: Tuple[EdgeChange, ...] = ()
+    added_nodes: FrozenSet[NodeId] = frozenset()
+    removed_nodes: FrozenSet[NodeId] = frozenset()
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.changes and not self.added_nodes and not self.removed_nodes
+
+    @property
+    def has_node_churn(self) -> bool:
+        return bool(self.added_nodes or self.removed_nodes)
+
+    def sources(self) -> Set[NodeId]:
+        """Sources of changed edges (the nodes whose out-view changed)."""
+        return {change.src for change in self.changes}
+
+    def destinations(self) -> Set[NodeId]:
+        """Destinations of changed edges (the nodes whose in-view changed)."""
+        return {change.dst for change in self.changes}
+
+    def endpoints(self) -> Set[NodeId]:
+        """Every node incident to a changed edge."""
+        return self.sources() | self.destinations()
+
+    def structural_changes(self) -> Iterable[EdgeChange]:
+        """Changes that added or removed an edge (degree-affecting)."""
+        return (change for change in self.changes if change.structural)
+
+    def churned_nodes(self) -> FrozenSet[NodeId]:
+        """Nodes that entered or left ``V`` across the transition."""
+        return self.added_nodes | self.removed_nodes
+
+    @classmethod
+    def from_graphs(cls, old: "CommGraph", new: "CommGraph") -> "WindowDelta":
+        """Diff two graphs into a delta (edge weights compared exactly).
+
+        Change order is deterministic: old-graph edge order first (removed
+        or reweighted), then new-graph order for added edges.
+        """
+        changes = []
+        old_edges = {}
+        for src, dst, weight in old.edges():
+            old_edges[(src, dst)] = weight
+        for src, dst, old_weight in old.edges():
+            new_weight = new.weight(src, dst)
+            if new_weight != old_weight:
+                changes.append(EdgeChange(src, dst, old_weight, new_weight))
+        for src, dst, new_weight in new.edges():
+            if (src, dst) not in old_edges:
+                changes.append(EdgeChange(src, dst, 0.0, new_weight))
+        old_nodes = set(old.nodes())
+        new_nodes = set(new.nodes())
+        return cls(
+            changes=tuple(changes),
+            added_nodes=frozenset(new_nodes - old_nodes),
+            removed_nodes=frozenset(old_nodes - new_nodes),
+        )

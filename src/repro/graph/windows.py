@@ -5,18 +5,56 @@ flow data, "five consecutive time periods" for the query logs) and builds
 one communication graph per window; persistence is always measured between
 *consecutive* windows.  :class:`GraphSequence` is the ordered container the
 rest of the library consumes.
+
+Two construction paths exist:
+
+- :func:`split_records_into_windows` re-aggregates every bucket from
+  scratch (simple, stateless);
+- :meth:`GraphSequence.from_sliding_records` drives a
+  :class:`SlidingWindowAggregator` that advances ``G_t -> G_{t+1}`` by
+  applying only the expiring and arriving records, and records the
+  per-transition :class:`WindowDelta` so downstream signature computation
+  can run incrementally.  Both paths produce identical graphs.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import GraphError
+from repro.graph.bipartite import BipartiteGraph
 from repro.graph.builders import aggregate_records
 from repro.graph.comm_graph import CommGraph
+from repro.graph.delta import WindowDelta
 from repro.graph.stream import EdgeRecord
+from repro.types import NodeId, Weight
+
+
+def window_index_of(time: float, start: float, width: float) -> int:
+    """Bucket index of a record at ``time`` for windows ``[start + i*width,
+    start + (i+1)*width)``.
+
+    Boundary-safe: the naive ``int((time - start) / width)`` can round the
+    quotient below an integer (e.g. ``start=0, width=0.7, time=6*0.7``
+    gives ``5.999...`` -> bucket 5), dropping a record that sits exactly on
+    a window's float-evaluated start boundary into the earlier window.
+    This computes the index consistent with the boundary values
+    ``start + i*width`` as actually evaluated in float arithmetic, so the
+    documented "boundary goes to the later window" rule holds.
+    """
+    if width <= 0:
+        return 0
+    index = int((time - start) / width)
+    # The division is only a first guess; correct it against the real
+    # (float-evaluated, monotone in i) boundary positions.
+    while index > 0 and start + index * width > time:
+        index -= 1
+    while start + (index + 1) * width <= time:
+        index += 1
+    return index
 
 
 @dataclass
@@ -25,10 +63,16 @@ class GraphSequence:
 
     ``labels`` are human-readable window names (e.g. ``"week-1"``); when
     omitted they default to ``"window-0"``, ``"window-1"``, ...
+
+    ``deltas``, when present, holds one :class:`WindowDelta` per
+    *transition*: ``deltas[i]`` describes ``graphs[i] -> graphs[i+1]``.
+    Sequences built by :meth:`from_sliding_records` carry them; manually
+    assembled sequences may leave them ``None``.
     """
 
     graphs: List[CommGraph]
     labels: List[str] = field(default_factory=list)
+    deltas: Optional[List[WindowDelta]] = None
 
     def __post_init__(self) -> None:
         if not self.labels:
@@ -36,6 +80,11 @@ class GraphSequence:
         if len(self.labels) != len(self.graphs):
             raise GraphError(
                 f"{len(self.labels)} labels supplied for {len(self.graphs)} graphs"
+            )
+        if self.deltas is not None and len(self.deltas) != max(0, len(self.graphs) - 1):
+            raise GraphError(
+                f"{len(self.deltas)} deltas supplied for {len(self.graphs)} graphs "
+                f"(expected one per consecutive transition)"
             )
 
     def __len__(self) -> int:
@@ -52,30 +101,191 @@ class GraphSequence:
         for index in range(len(self.graphs) - 1):
             yield self.graphs[index], self.graphs[index + 1]
 
-    def common_nodes(self) -> List:
-        """Nodes present in every window (a natural evaluation population)."""
+    def delta_for(self, transition: int) -> Optional[WindowDelta]:
+        """The :class:`WindowDelta` for ``graphs[transition] ->
+        graphs[transition + 1]``, or ``None`` when deltas are not tracked."""
+        if self.deltas is None:
+            return None
+        if not 0 <= transition < len(self.deltas):
+            return None
+        return self.deltas[transition]
+
+    def common_nodes(self) -> List[NodeId]:
+        """Nodes present in every window (a natural evaluation population).
+
+        For delta-tracked (sliding) sequences this is maintained from the
+        journal: a node misses some window iff it was removed at one of
+        the recorded transitions, so the common set is the first window's
+        nodes minus everything any delta removed — no per-window set
+        intersections.
+        """
         if not self.graphs:
             return []
+        if self.deltas is not None and len(self.deltas) == len(self.graphs) - 1:
+            dropped = set()
+            for delta in self.deltas:
+                dropped |= delta.removed_nodes
+            return [node for node in self.graphs[0].nodes() if node not in dropped]
         common = set(self.graphs[0].nodes())
         for graph in self.graphs[1:]:
             common &= set(graph.nodes())
         # Preserve first-window ordering for determinism.
         return [node for node in self.graphs[0].nodes() if node in common]
 
+    @classmethod
+    def from_sliding_records(
+        cls,
+        records: Sequence[EdgeRecord],
+        num_windows: int | None = None,
+        window_length: float | None = None,
+        bipartite: bool = False,
+        window_buckets: int = 1,
+    ) -> "GraphSequence":
+        """Build a delta-tracked sequence by sliding over the record trace.
 
-def split_records_into_windows(
-    records: Sequence[EdgeRecord],
-    num_windows: int | None = None,
-    window_length: float | None = None,
-    bipartite: bool = False,
-) -> GraphSequence:
-    """Split a record trace into consecutive time windows and aggregate each.
+        Bucketing matches :func:`split_records_into_windows` exactly; each
+        window graph covers the most recent ``window_buckets`` buckets
+        (ramping up at the start).  With the default ``window_buckets=1``
+        the graphs are identical to the stateless splitter's, but every
+        transition additionally carries its :class:`WindowDelta`.
+        """
+        buckets, labels = _bucketize(records, num_windows, window_length)
+        aggregator = SlidingWindowAggregator(
+            window_buckets=window_buckets, bipartite=bipartite
+        )
+        graphs: List[CommGraph] = []
+        deltas: List[WindowDelta] = []
+        for index, bucket in enumerate(buckets):
+            delta = aggregator.advance(bucket)
+            graphs.append(aggregator.graph.copy())
+            if index > 0:
+                # The first advance is empty-graph -> window 0, not a
+                # window-to-window transition.
+                deltas.append(delta)
+        return cls(graphs=graphs, labels=labels, deltas=deltas)
 
-    Exactly one of ``num_windows`` (equal-width split of the observed time
-    span) or ``window_length`` (fixed-duration windows from the earliest
-    timestamp) must be given.  Records on a boundary go to the later
-    window, except the final boundary which closes the last window.
+
+class SlidingWindowAggregator:
+    """Advance ``G_t -> G_{t+1}`` by applying expiring and arriving records.
+
+    Maintains a live graph over the ``window_buckets`` most recent record
+    buckets.  :meth:`advance` pushes the next bucket, expires the oldest,
+    and updates only the affected edges — while journalling the mutations
+    into a :class:`WindowDelta`.
+
+    Exactness contract: the maintained graph is *identical* (same node
+    set, same edge weights bit-for-bit) to re-aggregating the in-window
+    records from scratch.  Floating-point subtraction cannot guarantee
+    that, so instead of subtracting expired weights the aggregator keeps
+    each edge's in-window contribution list and re-accumulates affected
+    edges in record order — the same ``+=`` sequence
+    :func:`repro.graph.builders.aggregate_records` performs.
     """
+
+    def __init__(self, window_buckets: int = 1, bipartite: bool = False) -> None:
+        if window_buckets < 1:
+            raise GraphError(f"window_buckets must be >= 1, got {window_buckets}")
+        self.window_buckets = window_buckets
+        self.bipartite = bipartite
+        self.graph: CommGraph = BipartiteGraph() if bipartite else CommGraph()
+        # Per bucket: edge -> ordered record-weight contributions.
+        self._buckets: Deque[Dict[Tuple[NodeId, NodeId], List[Weight]]] = deque()
+        # Per bucket: node -> number of records touching it (as src or dst).
+        self._bucket_nodes: Deque[Dict[NodeId, int]] = deque()
+        # In-window record-endpoint refcounts; a node leaves V when it hits 0.
+        self._node_refs: Dict[NodeId, int] = {}
+
+    @property
+    def buckets_held(self) -> int:
+        """Number of buckets currently inside the window (ramp-up aware)."""
+        return len(self._buckets)
+
+    def advance(self, records: Sequence[EdgeRecord]) -> WindowDelta:
+        """Slide the window forward by one bucket of ``records``.
+
+        Returns the :class:`WindowDelta` describing the transition of
+        :attr:`graph` (old state -> new state).
+        """
+        arriving: Dict[Tuple[NodeId, NodeId], List[Weight]] = {}
+        arriving_nodes: Dict[NodeId, int] = {}
+        # Ordered set of arriving edges by first *positive* contribution:
+        # fresh aggregation inserts an edge into its adjacency rows at its
+        # first positive-weight record (zero-weight records only
+        # materialise endpoints), so this — not first occurrence — is the
+        # row position the rebuild below must reproduce.
+        first_positive: Dict[Tuple[NodeId, NodeId], None] = {}
+        for record in records:
+            edge = (record.src, record.dst)
+            arriving.setdefault(edge, []).append(record.weight)
+            if record.weight > 0 and edge not in first_positive:
+                first_positive[edge] = None
+            for node in (record.src, record.dst):
+                arriving_nodes[node] = arriving_nodes.get(node, 0) + 1
+
+        expiring: Dict[Tuple[NodeId, NodeId], List[Weight]] = {}
+        expiring_nodes: Dict[NodeId, int] = {}
+        if len(self._buckets) == self.window_buckets:
+            expiring = self._buckets.popleft()
+            expiring_nodes = self._bucket_nodes.popleft()
+        self._buckets.append(arriving)
+        self._bucket_nodes.append(arriving_nodes)
+
+        graph = self.graph
+        graph.begin_delta_journal()
+        try:
+            # Expiring-only edges first, then arriving edges in
+            # first-positive-contribution order (zero-only arrivals last —
+            # they create no row entry).  ``set_edge_weight`` repositions
+            # an edge to the end of its adjacency rows, so with
+            # ``window_buckets=1`` (where every surviving edge is
+            # arriving) the rebuilt rows list destinations in exactly the
+            # insertion order fresh aggregation produces, keeping even
+            # order-sensitive float reductions over the rows bitwise
+            # identical across the two construction paths.
+            affected = [edge for edge in expiring if edge not in arriving]
+            affected.extend(first_positive)
+            affected.extend(edge for edge in arriving if edge not in first_positive)
+            for src, dst in affected:
+                # Re-accumulate this edge's surviving contributions in
+                # record order: bit-identical to fresh aggregation.
+                total = 0.0
+                contributions = 0
+                for bucket in self._buckets:
+                    for weight in bucket.get((src, dst), ()):
+                        total += weight
+                        contributions += 1
+                if contributions:
+                    # Zero-weight contributions still materialise the
+                    # endpoints, matching aggregate_records.
+                    graph.set_edge_weight(src, dst, total)
+                elif graph.has_edge(src, dst):
+                    graph.remove_edge(src, dst)
+
+            for node, count in expiring_nodes.items():
+                remaining = self._node_refs.get(node, 0) - count
+                if remaining > 0:
+                    self._node_refs[node] = remaining
+                else:
+                    self._node_refs.pop(node, None)
+            for node, count in arriving_nodes.items():
+                self._node_refs[node] = self._node_refs.get(node, 0) + count
+            for node in expiring_nodes:
+                if node not in self._node_refs and node in graph:
+                    # Every record touching the node expired; all its
+                    # edges were removed above, so this only drops the
+                    # (now isolated) node from V.
+                    graph.remove_node(node)
+        finally:
+            delta = graph.end_delta_journal()
+        return delta
+
+
+def _bucketize(
+    records: Sequence[EdgeRecord],
+    num_windows: int | None,
+    window_length: float | None,
+) -> Tuple[List[List[EdgeRecord]], List[str]]:
+    """Shared bucketing for the stateless and sliding window builders."""
     if (num_windows is None) == (window_length is None):
         raise GraphError("specify exactly one of num_windows or window_length")
     if not records:
@@ -99,10 +309,26 @@ def split_records_into_windows(
 
     buckets: List[List[EdgeRecord]] = [[] for _ in range(count)]
     for record in records:
-        index = int((record.time - start) / width) if width > 0 else 0
+        index = window_index_of(record.time, start, width)
         index = min(index, count - 1)
         buckets[index].append(record)
-
-    graphs = [aggregate_records(bucket, bipartite=bipartite) for bucket in buckets]
     labels = [f"window-{i}" for i in range(count)]
+    return buckets, labels
+
+
+def split_records_into_windows(
+    records: Sequence[EdgeRecord],
+    num_windows: int | None = None,
+    window_length: float | None = None,
+    bipartite: bool = False,
+) -> GraphSequence:
+    """Split a record trace into consecutive time windows and aggregate each.
+
+    Exactly one of ``num_windows`` (equal-width split of the observed time
+    span) or ``window_length`` (fixed-duration windows from the earliest
+    timestamp) must be given.  Records on a boundary go to the later
+    window, except the final boundary which closes the last window.
+    """
+    buckets, labels = _bucketize(records, num_windows, window_length)
+    graphs = [aggregate_records(bucket, bipartite=bipartite) for bucket in buckets]
     return GraphSequence(graphs=graphs, labels=labels)

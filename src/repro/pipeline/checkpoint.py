@@ -117,7 +117,11 @@ class CheckpointStore:
         self._write_manifest(entries)
         return entry
 
-    def _write_manifest(self, entries: List[WindowEntry]) -> None:
+    def _write_manifest(
+        self, entries: List[WindowEntry], run_state: Mapping | None = None
+    ) -> None:
+        if run_state is None:
+            run_state = self.run_state()
         document = {
             "version": CHECKPOINT_VERSION,
             "entries": [
@@ -130,8 +134,31 @@ class CheckpointStore:
                 for entry in entries
             ],
         }
+        if run_state:
+            document["run_state"] = dict(run_state)
         with atomic_write(self.manifest_path, "w") as handle:
             json.dump(document, handle, sort_keys=True)
+
+    def set_run_state(self, state: Mapping) -> None:
+        """Persist run-level state (engine, scheme identity) in the manifest.
+
+        The incremental pipeline stamps its configuration here so a resume
+        can verify the checkpointed prefix was produced under a compatible
+        engine before chaining new windows onto it.
+        """
+        entries = self._read_manifest_entries(strict=True)
+        self._write_manifest(entries, run_state=state)
+
+    def run_state(self) -> Dict:
+        """The manifest's run-level state (empty for pre-existing stores)."""
+        if not self.manifest_path.exists():
+            return {}
+        try:
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                document = json.load(handle)
+            return dict(document.get("run_state", {}))
+        except (json.JSONDecodeError, TypeError, ValueError, AttributeError):
+            return {}
 
     # ------------------------------------------------------------------
     # Reading

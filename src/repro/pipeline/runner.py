@@ -34,11 +34,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro import obs
 from repro.core.scheme import SignatureScheme, create_scheme
 from repro.core.signature import Signature
-from repro.exceptions import ErrorBudgetExceeded, PipelineError
+from repro.exceptions import CheckpointError, ErrorBudgetExceeded, PipelineError
 from repro.graph.builders import aggregate_records
 from repro.graph.comm_graph import CommGraph
+from repro.graph.delta import WindowDelta
 from repro.graph.stream import EdgeRecord, ReadReport
+from repro.graph.windows import SlidingWindowAggregator, window_index_of
 from repro.pipeline.checkpoint import CheckpointStore
+from repro.types import NodeId
 from repro.pipeline.report import (
     MODE_CACHED,
     MODE_DEGRADED,
@@ -57,6 +60,22 @@ from repro.streaming.stream_schemes import (
 WindowHook = Callable[[int, WindowReport], None]
 
 
+@dataclass
+class _IncrementalState:
+    """Carried across windows by the incremental engine.
+
+    ``aggregator`` holds the live sliding-window graph; ``previous`` is the
+    raw-keyed signature map of the last *exact* window (``None`` when the
+    chain is broken — first window, or after a degraded window whose
+    sketched output cannot seed reuse).
+    """
+
+    aggregator: SlidingWindowAggregator
+    previous: Optional[Dict[NodeId, Signature]] = None
+    last_dirty: int = 0
+    last_reused: int = 0
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """Knobs of a pipeline run.
@@ -65,6 +84,16 @@ class PipelineConfig:
     neither — in which case record times must already hold non-negative
     integer window indices (the interchange convention of
     :mod:`repro.datasets.loaders`).
+
+    ``incremental`` routes windows through the delta engine: a
+    :class:`~repro.graph.windows.SlidingWindowAggregator` advances the
+    window graph in place, and each scheme recomputes only its dirty set
+    (byte-identical to the full path's signatures by the
+    ``compute_all(delta=...)`` contract; checkpoints record the engine in
+    the manifest so resumes are checked for compatibility).  Note the
+    incremental engine uses the scheme's *batched* ``compute_all``, so for
+    unbounded RWR — whose batched iteration count is population-coupled —
+    outputs match the batched contract, not the per-node loop.
 
     ``error_budget`` bounds rejected rows: a value below 1.0 is a fraction
     of examined rows, a value >= 1 an absolute count; ``None`` disables the
@@ -88,6 +117,7 @@ class PipelineConfig:
     num_windows: Optional[int] = None
     window_length: Optional[float] = None
     bipartite: bool = False
+    incremental: bool = False
     error_budget: Optional[float] = None
     max_memory_cells: Optional[int] = None
     window_deadline: Optional[float] = None
@@ -269,19 +299,27 @@ class SignaturePipeline:
         self._enforce_error_budget(read_report)
         buckets = self._split_into_windows(read_report)
 
-        start_window = 0
+        replayed_modes: List[str] = []
         if resume:
-            start_window = self._replay_checkpoints(len(buckets), report, result)
+            self._check_run_state()
+            replayed_modes = self._replay_checkpoints(len(buckets), report, result)
         else:
             self.store.clear()
+        start_window = len(replayed_modes)
+        self.store.set_run_state(self._run_state())
 
         scheme = create_scheme(
             self.config.scheme, k=self.config.k, **self.config.scheme_params
         )
+        inc: Optional[_IncrementalState] = None
+        if self.config.incremental:
+            inc = self._prepare_incremental(
+                buckets, start_window, replayed_modes, scheme
+            )
         for window in range(start_window, len(buckets)):
             with obs.span("pipeline.window"):
                 window_report, signatures = self._process_window(
-                    window, buckets[window], scheme, report
+                    window, buckets[window], scheme, report, inc
                 )
             obs.counter("pipeline.windows", mode=window_report.mode).inc()
             report.windows.append(window_report)
@@ -369,7 +407,10 @@ class SignaturePipeline:
                 count = max(1, math.ceil(span / width)) if span > 0 else 1
             buckets: List[List[EdgeRecord]] = [[] for _ in range(count)]
             for record in records:
-                index = int((record.time - start) / width) if width > 0 else 0
+                # Boundary-safe bucketing (same helper as graph.windows):
+                # naive int((t-start)/width) can round a boundary record
+                # into the earlier window.
+                index = window_index_of(record.time, start, width)
                 buckets[min(index, count - 1)].append(record)
             return buckets
         # Interchange convention: times are integer window indices.
@@ -386,9 +427,72 @@ class SignaturePipeline:
     # ------------------------------------------------------------------
     # Resume
     # ------------------------------------------------------------------
+    def _run_state(self) -> Dict:
+        """The engine identity stamped into the checkpoint manifest."""
+        return {
+            "engine": "incremental" if self.config.incremental else "full",
+            "scheme": self.config.scheme,
+            "k": self.config.k,
+            "bipartite": self.config.bipartite,
+        }
+
+    def _check_run_state(self) -> None:
+        """Refuse to resume onto checkpoints from an incompatible engine.
+
+        Chaining incremental windows onto a prefix computed under a
+        different scheme, ``k`` or engine would silently break the
+        byte-identity contract; stores without run state (pre-existing
+        checkpoints) are accepted for backwards compatibility.
+        """
+        prior = self.store.run_state()
+        if not prior:
+            return
+        expected = self._run_state()
+        conflicts = {
+            key: (prior[key], expected[key])
+            for key in expected
+            if key in prior and prior[key] != expected[key]
+        }
+        if conflicts:
+            detail = ", ".join(
+                f"{key}: checkpoint has {old!r}, run wants {new!r}"
+                for key, (old, new) in sorted(conflicts.items())
+            )
+            raise CheckpointError(
+                f"cannot resume: checkpoint run state is incompatible ({detail})"
+            )
+
+    def _prepare_incremental(
+        self,
+        buckets: List[List[EdgeRecord]],
+        start_window: int,
+        replayed_modes: List[str],
+        scheme: SignatureScheme,
+    ) -> _IncrementalState:
+        """Rebuild the aggregator (and reuse map) for an incremental run.
+
+        On resume, the replayed buckets are advanced through a fresh
+        aggregator in the same order as the original run — identical
+        mutation sequence, identical graph state — and the last replayed
+        window's signatures are recomputed in full to seed ``previous``
+        (the byte-identity contract makes that equal to what the
+        uninterrupted chain carried).
+        """
+        state = _IncrementalState(
+            aggregator=SlidingWindowAggregator(bipartite=self.config.bipartite)
+        )
+        for index in range(start_window):
+            state.aggregator.advance(sorted(buckets[index]))
+        if start_window and replayed_modes[-1] == MODE_EXACT:
+            graph = state.aggregator.graph
+            state.previous = scheme.compute_all(graph, self._population(graph))
+        return state
+
     def _replay_checkpoints(
         self, num_windows: int, report: RunReport, result: PipelineResult
-    ) -> int:
+    ) -> List[str]:
+        """Replay the verified checkpoint prefix; returns the original
+        (pre-replay) mode of each replayed window, in order."""
         scan = self.store.scan()
         report.issues.extend(scan.issues)
         good = scan.good[:num_windows]
@@ -417,7 +521,7 @@ class SignaturePipeline:
                 windows=len(good),
                 issues=list(scan.issues),
             )
-        return len(good)
+        return [entry.mode for entry in good]
 
     # ------------------------------------------------------------------
     # Per-window computation
@@ -428,13 +532,21 @@ class SignaturePipeline:
         records: List[EdgeRecord],
         scheme: SignatureScheme,
         report: RunReport,
+        inc: Optional[_IncrementalState] = None,
     ) -> Tuple[WindowReport, Dict[str, Signature]]:
         started = self._clock()
         # Canonicalise arrival order: records are a multiset per window, but
         # float aggregation is order-sensitive, so sorting makes the output
         # invariant to out-of-order delivery (and byte-stable across resumes).
         records = sorted(records)
-        graph = aggregate_records(records, bipartite=self.config.bipartite)
+        delta: Optional[WindowDelta] = None
+        if inc is not None:
+            # Advance G_t -> G_{t+1} by the arriving records only; the
+            # aggregator's graph is bit-identical to fresh aggregation.
+            delta = inc.aggregator.advance(records)
+            graph = inc.aggregator.graph
+        else:
+            graph = aggregate_records(records, bipartite=self.config.bipartite)
         mode, reason = MODE_EXACT, ""
 
         cells = graph.num_nodes + graph.num_edges
@@ -450,7 +562,12 @@ class SignaturePipeline:
 
         signatures: Dict[str, Signature] = {}
         if mode == MODE_EXACT:
-            exact = self._compute_exact(graph, scheme, started)
+            if inc is not None:
+                exact = self._compute_exact_incremental(
+                    graph, scheme, started, inc, delta
+                )
+            else:
+                exact = self._compute_exact(graph, scheme, started)
             if exact is None:
                 mode = MODE_DEGRADED
                 reason = (
@@ -459,7 +576,19 @@ class SignaturePipeline:
                 )
             else:
                 signatures = exact
+                if inc is not None:
+                    obs.emit(
+                        "pipeline.window.incremental",
+                        level="debug",
+                        window=window,
+                        dirty=inc.last_dirty,
+                        reused=inc.last_reused,
+                        signatures=len(signatures),
+                    )
         if mode == MODE_DEGRADED:
+            if inc is not None:
+                # Sketched output cannot seed exact reuse; break the chain.
+                inc.previous = None
             obs.counter("pipeline.degradations").inc()
             signatures = self._compute_degraded(records)
             if self.config.scheme not in ("tt", "ut"):
@@ -481,6 +610,8 @@ class SignaturePipeline:
             "num_edges": graph.num_edges,
             "reason": reason,
         }
+        if inc is not None:
+            meta["engine"] = "incremental"
         entry = self._save_window(window, signatures, meta, mode, report)
         return (
             WindowReport(
@@ -498,9 +629,57 @@ class SignaturePipeline:
             signatures,
         )
 
-    def _population(self, graph: CommGraph) -> List:
+    def _population(self, graph: CommGraph) -> List[NodeId]:
         """Owners to compute signatures for: nodes that sent anything."""
         return [node for node in graph.nodes() if graph.out_strength(node) > 0]
+
+    def _compute_exact_incremental(
+        self,
+        graph: CommGraph,
+        scheme: SignatureScheme,
+        started: float,
+        inc: _IncrementalState,
+        delta: Optional[WindowDelta],
+    ) -> Optional[Dict[str, Signature]]:
+        """Exact signatures via the dirty-set path, or ``None`` on deadline.
+
+        Uses the scheme's batched ``compute_all`` contract (identical for
+        every scheme, and required for reuse); the deadline is checked
+        after the batch rather than per-node.
+        """
+        population = self._population(graph)
+        use_delta = delta if inc.previous is not None else None
+        registry = obs.get_registry()
+        dirty_before = registry.counter_value(
+            "incremental.dirty_nodes", scheme=scheme.name
+        )
+        reused_before = registry.counter_value(
+            "incremental.reused_signatures", scheme=scheme.name
+        )
+        raw = scheme.compute_all(
+            graph, population, delta=use_delta, previous=inc.previous
+        )
+        if use_delta is None:
+            # Cold start (first window, or after a degraded window): the
+            # whole population was computed fresh.
+            inc.last_dirty, inc.last_reused = len(population), 0
+        else:
+            inc.last_dirty = int(
+                registry.counter_value("incremental.dirty_nodes", scheme=scheme.name)
+                - dirty_before
+            )
+            inc.last_reused = int(
+                registry.counter_value(
+                    "incremental.reused_signatures", scheme=scheme.name
+                )
+                - reused_before
+            )
+        deadline = self.config.window_deadline
+        if deadline is not None and self._clock() - started > deadline:
+            inc.previous = None
+            return None
+        inc.previous = raw
+        return {str(node): signature for node, signature in raw.items()}
 
     def _compute_exact(
         self, graph: CommGraph, scheme: SignatureScheme, started: float

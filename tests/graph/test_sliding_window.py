@@ -1,0 +1,242 @@
+"""Sliding-window aggregator, delta journal and boundary-safe bucketing.
+
+The exactness contract under test: a sequence built by
+:meth:`GraphSequence.from_sliding_records` is *identical* — same node
+set, same edge weights bit-for-bit, and (for ``window_buckets=1``) even
+the same adjacency-row iteration order — to the stateless
+:func:`split_records_into_windows` path, while additionally carrying one
+:class:`WindowDelta` per transition.
+"""
+
+import random
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.builders import aggregate_records
+from repro.graph.comm_graph import CommGraph
+from repro.graph.delta import WindowDelta
+from repro.graph.stream import EdgeRecord
+from repro.graph.windows import (
+    GraphSequence,
+    SlidingWindowAggregator,
+    split_records_into_windows,
+    window_index_of,
+)
+
+
+def random_trace(seed, num_windows=6, nodes=16, per_window=30, zero_weight_rate=0.1):
+    """A churny trace: edges come and go, weights change, nodes churn."""
+    rng = random.Random(seed)
+    names = [f"n{i}" for i in range(nodes)]
+    records = []
+    for window in range(num_windows):
+        # A shifting subset of nodes is active each window -> node churn.
+        active = rng.sample(names, rng.randint(nodes // 2, nodes))
+        for _ in range(per_window):
+            src, dst = rng.sample(active, 2)
+            weight = 0.0 if rng.random() < zero_weight_rate else rng.uniform(0.1, 5.0)
+            records.append(
+                EdgeRecord(time=window + rng.random() * 0.9, src=src, dst=dst, weight=weight)
+            )
+    records.sort()
+    return records
+
+
+class TestWindowIndexOf:
+    # Regression cases found by randomized search: the naive
+    # int((t - start) / width) rounds a record sitting exactly on a
+    # float-evaluated boundary into the *earlier* window.
+    BOUNDARY_CASES = [
+        (0.0, 0.7, 6),  # 6 * 0.7 == 4.199999999999999; naive index = 5
+        (84.4421851525048, 0.21201704712207997, 32),
+        (0.0, 0.7, 29),
+        (49.35778664653247, 0.3, 46),
+    ]
+
+    @pytest.mark.parametrize("start,width,index", BOUNDARY_CASES)
+    def test_boundary_goes_to_later_window(self, start, width, index):
+        boundary = start + index * width
+        assert window_index_of(boundary, start, width) == index
+
+    def test_interior_times(self):
+        assert window_index_of(0.35, 0.0, 0.7) == 0
+        assert window_index_of(1.05, 0.0, 0.7) == 1
+
+    def test_randomized_invariant(self):
+        # The returned index must satisfy the half-open interval property
+        # against the float-evaluated boundaries themselves.
+        rng = random.Random(99)
+        for _ in range(500):
+            start = rng.uniform(-100, 100)
+            width = rng.uniform(0.05, 3.0)
+            time = start + rng.uniform(0, 50)
+            index = window_index_of(time, start, width)
+            assert start + index * width <= time
+            assert time < start + (index + 1) * width
+
+
+class TestDeltaJournal:
+    def test_coalesces_add_then_remove(self):
+        graph = CommGraph([("a", "b", 1.0)])
+        graph.begin_delta_journal()
+        graph.add_edge("a", "c", 2.0)
+        graph.remove_edge("a", "c")
+        delta = graph.end_delta_journal()
+        assert not delta.changes
+        # The endpoint "c" was created and survives as an isolated node.
+        assert delta.added_nodes == frozenset({"c"})
+
+    def test_reweight_records_old_and_new(self):
+        graph = CommGraph([("a", "b", 1.0)])
+        graph.begin_delta_journal()
+        graph.set_edge_weight("a", "b", 3.0)
+        delta = graph.end_delta_journal()
+        (change,) = delta.changes
+        assert (change.old_weight, change.new_weight) == (1.0, 3.0)
+        assert change.kind == "reweight"
+        assert not change.structural
+
+    def test_noop_rewrite_produces_empty_delta(self):
+        graph = CommGraph([("a", "b", 1.5)])
+        graph.begin_delta_journal()
+        graph.set_edge_weight("a", "b", 1.5)
+        delta = graph.end_delta_journal()
+        assert delta.is_empty
+
+    def test_node_churn_recorded(self):
+        graph = CommGraph([("a", "b", 1.0)])
+        graph.begin_delta_journal()
+        graph.remove_node("b")
+        graph.add_node("c")
+        delta = graph.end_delta_journal()
+        assert delta.removed_nodes == frozenset({"b"})
+        assert delta.added_nodes == frozenset({"c"})
+
+    def test_matches_from_graphs_diff(self):
+        records = random_trace(7)
+        sequence = GraphSequence.from_sliding_records(records, num_windows=6)
+        for i, delta in enumerate(sequence.deltas):
+            reference = WindowDelta.from_graphs(sequence[i], sequence[i + 1])
+            assert set(delta.changes) == set(reference.changes)
+            assert delta.added_nodes == reference.added_nodes
+            assert delta.removed_nodes == reference.removed_nodes
+
+
+class TestSlidingEqualsStateless:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_single_bucket_bitwise_and_row_order(self, seed):
+        records = random_trace(seed)
+        stateless = split_records_into_windows(records, num_windows=6)
+        sliding = GraphSequence.from_sliding_records(records, num_windows=6)
+        assert len(sliding) == len(stateless)
+        for fresh, slid in zip(stateless, sliding):
+            assert set(fresh.nodes()) == set(slid.nodes())
+            # Same out-rows *in the same iteration order* with bitwise-equal
+            # weights: order-sensitive float reductions over the rows must
+            # agree across the two construction paths.
+            for node in fresh.nodes():
+                assert list(fresh.out_neighbors(node).items()) == list(
+                    slid.out_neighbors(node).items()
+                )
+                assert list(fresh.in_neighbors(node).items()) == list(
+                    slid.in_neighbors(node).items()
+                )
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_multi_bucket_matches_reaggregation(self, seed):
+        records = random_trace(seed, num_windows=8)
+        from repro.graph.windows import _bucketize
+
+        buckets, _ = _bucketize(records, 8, None)
+        aggregator = SlidingWindowAggregator(window_buckets=3)
+        for index, bucket in enumerate(buckets):
+            aggregator.advance(bucket)
+            window_records = [
+                record
+                for chunk in buckets[max(0, index - 2) : index + 1]
+                for record in chunk
+            ]
+            reference = aggregate_records(window_records)
+            live = aggregator.graph
+            assert set(live.nodes()) == set(reference.nodes())
+            for node in reference.nodes():
+                assert dict(live.out_neighbors(node)) == dict(
+                    reference.out_neighbors(node)
+                )
+
+    def test_bipartite_sliding(self):
+        rng = random.Random(31)
+        records = []
+        for window in range(4):
+            for _ in range(25):
+                records.append(
+                    EdgeRecord(
+                        time=float(window),
+                        src=f"u{rng.randint(0, 7)}",
+                        dst=f"t{rng.randint(0, 11)}",
+                        weight=rng.uniform(0.5, 2.0),
+                    )
+                )
+        records.sort()
+        sliding = GraphSequence.from_sliding_records(
+            records, num_windows=4, bipartite=True
+        )
+        stateless = split_records_into_windows(records, num_windows=4, bipartite=True)
+        for fresh, slid in zip(stateless, sliding):
+            assert isinstance(slid, BipartiteGraph)
+            # Surviving nodes keep their original insertion positions in
+            # the maintained graph, so compare partitions as sets.
+            assert set(slid.left_nodes) == set(fresh.left_nodes)
+            assert set(slid.right_nodes) == set(fresh.right_nodes)
+            for node in fresh.nodes():
+                assert dict(slid.out_neighbors(node)) == dict(
+                    fresh.out_neighbors(node)
+                )
+
+
+class TestStructuralCopy:
+    def test_copy_preserves_row_iteration_order(self):
+        graph = CommGraph()
+        graph.add_edge("a", "z", 1.0)
+        graph.add_edge("b", "z", 2.0)
+        graph.add_edge("a", "y", 3.0)
+        graph.remove_edge("a", "z")
+        graph.add_edge("a", "z", 4.0)  # repositioned to the end of a's row
+        clone = graph.copy()
+        for node in graph.nodes():
+            assert list(clone.out_neighbors(node).items()) == list(
+                graph.out_neighbors(node).items()
+            )
+            assert list(clone.in_neighbors(node).items()) == list(
+                graph.in_neighbors(node).items()
+            )
+
+    def test_copy_is_independent(self):
+        graph = CommGraph([("a", "b", 1.0)])
+        clone = graph.copy()
+        clone.add_edge("a", "c", 2.0)
+        assert not graph.has_edge("a", "c")
+
+    def test_bipartite_copy_keeps_partitions(self):
+        graph = BipartiteGraph([("u1", "t1", 1.0), ("u2", "t2", 2.0)])
+        clone = graph.copy()
+        assert isinstance(clone, BipartiteGraph)
+        assert clone.left_nodes == graph.left_nodes
+        assert clone.right_nodes == graph.right_nodes
+
+
+class TestCommonNodes:
+    def test_delta_tracked_matches_bruteforce(self):
+        records = random_trace(21)
+        sliding = GraphSequence.from_sliding_records(records, num_windows=6)
+        stateless = split_records_into_windows(records, num_windows=6)
+        assert sliding.common_nodes() == stateless.common_nodes()
+
+    def test_returns_list_in_first_window_order(self):
+        records = random_trace(22)
+        sequence = GraphSequence.from_sliding_records(records, num_windows=5)
+        common = sequence.common_nodes()
+        assert isinstance(common, list)
+        order = {node: i for i, node in enumerate(sequence[0].nodes())}
+        assert common == sorted(common, key=order.__getitem__)

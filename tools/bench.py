@@ -16,10 +16,17 @@ Benchmarked operations:
 - ``fig1_end_to_end`` / ``fig3_end_to_end``: full experiment drivers at
   small scale, serial vs. batch
 
+A second stage (``--stage incremental``) benchmarks the incremental
+sliding-window signature engine against per-window full recomputation on a
+backbone-plus-churn trace, asserts byte-identical outputs, and writes
+``benchmarks/perf/BENCH_incremental_engine.json``.
+
 Usage::
 
     python tools/bench.py                 # full run, n=2000 windows
     python tools/bench.py --quick         # CI smoke: small n, agreement only
+    python tools/bench.py --stage incremental   # delta-engine stage only
+    python tools/bench.py --stage all
     python tools/bench.py --output out.json
 """
 
@@ -44,7 +51,15 @@ from repro.core.properties import uniqueness_values
 from repro.core.signature import Signature
 
 DEFAULT_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_distance_kernels.json"
+INCREMENTAL_OUTPUT = (
+    REPO_ROOT / "benchmarks" / "perf" / "BENCH_incremental_engine.json"
+)
 AGREEMENT_TOLERANCE = 1e-9
+
+#: Incremental-engine acceptance gate: schemes whose mean dirty fraction is
+#: at most MAX_DIRTY_FRACTION must show at least MIN_INCREMENTAL_SPEEDUP.
+MIN_INCREMENTAL_SPEEDUP = 3.0
+MAX_DIRTY_FRACTION = 0.10
 
 
 def synthetic_window(count: int, k: int, seed: int, churn: float = 0.0) -> dict:
@@ -219,6 +234,127 @@ def bench_obs_overhead(n: int, k: int, repeats: int, records: list) -> None:
     )
 
 
+#: Scheme line-up for the incremental-engine stage.
+INCREMENTAL_SCHEMES = [
+    ("tt", {}),
+    ("ut", {}),
+    ("it", {}),
+    ("rwr", {"max_hops": 3}),
+    ("rwr-push", {}),
+]
+
+
+def incremental_trace(
+    num_nodes: int, num_windows: int, churn_fraction: float, seed: int
+) -> list:
+    """A backbone-plus-churn record trace for the incremental engine.
+
+    Every window repeats a stable weighted ring ``v_i -> v_{i+1}`` (so the
+    node set and dangling set never change and unchanged edges produce no
+    delta entries), plus a rotating block of ``churn_fraction * num_nodes``
+    extra edges whose position shifts each window — the sparse per-window
+    change a sliding deployment actually sees.
+    """
+    from repro.graph.stream import EdgeRecord
+
+    rng = random.Random(seed)
+    churn_size = max(1, int(num_nodes * churn_fraction))
+    records = []
+    for window in range(num_windows):
+        t = window + 0.5
+        for i in range(num_nodes):
+            records.append(
+                EdgeRecord(
+                    time=t,
+                    src=f"v{i}",
+                    dst=f"v{(i + 1) % num_nodes}",
+                    weight=1.0 + (i % 7) * 0.25,
+                )
+            )
+        start = (window * churn_size) % num_nodes
+        for j in range(churn_size):
+            records.append(
+                EdgeRecord(
+                    time=t,
+                    src=f"v{(start + j) % num_nodes}",
+                    dst=f"v{(start + j + num_nodes // 2) % num_nodes}",
+                    weight=rng.uniform(0.5, 3.0),
+                )
+            )
+    records.sort()
+    return records
+
+
+def bench_incremental(
+    num_nodes: int, num_windows: int, k: int, repeats: int, records_out: list
+) -> None:
+    """Incremental chained recompute vs. per-window full recompute.
+
+    Both passes run over identically-constructed sliding sequences and the
+    resulting signature maps are asserted equal window by window (the
+    engine's byte-identity contract).  ``dirty_fraction`` is the mean
+    fraction of the population each scheme recomputes per transition —
+    the quantity the speedup gate conditions on.
+    """
+    from repro.core.scheme import create_scheme
+    from repro.graph.windows import GraphSequence
+
+    trace = incremental_trace(num_nodes, num_windows, churn_fraction=0.01, seed=23)
+
+    def build_sequence() -> GraphSequence:
+        return GraphSequence.from_sliding_records(trace, num_windows=num_windows)
+
+    for name, params in INCREMENTAL_SCHEMES:
+        scheme = create_scheme(name, k=k, **params)
+        # Separate sequences per pass so neither benefits from matrix
+        # caches warmed by the other.
+        seq_full = build_sequence()
+        seq_inc = build_sequence()
+
+        full_wall, full_maps = timed(
+            lambda: [scheme.compute_all(graph) for graph in seq_full.graphs],
+            repeats=repeats,
+        )
+
+        def run_incremental():
+            maps = [scheme.compute_all(seq_inc.graphs[0])]
+            for t in range(1, len(seq_inc)):
+                maps.append(
+                    scheme.compute_all(
+                        seq_inc.graphs[t],
+                        delta=seq_inc.deltas[t - 1],
+                        previous=maps[-1],
+                    )
+                )
+            return maps
+
+        inc_wall, inc_maps = timed(run_incremental, repeats=repeats)
+        if full_maps != inc_maps:
+            raise AssertionError(
+                f"incremental engine diverged from full recompute for {name}"
+            )
+
+        dirty_total = 0
+        for t in range(1, len(seq_inc)):
+            dirty = scheme.dirty_nodes(seq_inc.graphs[t], seq_inc.deltas[t - 1])
+            dirty_total += num_nodes if dirty is None else len(dirty)
+        dirty_fraction = dirty_total / (num_nodes * (len(seq_inc) - 1))
+
+        records_out.append(
+            {
+                "op": "incremental_vs_full",
+                "scheme": scheme.describe(),
+                "n": num_nodes,
+                "windows": num_windows,
+                "dirty_fraction": round(dirty_fraction, 4),
+                "scalar_wall_s": round(full_wall, 6),
+                "batch_wall_s": round(inc_wall, 6),
+                "speedup": round(full_wall / inc_wall, 2),
+                "note": "scalar=full per-window recompute, batch=delta engine",
+            }
+        )
+
+
 def warm_up() -> None:
     """Prime BLAS threads / page caches so first-call cost is not timed."""
     signatures = synthetic_window(64, 10, seed=1)
@@ -228,32 +364,35 @@ def warm_up() -> None:
         uniqueness_values(signatures, distance)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="CI smoke mode: small windows, agreement checks only",
-    )
-    parser.add_argument("--n", type=int, default=2000, help="window size (hosts)")
-    parser.add_argument(
-        "--k",
-        type=int,
-        default=10,
-        help="signature length (default matches the experiments' NETWORK_K)",
-    )
-    parser.add_argument(
-        "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path"
-    )
-    parser.add_argument(
-        "--obs-out",
-        type=Path,
-        default=None,
-        help="collect kernel metrics/spans during the bench run and write "
-        "the repro.obs JSON payload here",
-    )
-    args = parser.parse_args(argv)
+def _write_payload(payload: dict, output: Path) -> None:
+    """Write a bench payload and mirror it to the repo root.
 
+    The mirror (``<repo>/BENCH_<name>.json``) keeps the cross-PR perf
+    trajectory greppable without digging into benchmarks/; diff it across
+    commits.
+    """
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    root_output = REPO_ROOT / f"BENCH_{payload['benchmark']}.json"
+    if root_output != output:
+        root_output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"mirrored bench record to {root_output}")
+    print(f"wrote {output}")
+
+
+def _print_records(records: list, label_key: str) -> None:
+    width = max(len(record["op"]) for record in records)
+    label_width = max(len(str(record[label_key])) for record in records)
+    for record in records:
+        print(
+            f"{record['op']:<{width}}  {str(record[label_key]):<{label_width}}"
+            f"  scalar {record['scalar_wall_s']:>9.4f}s"
+            f"  batch {record['batch_wall_s']:>9.4f}s"
+            f"  speedup {record['speedup']:>8.2f}x"
+        )
+
+
+def _run_kernels_stage(args) -> int:
     n = 200 if args.quick else args.n
     repeats = 1 if args.quick else 3
 
@@ -282,25 +421,8 @@ def main(argv=None) -> int:
         "agreement_tolerance": AGREEMENT_TOLERANCE,
         "results": records,
     }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    # Mirror the record to the repo root so the cross-PR perf trajectory is
-    # greppable without digging into benchmarks/ (BENCH_*.json is the
-    # per-benchmark convention; diff it across commits).
-    root_output = REPO_ROOT / f"BENCH_{payload['benchmark']}.json"
-    if root_output != args.output:
-        root_output.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"mirrored bench record to {root_output}")
-
-    width = max(len(record["op"]) for record in records)
-    for record in records:
-        print(
-            f"{record['op']:<{width}}  {record['distance']:<8}"
-            f"  scalar {record['scalar_wall_s']:>9.4f}s"
-            f"  batch {record['batch_wall_s']:>9.4f}s"
-            f"  speedup {record['speedup']:>8.2f}x"
-        )
-    print(f"\nwrote {args.output}")
+    _write_payload(payload, args.output if args.output else DEFAULT_OUTPUT)
+    _print_records(records, "distance")
 
     gate = [
         record
@@ -314,6 +436,104 @@ def main(argv=None) -> int:
         )
         return 1
     return 0
+
+
+def _run_incremental_stage(args) -> int:
+    num_nodes = 200 if args.quick else 1200
+    num_windows = 6 if args.quick else 10
+    repeats = 1 if args.quick else 3
+
+    records: list = []
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        with obs.span("bench.incremental_engine"):
+            bench_incremental(num_nodes, num_windows, args.k, repeats, records)
+    counters = {
+        key: value
+        for key, value in registry.counters_flat().items()
+        if key.startswith(("incremental.", "matrix_cache."))
+    }
+
+    payload = {
+        "benchmark": "incremental_engine",
+        "mode": "quick" if args.quick else "full",
+        "trace": {"nodes": num_nodes, "windows": num_windows, "churn_fraction": 0.01},
+        "gate": {
+            "min_speedup": MIN_INCREMENTAL_SPEEDUP,
+            "max_dirty_fraction": MAX_DIRTY_FRACTION,
+        },
+        "results": records,
+        "obs_counters": counters,
+    }
+    output = (
+        args.output
+        if args.output and args.stage == "incremental"
+        else INCREMENTAL_OUTPUT
+    )
+    _write_payload(payload, output)
+    _print_records(records, "scheme")
+    for record in records:
+        print(
+            f"  {record['scheme']}: dirty_fraction={record['dirty_fraction']:.3f}"
+        )
+
+    gate = [
+        record
+        for record in records
+        if record["dirty_fraction"] <= MAX_DIRTY_FRACTION
+        and record["speedup"] < MIN_INCREMENTAL_SPEEDUP
+    ]
+    if not args.quick and gate:
+        print(
+            f"FAIL: incremental speedup below {MIN_INCREMENTAL_SPEEDUP}x at "
+            f"<= {MAX_DIRTY_FRACTION:.0%} dirty for: "
+            + ", ".join(record["scheme"] for record in gate)
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small windows, agreement checks only",
+    )
+    parser.add_argument(
+        "--stage",
+        choices=("kernels", "incremental", "all"),
+        default="kernels",
+        help="which benchmark stage to run (default: kernels)",
+    )
+    parser.add_argument("--n", type=int, default=2000, help="window size (hosts)")
+    parser.add_argument(
+        "--k",
+        type=int,
+        default=10,
+        help="signature length (default matches the experiments' NETWORK_K)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="JSON output path (single-stage runs only; defaults per stage)",
+    )
+    parser.add_argument(
+        "--obs-out",
+        type=Path,
+        default=None,
+        help="collect kernel metrics/spans during the bench run and write "
+        "the repro.obs JSON payload here",
+    )
+    args = parser.parse_args(argv)
+
+    exit_code = 0
+    if args.stage in ("kernels", "all"):
+        exit_code |= _run_kernels_stage(args)
+    if args.stage in ("incremental", "all"):
+        exit_code |= _run_incremental_stage(args)
+    return exit_code
 
 
 if __name__ == "__main__":
