@@ -10,6 +10,7 @@ Examples::
     commgraph-signatures pipeline run --input trace.csv --checkpoint-dir ckpt \\
         --errors quarantine --error-budget 0.05
     commgraph-signatures pipeline resume --input trace.csv --checkpoint-dir ckpt
+    commgraph-signatures serve --port 8080 --shards 4 --input trace.csv
 """
 
 from __future__ import annotations
@@ -199,6 +200,54 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
     return result.report.summary()
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    """``serve``: run the resilient sharded signature service."""
+    from repro.pipeline import CsvRecordSource
+    from repro.service import ServiceConfig, ServiceServer, SignatureService
+
+    config = ServiceConfig(
+        scheme=args.scheme,
+        k=args.k,
+        num_shards=args.shards,
+        window_records=args.window_records,
+        queue_capacity=args.queue_capacity,
+        max_restarts=args.serve_max_restarts,
+        distance=args.serve_distance,
+    )
+    service = SignatureService(config, checkpoint_dir=args.checkpoint_dir)
+    if args.input:
+        # Pre-load a trace: admit it window by window so a file larger than
+        # the queue replays fully instead of tripping backpressure.
+        source = CsvRecordSource(args.input, errors="skip")
+        batch = []
+        for record in source.read():
+            batch.append(record)
+            if len(batch) >= config.window_records:
+                service.ingest(batch)
+                service.pump()
+                batch = []
+        if batch:
+            service.ingest(batch)
+            service.pump(force=True)
+        print(
+            f"replayed {args.input}: {service.supervisor.window + 1} windows closed"
+        )
+    with ServiceServer(service, host=args.host, port=args.port) as server:
+        print(f"signature service listening on {server.url}")
+        print(
+            "endpoints: /status /metrics /signature/<node> "
+            "/similar/<node>?k=N /anomaly/<node> (POST /ingest)"
+        )
+        try:
+            if args.serve_for is not None:
+                time.sleep(args.serve_for)
+            else:  # pragma: no cover - interactive path
+                while True:
+                    time.sleep(3600.0)
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -207,9 +256,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=sorted(_COMMANDS) + ["all", "list", "pipeline"],
+        choices=sorted(_COMMANDS) + ["all", "list", "pipeline", "serve"],
         help="which experiment to run ('all' runs everything, 'list' shows "
-        "options, 'pipeline' runs the fault-tolerant signature pipeline)",
+        "options, 'pipeline' runs the fault-tolerant signature pipeline, "
+        "'serve' starts the resilient sharded signature service)",
     )
     parser.add_argument(
         "action",
@@ -357,6 +407,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="retry attempts for transient IO failures (default: 4)",
     )
+    service_group = parser.add_argument_group("service options (serve)")
+    service_group.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    service_group.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port; 0 binds an ephemeral one (default: 8080)",
+    )
+    service_group.add_argument(
+        "--shards", type=int, default=4, help="shard engines (default: 4)"
+    )
+    service_group.add_argument(
+        "--window-records",
+        type=int,
+        default=256,
+        help="accepted records per global window (default: 256)",
+    )
+    service_group.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=4096,
+        help="ingest queue bound in records; beyond it POST /ingest "
+        "answers 429 (default: 4096)",
+    )
+    service_group.add_argument(
+        "--serve-max-restarts",
+        type=int,
+        default=2,
+        help="shard rebuild attempts per crash before DEGRADED (default: 2)",
+    )
+    service_group.add_argument(
+        "--serve-distance",
+        choices=("jaccard", "dice", "sdice", "shel"),
+        default="sdice",
+        help="distance for /similar and /anomaly (default: sdice)",
+    )
+    service_group.add_argument(
+        "--serve-for",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long (smoke tests / CI); default: serve forever",
+    )
     return parser
 
 
@@ -462,11 +557,19 @@ def main(argv=None) -> int:
     if args.command == "list":
         print("available experiments:", ", ".join(sorted(_COMMANDS)))
         print("pipeline commands: pipeline run, pipeline resume")
+        print("service command: serve")
         return 0
     if args.command == "pipeline":
         if not args.input or not args.checkpoint_dir:
             parser.error("pipeline requires --input and --checkpoint-dir")
         _run_with_observability(args, lambda: print(_cmd_pipeline(args)))
+        return 0
+    if args.command == "serve":
+        if not 0 <= args.port <= 65535:
+            parser.error(f"--port must be a TCP port (0..65535); got {args.port}")
+        if args.serve_for is not None and args.serve_for < 0:
+            parser.error(f"--serve-for must be >= 0; got {args.serve_for}")
+        _run_with_observability(args, lambda: _cmd_serve(args))
         return 0
     config = ExperimentConfig(
         scale=args.scale, jobs=args.jobs, incremental=args.incremental

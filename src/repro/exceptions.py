@@ -86,6 +86,38 @@ class CheckpointError(PipelineError):
     """Raised when checkpoint state is unusable (corrupt manifest, bad hash)."""
 
 
+class ServiceError(ReproError):
+    """Raised for online signature-service configuration or routing errors."""
+
+
+class BreakerOpen(ServiceError):
+    """Raised when a circuit breaker refuses a call to a protected shard.
+
+    Internal control flow for the service data plane: callers translate it
+    into a sketch-tier (degraded) answer rather than exposing it to clients.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"circuit breaker {name!r} is open")
+        self.name = name
+
+
+class ShardDown(ServiceError):
+    """Raised when a shard can answer neither exactly nor from sketches."""
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(f"shard {shard_id} is down")
+        self.shard_id = shard_id
+
+
+class ShardWedged(ServiceError):
+    """Raised by the chaos harness to model a wedged (hung/timing-out) shard.
+
+    A real deployment sees this as a call that never returns; the injectable
+    version raises instead so tests stay fast and deterministic.
+    """
+
+
 class ErrorBudgetExceeded(PipelineError):
     """Raised when rejected input records exceed the configured error budget.
 

@@ -35,7 +35,7 @@ from contextvars import ContextVar
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
-from repro.obs.registry import current_span_path
+from repro.obs.registry import counter as active_counter, current_span_path
 
 #: Event severities, least to most severe (numeric ranks for filtering).
 LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
@@ -56,6 +56,13 @@ class EventLog:
     one file) or any object with ``write(str)`` (e.g. ``io.StringIO``,
     ``sys.stderr``).  Events below ``level`` are dropped.  ``clock`` is
     injectable for deterministic tests.
+
+    Logging is best-effort: a sink whose ``write``/``flush`` raises (disk
+    full, rotated file handle, broken pipe) must never take down the
+    instrumented run, so the error is swallowed, the event counted in
+    :attr:`dropped_events` and — when a collecting registry is active —
+    in the ``log.dropped_events`` counter, which the usual metrics
+    exports then surface.
     """
 
     enabled = True
@@ -76,6 +83,8 @@ class EventLog:
         self._clock = clock
         self._lock = threading.Lock()
         self._seq = 0
+        #: Events lost to sink write/flush errors since construction.
+        self.dropped_events = 0
         if isinstance(sink, (str, Path)):
             self._handle = open(sink, "a", encoding="utf-8")
             self._owns_handle = True
@@ -108,10 +117,17 @@ class EventLog:
             # emitters get unique, ordered seq values.
             record["seq"] = self._seq
             self._seq += 1
-            self._handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
-            flush = getattr(self._handle, "flush", None)
-            if flush is not None:
-                flush()
+            try:
+                self._handle.write(
+                    json.dumps(record, sort_keys=True, default=str) + "\n"
+                )
+                flush = getattr(self._handle, "flush", None)
+                if flush is not None:
+                    flush()
+            except Exception:  # noqa: BLE001 - logging must never kill the run
+                self.dropped_events += 1
+                active_counter("log.dropped_events").inc()
+                return None
         return record
 
     def debug(self, event: str, **fields) -> Optional[Dict]:

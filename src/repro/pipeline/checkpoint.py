@@ -214,10 +214,22 @@ class CheckpointStore:
         return scan
 
     def load_window(self, window: int) -> Tuple[Dict[str, Signature], Dict]:
-        """Load one window's signatures and metadata, verifying structure."""
+        """Load one window's signatures and metadata.
+
+        Verifies structure *and* — when the manifest records this window —
+        the SHA-256 of the payload file, so bit rot that still parses as
+        JSON (a flipped digit in a weight, say) surfaces as
+        :class:`~repro.exceptions.CheckpointError` instead of a silently
+        wrong signature.
+        """
         path = self.window_path(window)
         if not path.exists():
             raise CheckpointError(f"no checkpoint for window {window} at {path}")
+        for entry in self._read_manifest_entries(strict=False):
+            if entry.window == window and file_sha256(path) != entry.sha256:
+                raise CheckpointError(
+                    f"checkpoint file {entry.file} failed hash verification"
+                )
         try:
             with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)

@@ -90,12 +90,35 @@ class FlakySource(RecordSource):
 
 
 class FlakyCheckpointStore(CheckpointStore):
-    """A checkpoint store whose first ``failures`` writes raise ``OSError``."""
+    """A checkpoint store with injectable save- and load-side faults.
 
-    def __init__(self, directory, failures: int = 1) -> None:
+    * the first ``failures`` writes raise ``OSError`` (transient disk
+      trouble, exercised by the pipeline's retry path);
+    * the first ``load_failures`` loads raise ``OSError`` (the file is
+      there but briefly unreadable);
+    * with ``corrupt_loads`` set, every load of a window in it first flips
+      a byte of the persisted payload on disk — the resume path must then
+      *detect* the damage through the SHA-256 manifest
+      (:meth:`~repro.pipeline.checkpoint.CheckpointStore.scan` refuses the
+      window; a direct ``load_window`` raises
+      :class:`~repro.exceptions.CheckpointError`), never return a silently
+      wrong answer.
+    """
+
+    def __init__(
+        self,
+        directory,
+        failures: int = 1,
+        *,
+        load_failures: int = 0,
+        corrupt_loads: tuple = (),
+    ) -> None:
         super().__init__(directory)
         self.remaining = failures
         self.attempts = 0
+        self.load_remaining = load_failures
+        self.load_attempts = 0
+        self.corrupt_loads = tuple(corrupt_loads)
 
     def save_window(self, window, signatures, meta=None, mode="exact") -> WindowEntry:
         self.attempts += 1
@@ -103,6 +126,31 @@ class FlakyCheckpointStore(CheckpointStore):
             self.remaining -= 1
             raise OSError("injected transient checkpoint-write failure")
         return super().save_window(window, signatures, meta, mode=mode)
+
+    def load_window(self, window):
+        self.load_attempts += 1
+        if self.load_remaining > 0:
+            self.load_remaining -= 1
+            raise OSError("injected transient checkpoint-read failure")
+        if window in self.corrupt_loads:
+            corrupt_checkpoint_file(self.window_path(window))
+        return super().load_window(window)
+
+
+def corrupt_checkpoint_file(path: str | Path, flip_at: int = 16) -> Path:
+    """Flip one byte of a checkpoint payload in place (bit rot, torn write).
+
+    The store's manifest is left untouched, so only SHA-256 verification —
+    not a parse error or luck — can catch the mismatch.  Returns the path.
+    """
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    if not data:
+        raise ValueError(f"checkpoint {target} is empty; nothing to corrupt")
+    position = min(flip_at, len(data) - 1)
+    data[position] ^= 0xFF
+    target.write_bytes(bytes(data))
+    return target
 
 
 # ----------------------------------------------------------------------

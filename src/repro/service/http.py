@@ -1,0 +1,212 @@
+"""HTTP shell of the signature service.
+
+:class:`SignatureService` composes the supervisor (control plane) with the
+frontend (data plane) and a background *pump* thread that closes windows
+whenever the ingest queue holds one; :class:`ServiceServer` bolts the
+stdlib ``ThreadingHTTPServer`` on top, following the ``obs.server`` split:
+all response logic lives in the socket-free
+:meth:`~repro.service.frontend.ServiceFrontend.respond`, the handler only
+moves bytes.
+
+Ingest is asynchronous by design: ``POST /ingest`` acknowledges admission
+to the bounded queue (202), and the pump applies whole windows to the
+shard fleet from a single thread — shard engines never see concurrent
+mutation, while any number of handler threads read consistent snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro import obs
+from repro.graph.stream import EdgeRecord
+from repro.service.config import ServiceConfig
+from repro.service.frontend import Response, ServiceFrontend
+from repro.service.supervisor import ShardSupervisor
+
+
+class SignatureService:
+    """The whole service minus sockets: supervisor + frontend + pump."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        checkpoint_dir: Optional[str | Path] = None,
+        registry: Optional[obs.MetricsRegistry] = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.supervisor = ShardSupervisor(
+            self.config, checkpoint_dir=checkpoint_dir, clock=clock, sleep=sleep
+        )
+        self.frontend = ServiceFrontend(
+            self.supervisor, self.config, registry=registry, clock=clock
+        )
+        self._pump_thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._pump_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Synchronous conveniences (tests, examples, CLI replay)
+    # ------------------------------------------------------------------
+    def ingest(self, records: Sequence[EdgeRecord]) -> bool:
+        """Offer records directly to the queue; ``False`` means backpressure."""
+        return self.frontend.queue.offer(records)
+
+    def pump(self, force: bool = False) -> int:
+        """Close all currently fillable windows (serialized with the thread)."""
+        with self._pump_lock:
+            return self.frontend.pump(force=force)
+
+    def respond(self, method: str, path: str, body: Optional[str] = None) -> Response:
+        return self.frontend.respond(method, path, body)
+
+    # ------------------------------------------------------------------
+    # Background pump
+    # ------------------------------------------------------------------
+    def start_pump(self, interval_s: float = 0.05) -> None:
+        """Run the window pump on a daemon thread until :meth:`stop_pump`."""
+        if self._pump_thread is not None:
+            raise RuntimeError("pump already running")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                if self.pump() == 0:
+                    self._stop.wait(interval_s)
+
+        self._pump_thread = threading.Thread(
+            target=loop, name="repro-service-pump", daemon=True
+        )
+        self._pump_thread.start()
+
+    def stop_pump(self, drain: bool = True) -> None:
+        """Stop the pump thread; with ``drain`` close a final short window."""
+        self._stop.set()
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=5.0)
+            self._pump_thread = None
+        if drain:
+            self.pump(force=True)
+
+
+class ServiceServer:
+    """Serve a :class:`SignatureService` over HTTP (stdlib only).
+
+    ``port=0`` binds an ephemeral port; read the bound one from ``.port``
+    after :meth:`start`.  The context manager starts both the listener and
+    the ingest pump, and drains the queue on exit.
+    """
+
+    def __init__(
+        self,
+        service: SignatureService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pump_interval_s: float = 0.05,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.pump_interval_s = pump_interval_s
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._log = obs.NULL_EVENT_LOG
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd.daemon_threads = True
+        # Handler threads start with a fresh contextvar context; capture the
+        # event log active now so request-path events still land somewhere.
+        self._log = obs.get_event_log()
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"repro-service-server:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        self.service.start_pump(self.pump_interval_s)
+        obs.emit("service.server.started", level="info", url=self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self.service.stop_pump(drain=True)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        obs.emit("service.server.stopped", level="info", url=self.url)
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def _make_handler(server: ServiceServer):
+    frontend = server.service.frontend
+
+    class _Handler(BaseHTTPRequestHandler):
+        # Load tests hammer the endpoints; per-request stderr noise helps
+        # nobody — route it to the captured event log instead.
+        def log_message(self, format: str, *args) -> None:
+            server._log.emit(
+                "service.server.request",
+                level="debug",
+                client=self.address_string(),
+                detail=format % args,
+            )
+
+        def _serve(self, method: str, body: Optional[str]) -> None:
+            try:
+                status, headers, payload = frontend.respond(method, self.path, body)
+            except Exception as error:  # noqa: BLE001 - must answer the socket
+                status = 500
+                headers = {"Content-Type": "application/json"}
+                payload = json.dumps({"error": str(error)}) + "\n"
+                server._log.emit(
+                    "service.server.error", level="error", error=str(error)
+                )
+            encoded = payload.encode("utf-8")
+            self.send_response(status)
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.send_header("Content-Length", str(len(encoded)))
+            self.end_headers()
+            self.wfile.write(encoded)
+
+        def do_GET(self) -> None:
+            self._serve("GET", None)
+
+        def do_POST(self) -> None:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length).decode("utf-8") if length else None
+            self._serve("POST", body)
+
+    return _Handler

@@ -1,0 +1,257 @@
+"""One shard of the online signature service.
+
+:class:`ShardEngine` is the exact tier: it owns a sliding-window aggregator
+(PR 5), the scheme's incremental ``compute_all`` chain, a per-shard
+checkpoint store (PR 1) and a per-shard metrics registry.  Service node ids
+are strings (they arrive over the wire), so the raw-keyed incremental chain
+and the string-keyed checkpoint payloads coincide — which is what lets a
+rebuilt engine seed its chain directly from verified checkpoints.
+
+:meth:`ShardEngine.rebuild` is the recovery path: given the shard's
+acknowledged ingest log (every bucket the supervisor accepted for it), it
+replays the aggregator to the exact graph state, reuses the longest
+hash-verified checkpoint prefix, recomputes only the unverified suffix, and
+re-persists it.  By the byte-identity contract of the incremental engine
+this reproduces the signatures of a shard that never crashed.
+
+:class:`SketchTier` is the degraded tier: per-window Count-Min / SpaceSaving
+(and Flajolet-Martin, for ``ut``) sketch builders fed from the same buckets.
+It is deliberately engine-independent so a shard whose exact engine is dead
+keeps answering — approximately, and saying so.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.core.distances import get_distance
+from repro.core.scheme import SignatureScheme, create_scheme
+from repro.core.signature import Signature
+from repro.exceptions import CheckpointError
+from repro.graph.stream import EdgeRecord
+from repro.graph.windows import SlidingWindowAggregator
+from repro.matching.index import SignatureIndex
+from repro.pipeline.checkpoint import CheckpointStore
+from repro.service.config import ServiceConfig
+from repro.streaming.stream_schemes import (
+    StreamingTopTalkers,
+    StreamingUnexpectedTalkers,
+)
+from repro.types import NodeId
+
+
+class ShardEngine:
+    """Exact incremental signature engine for one shard."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        config: ServiceConfig,
+        *,
+        store: Optional[CheckpointStore] = None,
+        registry: Optional[obs.MetricsRegistry] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        self.store = store
+        self.registry = registry if registry is not None else obs.MetricsRegistry()
+        self.scheme: SignatureScheme = create_scheme(
+            config.scheme, k=config.k, **config.scheme_params
+        )
+        self.aggregator = SlidingWindowAggregator(window_buckets=config.window_buckets)
+        #: Index of the last applied window; -1 before any bucket arrived.
+        self.window = -1
+        #: Current / previous window signatures, string-keyed.
+        self.signatures: Dict[str, Signature] = {}
+        self.prev_signatures: Dict[str, Signature] = {}
+        self._previous_raw: Optional[Dict[NodeId, Signature]] = None
+        self._index: Optional[SignatureIndex] = None
+        self._distance = get_distance(config.distance)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def apply(self, bucket: Sequence[EdgeRecord]) -> None:
+        """Advance one window with ``bucket`` and recompute signatures.
+
+        Records are sorted first (float aggregation is order-sensitive;
+        sorting makes output invariant to arrival order, exactly as the
+        pipeline does), then the scheme recomputes only its dirty set.
+        """
+        with obs.use_registry(self.registry):
+            self._apply(sorted(bucket))
+
+    def _apply(self, records: List[EdgeRecord]) -> None:
+        delta = self.aggregator.advance(records)
+        graph = self.aggregator.graph
+        use_delta = delta if (self._previous_raw is not None and self.window >= 0) else None
+        population = [node for node in graph.nodes() if graph.out_strength(node) > 0]
+        raw = self.scheme.compute_all(
+            graph, population, delta=use_delta, previous=self._previous_raw
+        )
+        self.window += 1
+        self.prev_signatures = self.signatures
+        self.signatures = {str(node): sig for node, sig in raw.items()}
+        self._previous_raw = raw
+        self._index = None
+        self.registry.counter("shard.windows").inc()
+        self.registry.counter("shard.records").inc(len(records))
+        self.registry.gauge("shard.nodes").set(graph.num_nodes)
+        self.registry.gauge("shard.edges").set(graph.num_edges)
+        if self.store is not None:
+            self.store.save_window(
+                self.window,
+                self.signatures,
+                meta={
+                    "shard": self.shard_id,
+                    "num_records": len(records),
+                    "num_nodes": graph.num_nodes,
+                    "num_edges": graph.num_edges,
+                },
+            )
+            self.registry.counter("shard.checkpoint_writes").inc()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def rebuild(self, buckets: Sequence[Sequence[EdgeRecord]]) -> List[str]:
+        """Restore engine state from the acknowledged ingest log.
+
+        Replays every bucket through a fresh aggregator (identical mutation
+        sequence, identical graph state).  Windows covered by the longest
+        hash-verified checkpoint prefix are *loaded*, not recomputed; the
+        rest — including any window whose checkpoint is missing or corrupt
+        — is recomputed through the incremental chain and re-persisted.
+        Returns the scan issues encountered (corrupt/missing checkpoints),
+        so the supervisor can surface them as health events.
+        """
+        issues: List[str] = []
+        verified = 0
+        if self.store is not None:
+            scan = self.store.scan()
+            issues.extend(scan.issues)
+            verified = min(scan.next_window, len(buckets))
+        with obs.use_registry(self.registry):
+            self._replay(buckets, verified)
+        if issues:
+            self.registry.counter("shard.checkpoint_issues").inc(len(issues))
+        self.registry.counter("shard.rebuilds").inc()
+        return issues
+
+    def _replay(
+        self, buckets: Sequence[Sequence[EdgeRecord]], verified: int
+    ) -> None:
+        for index, bucket in enumerate(buckets):
+            records = sorted(bucket)
+            delta = self.aggregator.advance(records)
+            graph = self.aggregator.graph
+            self.window = index
+            if index < verified:
+                # Checkpoint verified: loading reproduces the original
+                # signatures exactly (atomic JSON round-trip, canonical
+                # entry ordering), without recomputing the window.
+                assert self.store is not None
+                signatures, _meta = self.store.load_window(index)
+                raw: Dict[NodeId, Signature] = dict(signatures)
+            else:
+                use_delta = delta if (self._previous_raw is not None and index > 0) else None
+                population = [
+                    node for node in graph.nodes() if graph.out_strength(node) > 0
+                ]
+                raw = self.scheme.compute_all(
+                    graph, population, delta=use_delta, previous=self._previous_raw
+                )
+                if self.store is not None:
+                    # Heal the store: re-persist the recomputed window so the
+                    # directory converges back to the uninterrupted run's.
+                    self.store.save_window(
+                        index,
+                        {str(node): sig for node, sig in raw.items()},
+                        meta={"shard": self.shard_id, "recovered": True},
+                    )
+            self.prev_signatures = self.signatures
+            self.signatures = {str(node): sig for node, sig in raw.items()}
+            self._previous_raw = raw
+        self._index = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def signature(self, node: str) -> Optional[Signature]:
+        """The node's current-window signature, or ``None`` if unknown."""
+        return self.signatures.get(node)
+
+    def query_index(self) -> SignatureIndex:
+        """Similarity index over the current window (rebuilt lazily per window)."""
+        if self._index is None:
+            index = SignatureIndex(self._distance)
+            index.add_all(self.signatures.values())
+            self._index = index
+        return self._index
+
+    def persistence(self, node: str) -> Optional[float]:
+        """``1 - dist(sig_prev, sig_now)`` for the node, or ``None`` when the
+        node is missing from either of the last two windows."""
+        now = self.signatures.get(node)
+        prev = self.prev_signatures.get(node)
+        if now is None or prev is None:
+            return None
+        return 1.0 - self._distance(prev, now)
+
+
+class SketchTier:
+    """Per-window streaming sketches backing a shard's degraded answers.
+
+    Fed the same buckets as the exact engine but structurally independent
+    of it: rebuilding a crashed engine (or losing it for good) does not
+    disturb the sketch tier.  Each window's builder is reconstructed from
+    the retained last ``window_buckets`` buckets, mirroring the sliding
+    window without needing decrementable sketches.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self._buckets: Deque[List[EdgeRecord]] = deque(maxlen=config.window_buckets)
+        self.current: Optional[StreamingTopTalkers] = None
+        self.previous: Optional[StreamingTopTalkers] = None
+        self.window = -1
+
+    def _builder(self) -> StreamingTopTalkers:
+        cls = (
+            StreamingUnexpectedTalkers
+            if self.config.scheme == "ut"
+            else StreamingTopTalkers
+        )
+        return cls(
+            k=self.config.k,
+            epsilon=self.config.streaming_epsilon,
+            delta=self.config.streaming_delta,
+            seed=self.config.seed,
+        )
+
+    def advance(self, bucket: Sequence[EdgeRecord]) -> None:
+        """Roll the sketch window forward by one bucket."""
+        self._buckets.append(sorted(bucket))
+        builder = self._builder()
+        for held in self._buckets:
+            builder.observe_records(held)
+        self.previous = self.current
+        self.current = builder
+        self.window += 1
+
+    def signature(self, node: str) -> Optional[Signature]:
+        """Approximate signature for the node, ``None`` when never seen."""
+        if self.current is None or node not in self.current.sources:
+            return None
+        return self.current.signature(node)
+
+    def persistence(self, node: str) -> Optional[float]:
+        """Approximate persistence across the last two sketch windows."""
+        if self.current is None or self.previous is None:
+            return None
+        if node not in self.current.sources or node not in self.previous.sources:
+            return None
+        distance = get_distance(self.config.distance)
+        return 1.0 - distance(self.previous.signature(node), self.current.signature(node))

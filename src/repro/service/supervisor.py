@@ -1,0 +1,364 @@
+"""Shard supervision: routing, lockstep windows, restarts and escalation.
+
+:class:`ShardSupervisor` owns one :class:`~repro.service.shard.ShardEngine`
+plus one :class:`~repro.service.shard.SketchTier` per shard and applies
+every accepted window bucket to all of them in lockstep.  Its job is the
+failure envelope:
+
+* a shard whose engine raises mid-apply is **rebuilt** from the shard's
+  acknowledged ingest log (and verified checkpoints) under the PR 1
+  :class:`~repro.pipeline.retry.RetryPolicy` — backoff between attempts,
+  a bounded restart budget;
+* when the budget is exhausted the shard **escalates to DEGRADED**: the
+  engine is dropped and the sketch tier answers (flagged approximate)
+  until a later window's rebuild succeeds;
+* if even the sketch tier fails the shard is **DOWN** — it stops
+  answering, but its ingest log keeps accumulating so a later heal can
+  recover everything, and no other shard is affected.
+
+Acknowledged-ingest durability: a bucket is appended to the shard's log
+*before* the engine sees it, so a crash mid-apply can never lose accepted
+records — the rebuild replays the log including the in-flight bucket.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.graph.stream import EdgeRecord
+from repro.pipeline.checkpoint import CheckpointStore
+from repro.pipeline.retry import RetryPolicy, call_with_retry
+from repro.service.breaker import STATE_CLOSED, STATE_CODES, CircuitBreaker
+from repro.service.config import (
+    HEALTH_DEGRADED,
+    HEALTH_DOWN,
+    HEALTH_HEALTHY,
+    ServiceConfig,
+)
+from repro.service.shard import ShardEngine, SketchTier
+from repro.streaming.hashing import stable_hash64
+
+
+@dataclass
+class ShardState:
+    """Everything the supervisor tracks about one shard."""
+
+    shard_id: int
+    engine: Optional[ShardEngine]
+    sketch: SketchTier
+    breaker: CircuitBreaker
+    registry: obs.MetricsRegistry
+    store: Optional[CheckpointStore] = None
+    #: Supervision verdict from the ingest path (the breaker adds the
+    #: query-path view on top; see :meth:`ShardSupervisor.shard_health`).
+    health: str = HEALTH_HEALTHY
+    #: Acknowledged ingest log: every bucket routed to this shard, in order.
+    buckets: List[List[EdgeRecord]] = field(default_factory=list)
+    restarts: int = 0
+    last_error: str = ""
+    #: Chaos hook; ``None`` in production.
+    injector: Optional[object] = None
+
+    def records_ingested(self) -> int:
+        return sum(len(bucket) for bucket in self.buckets)
+
+
+class ShardSupervisor:
+    """Owns the shard fleet; applies windows, restarts and demotes shards."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        checkpoint_dir: Optional[str | Path] = None,
+        retry: Optional[RetryPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.retry = retry or RetryPolicy(
+            max_attempts=self.config.max_restarts + 1,
+            base_delay=self.config.restart_base_delay_s,
+            jitter=0.0,
+        )
+        self._clock = clock
+        self._sleep = sleep
+        #: Global window index; -1 before the first bucket closes.
+        self.window = -1
+        self.shards: List[ShardState] = [
+            self._new_state(shard_id) for shard_id in range(self.config.num_shards)
+        ]
+
+    def _new_state(self, shard_id: int) -> ShardState:
+        store = None
+        if self.checkpoint_dir is not None:
+            store = CheckpointStore(self.checkpoint_dir / f"shard-{shard_id:02d}")
+        registry = obs.MetricsRegistry()
+        return ShardState(
+            shard_id=shard_id,
+            engine=ShardEngine(
+                shard_id, self.config, store=store, registry=registry
+            ),
+            sketch=SketchTier(self.config),
+            breaker=CircuitBreaker(
+                self.config.breaker, name=f"shard-{shard_id}", clock=self._clock
+            ),
+            registry=registry,
+            store=store,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_for(self, node: str) -> int:
+        """Stable shard assignment of a node (hash of its string form)."""
+        return stable_hash64(str(node)) % self.config.num_shards
+
+    def state_for(self, node: str) -> ShardState:
+        return self.shards[self.shard_for(node)]
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, bucket: Sequence[EdgeRecord]) -> None:
+        """Close one global window: route the bucket and advance every shard.
+
+        Records are routed by source node (signatures are owner-centric);
+        every shard advances even on an empty sub-bucket so windows stay in
+        lockstep.  Shard failures are contained — one shard crashing,
+        degrading or going down never blocks the others.
+        """
+        self.window += 1
+        routed: Dict[int, List[EdgeRecord]] = {
+            state.shard_id: [] for state in self.shards
+        }
+        for record in bucket:
+            routed[self.shard_for(record.src)].append(record)
+        for state in self.shards:
+            sub = routed[state.shard_id]
+            # Acknowledge durability first: once logged, the records survive
+            # any engine crash below (the rebuild replays the log).
+            state.buckets.append(list(sub))
+            self._advance_sketch(state, sub)
+            self._advance_engine(state, sub)
+
+    def _advance_sketch(self, state: ShardState, sub: List[EdgeRecord]) -> None:
+        if state.health == HEALTH_DOWN:
+            return
+        try:
+            if state.injector is not None:
+                state.injector.on_sketch(state.shard_id, self.window)
+            state.sketch.advance(sub)
+        except Exception as error:  # noqa: BLE001 - escalation, not masking
+            state.health = HEALTH_DOWN
+            state.last_error = str(error)
+            obs.emit(
+                "service.shard.down",
+                level="error",
+                shard=state.shard_id,
+                window=self.window,
+                error=str(error),
+            )
+            state.registry.counter("shard.down_transitions").inc()
+
+    def _advance_engine(self, state: ShardState, sub: List[EdgeRecord]) -> None:
+        if state.health == HEALTH_DOWN:
+            return
+        if state.engine is None:
+            # Previously demoted: try one opportunistic rebuild per window,
+            # so clearing the underlying fault heals the shard.
+            self._try_restart(state, opportunistic=True)
+            return
+        try:
+            if state.injector is not None:
+                state.injector.on_apply(state.shard_id, self.window)
+            state.engine.apply(sub)
+        except Exception as error:  # noqa: BLE001 - supervised restart below
+            state.last_error = str(error)
+            obs.emit(
+                "service.shard.crashed",
+                level="error",
+                shard=state.shard_id,
+                window=self.window,
+                error=str(error),
+            )
+            state.registry.counter("shard.crashes").inc()
+            self._try_restart(state, opportunistic=False)
+
+    def _try_restart(self, state: ShardState, opportunistic: bool) -> None:
+        """Rebuild the shard engine under the retry policy; demote on failure."""
+
+        def attempt() -> ShardEngine:
+            state.restarts += 1
+            if state.injector is not None:
+                state.injector.on_rebuild(state.shard_id)
+            engine = ShardEngine(
+                state.shard_id, self.config, store=state.store, registry=state.registry
+            )
+            issues = engine.rebuild(state.buckets)
+            for issue in issues:
+                obs.emit(
+                    "service.shard.checkpoint_issue",
+                    level="warning",
+                    shard=state.shard_id,
+                    issue=issue,
+                )
+            return engine
+
+        def count_restart(attempt_no: int, error: BaseException, delay: float) -> None:
+            state.registry.counter("shard.restart_retries").inc()
+            obs.emit(
+                "service.shard.restart_retry",
+                level="warning",
+                shard=state.shard_id,
+                attempt=attempt_no,
+                error=str(error),
+                delay_s=round(delay, 6),
+            )
+
+        policy = (
+            RetryPolicy(max_attempts=1) if opportunistic else self.retry
+        )
+        try:
+            engine = call_with_retry(
+                attempt,
+                policy,
+                retry_on=(Exception,),
+                sleep=self._sleep,
+                clock=self._clock,
+                rng=self.config.seed + state.shard_id,
+                on_retry=count_restart,
+            )
+        except Exception as error:  # noqa: BLE001 - budget exhausted
+            state.engine = None
+            state.last_error = str(error)
+            if state.health != HEALTH_DEGRADED:
+                state.health = HEALTH_DEGRADED
+                obs.emit(
+                    "service.shard.degraded",
+                    level="error",
+                    shard=state.shard_id,
+                    window=self.window,
+                    error=str(error),
+                )
+                state.registry.counter("shard.degradations").inc()
+            return
+        state.engine = engine
+        if state.health != HEALTH_HEALTHY:
+            obs.emit(
+                "service.shard.recovered",
+                level="info",
+                shard=state.shard_id,
+                window=self.window,
+            )
+        state.health = HEALTH_HEALTHY
+        state.registry.counter("shard.restarts").inc()
+        obs.emit(
+            "service.shard.restarted",
+            level="info",
+            shard=state.shard_id,
+            window=self.window,
+        )
+
+    # ------------------------------------------------------------------
+    # Chaos / administration
+    # ------------------------------------------------------------------
+    def install_injector(self, shard_id: int, injector: Optional[object]) -> None:
+        """Attach (or with ``None``, remove) a chaos injector to one shard."""
+        self.shards[shard_id].injector = injector
+
+    def heal(self, shard_id: int) -> bool:
+        """Force one rebuild attempt for a demoted/down shard.
+
+        Returns whether the shard is HEALTHY afterwards.  A DOWN shard's
+        sketch tier is rebuilt from the retained recent buckets as well.
+        """
+        state = self.shards[shard_id]
+        if state.health == HEALTH_DOWN:
+            state.sketch = SketchTier(self.config)
+            recent = state.buckets[-self.config.window_buckets:]
+            for bucket in recent:
+                state.sketch.advance(bucket)
+            state.health = HEALTH_DEGRADED
+        self._try_restart(state, opportunistic=True)
+        return state.health == HEALTH_HEALTHY
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def shard_health(self, state: ShardState) -> str:
+        """Effective health: supervision verdict + breaker state.
+
+        An open (or half-open) breaker reports DEGRADED even while the
+        engine object is alive — clients are being served sketches either
+        way, and that is what health must describe.
+        """
+        if state.health == HEALTH_DOWN:
+            return HEALTH_DOWN
+        if state.health == HEALTH_DEGRADED or state.engine is None:
+            return HEALTH_DEGRADED
+        if state.breaker.state != STATE_CLOSED:
+            return HEALTH_DEGRADED
+        return HEALTH_HEALTHY
+
+    def status(self) -> Dict:
+        """Per-shard health/breaker/window snapshot for ``/status``."""
+        shards = []
+        for state in self.shards:
+            breaker_state = state.breaker.state
+            state.registry.gauge("shard.breaker_state").set(
+                STATE_CODES[breaker_state]
+            )
+            shards.append(
+                {
+                    "shard": state.shard_id,
+                    "health": self.shard_health(state),
+                    "breaker": breaker_state,
+                    "window": state.engine.window if state.engine else state.sketch.window,
+                    "exact_nodes": len(state.engine.signatures) if state.engine else 0,
+                    "records_ingested": state.records_ingested(),
+                    "restarts": state.restarts,
+                    "last_error": state.last_error,
+                }
+            )
+        return {
+            "window": self.window,
+            "num_shards": len(self.shards),
+            "shards": shards,
+        }
+
+    def metrics_snapshot(self) -> Dict:
+        """All shard registries merged into one snapshot (for ``/metrics``).
+
+        Each shard's metrics gain a ``shard`` label before merging, so
+        per-shard series stay distinguishable the Prometheus way instead
+        of blurring into one fleet-wide sum.
+        """
+        merged = obs.MetricsRegistry()
+        for state in self.shards:
+            snapshot = state.registry.snapshot()
+            label = str(state.shard_id)
+            merged.merge(
+                {
+                    "counters": [
+                        (name, {**labels, "shard": label}, value)
+                        for name, labels, value in snapshot["counters"]
+                    ],
+                    "gauges": [
+                        (name, {**labels, "shard": label}, value)
+                        for name, labels, value in snapshot["gauges"]
+                    ],
+                    "histograms": [
+                        (name, {**labels, "shard": label}, payload)
+                        for name, labels, payload in snapshot["histograms"]
+                    ],
+                    "spans": snapshot["spans"],
+                },
+                prefix=(f"shard-{state.shard_id}",),
+            )
+        return merged.snapshot()

@@ -132,6 +132,69 @@ class TestEventLog:
         assert len(first.run_id) == 12
 
 
+class BrokenSink(io.StringIO):
+    """A sink whose writes fail after the first ``good`` events (disk full)."""
+
+    def __init__(self, good=0):
+        super().__init__()
+        self.good = good
+        self.writes = 0
+
+    def write(self, text):
+        self.writes += 1
+        if self.writes > self.good:
+            raise OSError("injected: no space left on device")
+        return super().write(text)
+
+
+class TestBestEffortEmit:
+    def test_broken_sink_never_raises(self):
+        log, _sink = make_log(BrokenSink())
+        assert log.emit("pipeline.window", window=0) is None
+        assert log.emit("pipeline.window", window=1) is None
+        assert log.dropped_events == 2
+
+    def test_drops_are_counted_on_active_registry(self):
+        registry = obs.MetricsRegistry()
+        log, _sink = make_log(BrokenSink())
+        with obs.use_registry(registry):
+            log.emit("a")
+            log.emit("b")
+            log.emit("c")
+        assert log.dropped_events == 3
+        assert registry.counter_value("log.dropped_events") == 3
+
+    def test_instrumented_run_survives_sink_death_mid_run(self):
+        # The regression: a sink dying part-way through must lose only the
+        # later events — everything already written stays intact and the
+        # run continues emitting without an exception.
+        sink = BrokenSink(good=2)
+        log, _ = make_log(sink)
+        log.emit("pipeline.window", window=0)
+        log.emit("pipeline.window", window=1)
+        for window in range(2, 6):
+            assert log.emit("pipeline.window", window=window) is None
+        kept = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert [event["window"] for event in kept] == [0, 1]
+        assert log.dropped_events == 4
+
+    def test_flush_failure_counts_as_dropped(self):
+        class FlushBomb(io.StringIO):
+            def flush(self):
+                raise OSError("injected flush failure")
+
+        log, _sink = make_log(FlushBomb())
+        assert log.emit("a") is None
+        assert log.dropped_events == 1
+
+    def test_healthy_sink_drops_nothing(self):
+        log, buffer = make_log()
+        log.emit("a")
+        log.emit("b")
+        assert log.dropped_events == 0
+        assert len(events_of(buffer)) == 2
+
+
 class TestActiveLogRouting:
     def test_module_emit_is_noop_without_active_log(self):
         assert obs.emit("anything", x=1) is None

@@ -8,6 +8,7 @@ from repro.core.signature import Signature
 from repro.exceptions import CheckpointError
 from repro.ioutils import atomic_write, file_sha256
 from repro.pipeline.checkpoint import CheckpointStore
+from repro.pipeline.faults import FlakyCheckpointStore, corrupt_checkpoint_file
 
 
 def sigs(*owners):
@@ -123,3 +124,64 @@ class TestCheckpointStore:
         store.clear()
         assert store.scan().next_window == 0
         assert not store.manifest_path.exists()
+
+
+class TestLoadVerification:
+    """``load_window`` must verify the manifest digest, not trust the parse."""
+
+    def test_bit_flip_detected_by_hash(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_window(0, sigs("a", "b"))
+        corrupt_checkpoint_file(store.window_path(0))
+        with pytest.raises(CheckpointError, match="hash verification"):
+            store.load_window(0)
+
+    def test_valid_json_corruption_still_detected(self, tmp_path):
+        # The nasty case: the damaged file parses fine and would load into
+        # plausible signatures — only the SHA-256 check can catch it, and a
+        # silent wrong answer is exactly what must never happen.
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_window(0, sigs("a"))
+        path = store.window_path(0)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        for owner in document["signatures"].values():
+            for peer in owner:
+                owner[peer] = owner[peer] + 1.0
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(CheckpointError, match="hash verification"):
+            store.load_window(0)
+
+    def test_untouched_windows_still_load(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_window(0, sigs("a"))
+        store.save_window(1, sigs("b"))
+        corrupt_checkpoint_file(store.window_path(1))
+        signatures, _meta = store.load_window(0)
+        assert set(signatures) == {"a"}
+        with pytest.raises(CheckpointError):
+            store.load_window(1)
+
+
+class TestFlakyCheckpointStoreLoads:
+    """Load-side fault injection (the save side is covered by chaos tests)."""
+
+    def test_transient_load_failures_then_success(self, tmp_path):
+        store = FlakyCheckpointStore(tmp_path / "ckpt", failures=0, load_failures=2)
+        store.save_window(0, sigs("a"))
+        for _ in range(2):
+            with pytest.raises(OSError, match="injected transient"):
+                store.load_window(0)
+        signatures, _meta = store.load_window(0)
+        assert set(signatures) == {"a"}
+        assert store.load_attempts == 3
+
+    def test_corrupt_load_raises_never_lies(self, tmp_path):
+        store = FlakyCheckpointStore(tmp_path / "ckpt", failures=0, corrupt_loads=(1,))
+        store.save_window(0, sigs("a"))
+        store.save_window(1, sigs("b"))
+        signatures, _meta = store.load_window(0)
+        assert set(signatures) == {"a"}
+        with pytest.raises(CheckpointError, match="hash verification"):
+            store.load_window(1)
+        # After the injected bit rot, a rescan refuses the window too.
+        assert store.scan().next_window == 1

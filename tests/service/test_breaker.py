@@ -1,0 +1,195 @@
+"""Circuit breaker state machine under a manual clock."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import BreakerOpen, ServiceError
+from repro.service import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+
+
+def twitchy(clock, **overrides) -> CircuitBreaker:
+    policy = BreakerPolicy(
+        **{
+            "window": 8,
+            "min_calls": 2,
+            "failure_threshold": 0.5,
+            "open_for_s": 5.0,
+            "half_open_probes": 1,
+            **overrides,
+        }
+    )
+    return CircuitBreaker(policy, name="test", clock=clock)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = twitchy(clock)
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_min_calls_do_not_trip(self, clock):
+        breaker = twitchy(clock, min_calls=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+
+    def test_trips_at_failure_threshold(self, clock):
+        breaker = twitchy(clock)
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+        assert breaker.opened_count == 1
+
+    def test_successes_keep_it_closed(self, clock):
+        breaker = twitchy(clock)
+        for _ in range(20):
+            breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+
+    def test_slow_success_counts_as_failure(self, clock):
+        breaker = twitchy(clock, latency_threshold_s=0.1)
+        breaker.record_success(latency_s=0.5)
+        breaker.record_success(latency_s=0.5)
+        assert breaker.state == STATE_OPEN
+
+    def test_rolling_window_forgets_old_outcomes(self, clock):
+        breaker = twitchy(clock, window=4, min_calls=4, failure_threshold=1.0)
+        for _ in range(3):
+            breaker.record_failure()
+        for _ in range(4):
+            breaker.record_success()
+        breaker.record_failure()
+        # The window now holds 3 successes + 1 failure: under threshold.
+        assert breaker.state == STATE_CLOSED
+
+
+class TestOpenToHalfOpen:
+    def test_half_opens_on_schedule(self, clock):
+        breaker = twitchy(clock, open_for_s=5.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        clock.advance(4.9)
+        assert breaker.state == STATE_OPEN
+        clock.advance(0.2)
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_half_open_admits_limited_probes(self, clock):
+        breaker = twitchy(clock, half_open_probes=1)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.allow()          # the probe
+        assert not breaker.allow()      # no second probe in flight
+
+    def test_probe_success_closes(self, clock):
+        breaker = twitchy(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        # And the rolling window was cleared: one new failure cannot trip it
+        # on stale history.
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+
+    def test_probe_failure_reopens_and_restarts_timer(self, clock):
+        breaker = twitchy(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.opened_count == 2
+        clock.advance(4.0)
+        assert breaker.state == STATE_OPEN
+        clock.advance(1.5)
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_multi_probe_policy_needs_all_successes(self, clock):
+        breaker = twitchy(clock, half_open_probes=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == STATE_HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+
+
+class TestCall:
+    def test_call_records_and_propagates(self, clock):
+        breaker = twitchy(clock)
+        assert breaker.call(lambda: 42) == 42
+        assert breaker.call(lambda: 42) == 42
+        with pytest.raises(ValueError):
+            breaker.call(self._boom)
+        with pytest.raises(ValueError):
+            breaker.call(self._boom)
+        assert breaker.state == STATE_OPEN
+        with pytest.raises(BreakerOpen):
+            breaker.call(lambda: 42)
+
+    @staticmethod
+    def _boom():
+        raise ValueError("nope")
+
+    def test_failure_rate(self, clock):
+        breaker = twitchy(clock)
+        breaker.record_success()
+        breaker.record_success()
+        assert breaker.failure_rate() == 0.0
+
+    def test_thread_safety_smoke(self, clock):
+        breaker = twitchy(clock, window=64, min_calls=64, failure_threshold=1.0)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(200):
+                    if breaker.allow():
+                        breaker.record_success()
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert breaker.state == STATE_CLOSED
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"min_calls": 0},
+            {"window": 4, "min_calls": 5},
+            {"failure_threshold": 0.0},
+            {"failure_threshold": 1.5},
+            {"latency_threshold_s": 0.0},
+            {"open_for_s": 0.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_rejects_bad_policy(self, kwargs):
+        with pytest.raises(ServiceError):
+            BreakerPolicy(**kwargs)

@@ -1,0 +1,147 @@
+"""Concurrent access: readers hammer the service while ingest advances.
+
+The design claim under test (see :mod:`repro.service.http`): all shard
+mutation happens on the single pump thread, so any number of reader
+threads see *consistent snapshots* — a signature response is always one
+complete window's signature (never a half-built dict), and ``/status``
+never reports an impossible state.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.service import SignatureService
+
+HEALTHS = {"HEALTHY", "DEGRADED", "DOWN"}
+
+
+@pytest.fixture
+def service(small_config, records_factory):
+    service = SignatureService(small_config)
+    assert service.ingest(records_factory(60, nodes=12, seed=5))
+    service.pump()
+    return service
+
+
+def hammer(service, paths, stop, failures):
+    """Loop over ``paths`` until ``stop`` is set, recording any violation."""
+    seen_windows = {}
+    while not stop.is_set():
+        for path in paths:
+            try:
+                status, _headers, body = service.respond("GET", path)
+                check_response(path, status, body, seen_windows)
+            except Exception as error:  # noqa: BLE001 - collected for the assert
+                failures.append(f"{path}: {error!r}")
+                return
+
+
+def check_response(path, status, body, seen_windows):
+    # 503 is the documented shedding answer while the queue is hot — valid
+    # under concurrent ingest, as long as it parses and carries the reason.
+    if status not in (200, 404, 503):
+        raise AssertionError(f"unexpected status {status}")
+    document = json.loads(body)
+    if status == 503:
+        if "error" not in document:
+            raise AssertionError("503 without an error field")
+        return
+    if path == "/status" and status == 200:
+        if document["service"] not in HEALTHS:
+            raise AssertionError(f"bad service health {document['service']}")
+        # Windows only move forward: a later read on this thread must never
+        # see a shard go backwards (reads are lock-free, so one snapshot may
+        # straddle pump cycles — but time never reverses).
+        for shard in document["shards"]:
+            if shard["health"] not in HEALTHS:
+                raise AssertionError(f"bad shard health {shard['health']}")
+            last = seen_windows.get(shard["shard"], -1)
+            if shard["window"] < last:
+                raise AssertionError(
+                    f"shard {shard['shard']} window went backwards: "
+                    f"{last} -> {shard['window']}"
+                )
+            seen_windows[shard["shard"]] = shard["window"]
+    elif path.startswith("/signature/") and status == 200:
+        if not isinstance(document["signature"], dict):
+            raise AssertionError("signature is not a mapping")
+        if document["approximate"] is False and not document["signature"]:
+            raise AssertionError("exact answer with empty signature")
+        for dst, weight in document["signature"].items():
+            if not isinstance(dst, str) or not isinstance(weight, (int, float)):
+                raise AssertionError(f"malformed entry {dst!r}: {weight!r}")
+
+
+class TestConcurrentReads:
+    def test_readers_see_consistent_snapshots_during_ingest(
+        self, service, records_factory
+    ):
+        stop = threading.Event()
+        failures = []
+        nodes = [f"h{i}" for i in range(12)]
+        readers = [
+            threading.Thread(
+                target=hammer,
+                args=(
+                    service,
+                    [f"/signature/{node}" for node in nodes[offset::4]]
+                    + ["/status"],
+                    stop,
+                    failures,
+                ),
+                daemon=True,
+            )
+            for offset in range(4)
+        ]
+        for reader in readers:
+            reader.start()
+        try:
+            # Advance 20 windows under the readers' feet.
+            for step in range(20):
+                batch = records_factory(
+                    30, nodes=12, seed=step, start=100.0 * step
+                )
+                assert service.ingest(batch)
+                assert service.pump() == 1
+        finally:
+            stop.set()
+            for reader in readers:
+                reader.join(timeout=10)
+        assert not failures, failures
+        assert service.supervisor.window == 21
+
+    def test_concurrent_status_and_ingest_over_http_pump_thread(
+        self, service, records_factory
+    ):
+        """Same race, but with the real background pump thread mutating."""
+        stop = threading.Event()
+        failures = []
+        reader = threading.Thread(
+            target=hammer,
+            args=(service, ["/status", "/signature/h0"], stop, failures),
+            daemon=True,
+        )
+        service.start_pump(interval_s=0.001)
+        reader.start()
+        try:
+            for step in range(10):
+                batch = records_factory(
+                    30, nodes=12, seed=100 + step, start=5000.0 + 100.0 * step
+                )
+                # Honour backpressure like a real client: retry until the
+                # pump frees queue space.
+                for _ in range(1000):
+                    if service.ingest(batch):
+                        break
+                    time.sleep(0.001)
+                else:
+                    pytest.fail("queue never drained")
+        finally:
+            stop.set()
+            reader.join(timeout=10)
+            service.stop_pump(drain=True)
+        assert not failures, failures
+        assert service.supervisor.window == 11

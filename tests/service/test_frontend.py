@@ -1,0 +1,286 @@
+"""Data-plane contract: queue, backpressure, shedding, deadlines, fallbacks."""
+
+import json
+
+import pytest
+
+from repro.graph.stream import EdgeRecord
+from repro.service import (
+    BoundedIngestQueue,
+    KillShard,
+    ServiceConfig,
+    ServiceFrontend,
+    ShardSupervisor,
+    WedgeShard,
+    parse_ingest_body,
+)
+
+
+def build(config, clock=None):
+    supervisor = ShardSupervisor(config)
+    kwargs = {"clock": clock} if clock is not None else {}
+    return supervisor, ServiceFrontend(supervisor, config, **kwargs)
+
+
+def get_json(frontend, path):
+    status, headers, body = frontend.respond("GET", path)
+    return status, headers, json.loads(body)
+
+
+def fill(frontend, records_factory, count=120, seed=5):
+    frontend.queue.offer(records_factory(count, nodes=12, seed=seed))
+    frontend.pump()
+
+
+class TestQueue:
+    def test_all_or_nothing_offer(self):
+        queue = BoundedIngestQueue(10)
+        assert queue.offer([object()] * 6)
+        assert not queue.offer([object()] * 5)
+        assert len(queue) == 6
+        assert queue.accepted == 6
+        assert queue.rejected == 5
+
+    def test_take_respects_window_size(self):
+        queue = BoundedIngestQueue(10)
+        queue.offer(list(range(7)))
+        assert queue.take(5) == [0, 1, 2, 3, 4]
+        assert queue.take(5) is None
+        assert queue.take(5, force=True) == [5, 6]
+        assert queue.take(5, force=True) is None
+
+    def test_occupancy(self):
+        queue = BoundedIngestQueue(10)
+        queue.offer(list(range(8)))
+        assert queue.occupancy() == pytest.approx(0.8)
+
+
+class TestIngest:
+    def test_accepts_and_pumps(self, small_config, records_factory):
+        _supervisor, frontend = build(small_config)
+        records = records_factory(60, nodes=10, seed=3)
+        payload = json.dumps(
+            {"records": [[r.time, r.src, r.dst, r.weight] for r in records]}
+        )
+        status, _headers, body = frontend.respond("POST", "/ingest", payload)
+        assert status == 202
+        assert json.loads(body)["accepted"] == 60
+        assert frontend.pump() == 2
+
+    def test_object_records_and_default_weight(self, small_config):
+        _supervisor, frontend = build(small_config)
+        payload = json.dumps(
+            {"records": [{"time": 1.0, "src": "a", "dst": "b"}]}
+        )
+        status, _headers, _body = frontend.respond("POST", "/ingest", payload)
+        assert status == 202
+
+    def test_backpressure_429_with_retry_after(self, small_config, records_factory):
+        _supervisor, frontend = build(small_config)
+        frontend.queue.offer(records_factory(100, seed=1))
+        burst = records_factory(30, seed=2)
+        payload = json.dumps(
+            {"records": [[r.time, r.src, r.dst, r.weight] for r in burst]}
+        )
+        status, headers, body = frontend.respond("POST", "/ingest", payload)
+        assert status == 429
+        assert headers["Retry-After"] == "1"
+        document = json.loads(body)
+        assert document["queued"] == 100
+        assert document["capacity"] == 120
+        # Nothing was partially admitted.
+        assert len(frontend.queue) == 100
+
+    @pytest.mark.parametrize(
+        "body",
+        [None, "", "not json", '{"records": "nope"}', '{"records": [[1.0]]}', '{"nope": []}'],
+    )
+    def test_malformed_bodies_are_400(self, small_config, body):
+        _supervisor, frontend = build(small_config)
+        status, _headers, _body = frontend.respond("POST", "/ingest", body)
+        assert status == 400
+
+    def test_parse_ingest_body_coerces_node_ids(self):
+        records = parse_ingest_body('{"records": [[1.0, 7, 8, 2.0]]}')
+        assert records == [EdgeRecord(time=1.0, src="7", dst="8", weight=2.0)]
+
+
+class TestShedding:
+    def test_queries_shed_under_pressure_but_status_and_ingest_serve(
+        self, small_config, records_factory
+    ):
+        _supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        # 100/120 > 0.8 occupancy: query traffic sheds.
+        frontend.queue.offer(records_factory(100, seed=9))
+        status, headers, document = get_json(frontend, "/signature/h1")
+        assert status == 503
+        assert "Retry-After" in headers
+        status, _headers, document = get_json(frontend, "/status")
+        assert status == 200
+        assert document["queue"]["shedding"] is True
+        payload = json.dumps({"records": [[1.0, "a", "b", 1.0]]})
+        status, _headers, _body = frontend.respond("POST", "/ingest", payload)
+        assert status == 202  # ingest keeps landing until truly full
+
+
+class TestQueries:
+    def test_signature_roundtrip(self, small_config, records_factory):
+        supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        node = next(iter(supervisor.shards[0].engine.signatures))
+        status, _headers, document = get_json(frontend, f"/signature/{node}")
+        assert status == 200
+        assert document["node"] == node
+        assert document["approximate"] is False
+        assert document["signature"]
+        expected = dict(
+            supervisor.shards[0].engine.signatures[node].entries
+        )
+        assert document["signature"] == {
+            str(dst): weight for dst, weight in expected.items()
+        }
+
+    def test_unknown_node_404(self, small_config, records_factory):
+        _supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        status, _headers, document = get_json(frontend, "/signature/never-spoke")
+        assert status == 404
+
+    def test_similar_scatter_gather(self, small_config, records_factory):
+        supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        node = next(iter(supervisor.shards[0].engine.signatures))
+        status, _headers, document = get_json(frontend, f"/similar/{node}?k=4")
+        assert status == 200
+        assert document["partial"] is False
+        assert 1 <= len(document["similar"]) <= 4
+        distances = [entry["distance"] for entry in document["similar"]]
+        assert distances == sorted(distances)
+        assert all(entry["node"] != node for entry in document["similar"])
+
+    def test_similar_marks_partial_when_shard_degraded(
+        self, small_config, records_factory
+    ):
+        supervisor, frontend = build(small_config)
+        supervisor.install_injector(
+            1, KillShard(at_window=0, rebuild_failures=100)
+        )
+        fill(frontend, records_factory)
+        node = next(iter(supervisor.shards[0].engine.signatures))
+        status, _headers, document = get_json(frontend, f"/similar/{node}?k=4")
+        assert status == 200
+        assert document["partial"] is True
+        assert document["shards_skipped"] == [1]
+
+    def test_similar_validates_k(self, small_config, records_factory):
+        _supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        assert get_json(frontend, "/similar/h1?k=zero")[0] == 400
+        assert get_json(frontend, "/similar/h1?k=0")[0] == 400
+
+    def test_anomaly_contract(self, small_config, records_factory):
+        supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        persistent = next(
+            node
+            for node, _sig in supervisor.shards[0].engine.signatures.items()
+            if node in supervisor.shards[0].engine.prev_signatures
+        )
+        status, _headers, document = get_json(frontend, f"/anomaly/{persistent}")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert 0.0 <= document["persistence"] <= 1.0
+        assert document["anomalous"] == (
+            document["persistence"] < small_config.anomaly_threshold
+        )
+
+    def test_anomaly_insufficient_history(self, small_config, records_factory):
+        supervisor, frontend = build(small_config)
+        frontend.queue.offer(records_factory(30, nodes=6, seed=4))
+        frontend.pump()
+        node = next(iter(supervisor.shards[0].engine.signatures))
+        status, _headers, document = get_json(frontend, f"/anomaly/{node}")
+        assert status == 200
+        assert document["status"] == "insufficient-history"
+        assert document["persistence"] is None
+        assert document["anomalous"] is None
+
+
+class TestDegradedAnswers:
+    def test_wedged_shard_answers_approximately(self, small_config, records_factory):
+        supervisor, frontend = build(small_config)
+        supervisor.install_injector(0, WedgeShard(from_window=0))
+        fill(frontend, records_factory)
+        node = next(
+            f"h{i}" for i in range(12) if supervisor.shard_for(f"h{i}") == 0
+        )
+        status, _headers, document = get_json(frontend, f"/signature/{node}")
+        assert status == 200
+        assert document["approximate"] is True
+
+    def test_degraded_shard_answers_approximately(self, small_config, records_factory):
+        supervisor, frontend = build(small_config)
+        supervisor.install_injector(
+            2, KillShard(at_window=0, rebuild_failures=100)
+        )
+        fill(frontend, records_factory)
+        node = next(
+            f"h{i}" for i in range(12) if supervisor.shard_for(f"h{i}") == 2
+        )
+        status, _headers, document = get_json(frontend, f"/signature/{node}")
+        assert status == 200
+        assert document["approximate"] is True
+
+
+class TestProtocol:
+    def test_unknown_route_404(self, small_config):
+        _supervisor, frontend = build(small_config)
+        status, _headers, document = get_json(frontend, "/nope")
+        assert status == 404
+        assert "/status" in document["routes"]
+
+    def test_method_not_allowed(self, small_config):
+        _supervisor, frontend = build(small_config)
+        status, _headers, _body = frontend.respond("POST", "/status")
+        assert status == 404 or status == 405
+
+    def test_get_ingest_rejected(self, small_config):
+        _supervisor, frontend = build(small_config)
+        status, _headers, _body = frontend.respond("GET", "/ingest")
+        assert status in (404, 405)
+
+    def test_deadline_504(self, small_config, records_factory, clock):
+        config = small_config
+        supervisor = ShardSupervisor(config)
+        frontend = ServiceFrontend(supervisor, config, clock=clock)
+        frontend.queue.offer(records_factory(120, nodes=12, seed=5))
+        frontend.pump()
+        # from_window=-1: arm immediately (the injector is installed after
+        # the last window closed, so it never sees an on_apply).
+        slow = WedgeShard(from_window=-1, stall=lambda: clock.advance(10.0))
+        supervisor.install_injector(0, slow)
+        node = next(
+            f"h{i}" for i in range(12) if supervisor.shard_for(f"h{i}") == 0
+        )
+        status, _headers, body = frontend.respond("GET", f"/signature/{node}")
+        assert status == 504
+        assert "deadline" in json.loads(body)["error"]
+
+    def test_metrics_endpoint(self, small_config, records_factory):
+        _supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        get_json(frontend, "/status")
+        status, headers, body = frontend.respond("GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "service_requests" in body
+        assert "shard_windows" in body
+
+    def test_status_service_rollup(self, small_config, records_factory):
+        supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        assert get_json(frontend, "/status")[2]["service"] == "HEALTHY"
+        supervisor.shards[1].health = "DEGRADED"
+        supervisor.shards[1].engine = None
+        assert get_json(frontend, "/status")[2]["service"] == "DEGRADED"

@@ -305,3 +305,96 @@ class TestLiveObservabilityCli:
             == 0
         )
         assert out.exists()
+
+
+class TestServeCli:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.shards == 4
+        assert args.window_records == 256
+        assert args.queue_capacity == 4096
+        assert args.serve_max_restarts == 2
+        assert args.serve_distance == "sdice"
+        assert args.serve_for is None
+
+    def test_serve_flags_land_in_namespace(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "9000", "--shards", "8",
+                "--window-records", "64", "--queue-capacity", "512",
+                "--serve-max-restarts", "0", "--serve-distance", "jaccard",
+                "--serve-for", "1.5", "--scheme", "ut", "--k", "20",
+            ]
+        )
+        assert args.port == 9000
+        assert args.shards == 8
+        assert args.window_records == 64
+        assert args.queue_capacity == 512
+        assert args.serve_max_restarts == 0
+        assert args.serve_distance == "jaccard"
+        assert args.serve_for == 1.5
+        assert args.scheme == "ut"
+        assert args.k == 20
+
+    def test_serve_rejects_bad_port_and_duration(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--port", "70000", "--serve-for", "0"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--serve-for", "-1"])
+
+    def test_serve_rejects_unknown_distance(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--serve-distance", "cosine"])
+
+    def test_list_mentions_serve(self, capsys):
+        assert main(["list"]) == 0
+        assert "serve" in capsys.readouterr().out
+
+    def test_serve_replays_trace_and_serves_http(self, tmp_path, capsys):
+        import threading
+        import urllib.request
+
+        from repro.graph.stream import EdgeRecord, write_edge_records
+
+        trace = tmp_path / "trace.csv"
+        records = [
+            EdgeRecord(time=float(i), src=f"h{i % 5}", dst=f"e{i % 9}", weight=1.0)
+            for i in range(64)
+        ]
+        write_edge_records(records, trace)
+
+        statuses = {}
+
+        def probe():
+            # Wait for the "listening on" line to learn the ephemeral port.
+            for _ in range(400):
+                output = capsys.readouterr()
+                statuses.setdefault("stdout", "")
+                statuses["stdout"] += output.out
+                if "listening on" in statuses["stdout"]:
+                    break
+                threading.Event().wait(0.01)
+            for line in statuses["stdout"].splitlines():
+                if "listening on" in line:
+                    url = line.rsplit(" ", 1)[-1]
+                    with urllib.request.urlopen(f"{url}/status", timeout=5) as reply:
+                        statuses["code"] = reply.status
+                    return
+
+        prober = threading.Thread(target=probe, daemon=True)
+        prober.start()
+        assert (
+            main(
+                [
+                    "serve", "--input", str(trace), "--port", "0",
+                    "--window-records", "32", "--serve-for", "1.0",
+                ]
+            )
+            == 0
+        )
+        prober.join(timeout=5)
+        assert "replayed" in statuses["stdout"]
+        assert statuses.get("code") == 200
