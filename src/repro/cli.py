@@ -183,6 +183,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
         window_length=args.window_length,
         bipartite=args.bipartite,
         incremental=args.incremental,
+        strategy=args.strategy,
+        jobs=args.jobs if args.strategy == "shm" else 0,
         error_budget=args.error_budget,
         max_memory_cells=args.memory_budget,
         window_deadline=args.window_deadline,
@@ -213,6 +215,8 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         queue_capacity=args.queue_capacity,
         max_restarts=args.serve_max_restarts,
         distance=args.serve_distance,
+        strategy=args.strategy,
+        jobs=args.jobs if args.strategy == "shm" else 0,
     )
     service = SignatureService(config, checkpoint_dir=args.checkpoint_dir)
     if args.input:
@@ -281,6 +285,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the experiment grid: 1 = serial (default), "
         "N > 1 = up to N processes, 0 = one per CPU; results are "
         "deterministic regardless of the setting",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("serial", "shm"),
+        default="serial",
+        help="batch-recompute engine: 'serial' computes in-process (default), "
+        "'shm' fans signature batches out over a zero-copy shared-memory "
+        "worker pool sized by --jobs (0 = one worker per CPU); outputs "
+        "are byte-identical either way",
     )
     parser.add_argument(
         "--dataset",
@@ -572,7 +585,10 @@ def main(argv=None) -> int:
         _run_with_observability(args, lambda: _cmd_serve(args))
         return 0
     config = ExperimentConfig(
-        scale=args.scale, jobs=args.jobs, incremental=args.incremental
+        scale=args.scale,
+        jobs=args.jobs,
+        incremental=args.incremental,
+        strategy=args.strategy,
     )
     commands = sorted(_COMMANDS) if args.command == "all" else [args.command]
 

@@ -207,6 +207,14 @@ class RandomWalkWithResets(SignatureScheme):
             for index in np.flatnonzero(column > 0)
         }
 
+    def partition_batch_safe(self, graph: CommGraph) -> bool:
+        """Hop-limited walks run a fixed iteration count with column-local
+        arithmetic, so any partition of the targets reproduces the full
+        batch bit-for-bit.  The unbounded walk's convergence test maxes
+        over the whole batch — partitioning would change iteration counts
+        — so it must be dispatched as one work item."""
+        return self.max_hops is not None
+
     def _compute_batch(
         self, graph: CommGraph, targets: List[NodeId]
     ) -> Dict[NodeId, Signature]:

@@ -71,8 +71,11 @@ class SignatureScheme(abc.ABC):
         *,
         delta: Optional[WindowDelta] = None,
         previous: Optional[Mapping[NodeId, Signature]] = None,
+        strategy: str = "serial",
+        engine=None,
     ) -> Dict[NodeId, Signature]:
-        """Signatures for ``nodes`` (default: every node in the graph).
+        """Signatures for ``nodes`` (default: every node in the graph),
+        keyed in target order.
 
         **Incremental path**: when both ``delta`` (the
         :class:`~repro.graph.delta.WindowDelta` for ``G_t -> graph``) and
@@ -85,11 +88,23 @@ class SignatureScheme(abc.ABC):
         independent under the change fall back to a full recompute by
         returning ``None`` from :meth:`dirty_nodes`.
 
+        **Execution strategy**: ``strategy="serial"`` (default) computes
+        in-process; ``strategy="shm"`` partitions the batch — the full
+        target list or, combined with the incremental path, just the
+        dirty set — across a :class:`repro.parallel.shm.ShmEngine` worker
+        pool reading the graph from shared memory.  Results are
+        byte-identical either way.  ``engine`` optionally supplies the
+        engine (a caller-owned pool); otherwise the process-wide
+        :func:`repro.parallel.shm.default_engine` is used.
+
         Subclasses with batched implementations (e.g. matrix-based RWR)
         override :meth:`_compute_batch`; the contract is identical to
-        calling :meth:`compute` per node.
+        calling :meth:`compute` per node.  Schemes whose batched results
+        depend on the whole target list at once additionally override
+        :meth:`partition_batch_safe`.
         """
         targets: List[NodeId] = list(nodes) if nodes is not None else graph.nodes()
+        batch = self._batch_runner(graph, strategy, engine)
         if delta is not None and previous is not None:
             dirty = self.dirty_nodes(graph, delta)
             if dirty is not None:
@@ -97,7 +112,7 @@ class SignatureScheme(abc.ABC):
                 to_compute = [
                     node for node in targets if node in stale or node not in previous
                 ]
-                fresh = self._compute_batch(graph, to_compute)
+                fresh = batch(to_compute)
                 reused = len(targets) - len(to_compute)
                 obs.counter("incremental.dirty_nodes", scheme=self.name).inc(
                     len(to_compute)
@@ -109,7 +124,36 @@ class SignatureScheme(abc.ABC):
                     node: fresh[node] if node in fresh else previous[node]
                     for node in targets
                 }
-        return self._compute_batch(graph, targets)
+        full = batch(targets)
+        return {node: full[node] for node in targets}
+
+    def _batch_runner(self, graph: CommGraph, strategy: str, engine):
+        """Resolve ``strategy`` into a ``targets -> signatures`` callable."""
+        if strategy == "serial":
+            if engine is not None:
+                raise SchemeError("engine= is only meaningful with strategy='shm'")
+            return lambda targets: self._compute_batch(graph, targets)
+        if strategy == "shm":
+            if engine is None:
+                from repro.parallel.shm import default_engine
+
+                engine = default_engine()
+            return lambda targets: engine.compute_batch(self, graph, targets)
+        raise SchemeError(
+            f"unknown compute strategy {strategy!r}; expected 'serial' or 'shm'"
+        )
+
+    def partition_batch_safe(self, graph: CommGraph) -> bool:
+        """Whether :meth:`_compute_batch` applied to any partition of the
+        targets (results concatenated) equals one whole-batch call.
+
+        True for every per-node scheme — the base batch is a loop over
+        :meth:`compute`.  Schemes whose batched computation couples the
+        target list (unbounded RWR: the convergence test maxes over the
+        batch) return ``False``; the shared-memory engine then dispatches
+        the batch as a single work item instead of partitioning it.
+        """
+        return True
 
     def _compute_batch(
         self, graph: CommGraph, targets: List[NodeId]

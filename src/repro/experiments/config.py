@@ -48,6 +48,14 @@ class ExperimentConfig:
     through the delta engine (:func:`consecutive_signature_maps`): the
     second window's map reuses the first via the scheme's dirty set,
     byte-identical to a full recompute by the incremental contract.
+
+    ``strategy`` picks how signature batches are computed: ``"serial"``
+    in-process, or ``"shm"`` through the shared-memory engine
+    (:mod:`repro.parallel.shm`) — the graph is published once and
+    ``jobs`` workers recompute index ranges zero-copy.  With ``"shm"``
+    the experiment grid itself runs serially (the worker pool is the
+    parallelism), so ``jobs`` moves from grid cells to the engine;
+    results are byte-identical either way.
     """
 
     scale: str = "paper"
@@ -56,10 +64,22 @@ class ExperimentConfig:
     rwr_hops: Tuple[int, ...] = RWR_HOPS
     jobs: int = 1
     incremental: bool = False
+    strategy: str = "serial"
 
     def __post_init__(self) -> None:
         if self.scale not in ("paper", "small"):
             raise ExperimentError(f"unknown scale {self.scale!r}; use 'paper' or 'small'")
+        if self.strategy not in ("serial", "shm"):
+            raise ExperimentError(
+                f"unknown strategy {self.strategy!r}; use 'serial' or 'shm'"
+            )
+
+    @property
+    def cell_jobs(self) -> int:
+        """Process fan-out for grid cells: ``jobs`` under the serial
+        strategy, ``1`` under ``"shm"`` (the engine's pool owns the CPUs
+        — nesting a grid pool over it would oversubscribe)."""
+        return 1 if self.strategy == "shm" else self.jobs
 
 
 _ENTERPRISE_PARAMS: Dict[str, EnterpriseParams] = {
@@ -111,26 +131,46 @@ def consecutive_signature_maps(
     graph_next,
     population,
     incremental: bool = False,
+    strategy: str = "serial",
+    engine=None,
 ):
     """Signature maps for a consecutive window pair, optionally delta-reused.
 
     With ``incremental=True`` the second map is computed through
     ``compute_all(delta=..., previous=...)`` with the delta diffed from
-    the two graphs — recomputing only the scheme's dirty set.  The
-    incremental contract guarantees the result is byte-identical to the
-    full recompute, so experiment outputs do not depend on the flag.
+    the two graphs — recomputing only the scheme's dirty set.
+    ``strategy``/``engine`` are forwarded to ``compute_all`` so the
+    batches (or just the dirty set) can run on the shared-memory worker
+    pool.  Both knobs are byte-identical to the plain serial recompute,
+    so experiment outputs do not depend on them.
     """
     from repro.graph.delta import WindowDelta
 
-    signatures_now = scheme.compute_all(graph_now, population)
+    kwargs = {"strategy": strategy, "engine": engine} if strategy != "serial" else {}
+    signatures_now = scheme.compute_all(graph_now, population, **kwargs)
     if incremental:
         delta = WindowDelta.from_graphs(graph_now, graph_next)
         signatures_next = scheme.compute_all(
-            graph_next, population, delta=delta, previous=signatures_now
+            graph_next, population, delta=delta, previous=signatures_now, **kwargs
         )
     else:
-        signatures_next = scheme.compute_all(graph_next, population)
+        signatures_next = scheme.compute_all(graph_next, population, **kwargs)
     return signatures_now, signatures_next
+
+
+def cell_engine(config: ExperimentConfig):
+    """Shared-memory engine for an experiment grid cell (``None`` when the
+    strategy is serial).
+
+    Cells share the process-wide :func:`repro.parallel.shm.default_engine`
+    sized to ``config.jobs`` — one persistent worker pool and one graph
+    publication serve every (scheme, distance) cell of the grid.
+    """
+    if config.strategy != "shm":
+        return None
+    from repro.parallel.shm import default_engine
+
+    return default_engine(config.jobs)
 
 
 def make_schemes(

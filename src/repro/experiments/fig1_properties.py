@@ -19,6 +19,7 @@ from repro.experiments.config import (
     NETWORK_K,
     QUERYLOG_K,
     ExperimentConfig,
+    cell_engine as _cell_engine,
     consecutive_signature_maps,
     get_enterprise_dataset,
     get_querylog_dataset,
@@ -55,7 +56,13 @@ def _scheme_ellipses(
         graph_now, graph_next, population, k = _dataset_setup(dataset, config)
         scheme = make_schemes(k, config.reset_probability, config.rwr_hops)[scheme_label]
         signatures_now, signatures_next = consecutive_signature_maps(
-            scheme, graph_now, graph_next, population, config.incremental
+            scheme,
+            graph_now,
+            graph_next,
+            population,
+            config.incremental,
+            strategy=config.strategy,
+            engine=_cell_engine(config),
         )
         return [
             property_ellipse(
@@ -89,7 +96,7 @@ def run_fig1(
         per_scheme = parallel_map(
             _scheme_ellipses,
             [(dataset, config, label) for label in scheme_labels],
-            jobs=config.jobs,
+            jobs=config.cell_jobs,
             executor=executor,
         )
     return [ellipse for ellipses in per_scheme for ellipse in ellipses]

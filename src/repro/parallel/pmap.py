@@ -64,14 +64,33 @@ class SerialExecutor:
         return None
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine, not the process: in a
+    container pinned to 2 of 64 cores it says 64, and ``jobs=0`` would
+    spawn 64 workers fighting over 2 cores.  Prefer the scheduling
+    affinity mask where the platform exposes it (Linux), falling back to
+    ``os.cpu_count()`` elsewhere (macOS, Windows).
+    """
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return len(getter(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
 def effective_jobs(jobs: int) -> int:
-    """Resolve the ``jobs`` knob: ``0`` means one per CPU, negative is an error."""
+    """Resolve the ``jobs`` knob: ``0`` means one per *available* CPU
+    (CPU-affinity aware, see :func:`available_cpus`), negative is an error."""
     if jobs < 0:
         raise ValueError(
             f"jobs must be >= 0 (0 means one per CPU); got {jobs}"
         )
     if jobs == 0:
-        return os.cpu_count() or 1
+        return available_cpus()
     return jobs
 
 

@@ -102,6 +102,15 @@ class PipelineConfig:
     triggers; exceeding either routes the window through the streaming
     sketches instead of the exact scheme.
 
+    ``strategy="shm"`` advances windows through the shared-memory engine
+    (:mod:`repro.parallel.shm`): one persistent pool of ``jobs`` workers
+    (``0`` = all available CPUs) recomputes each window's population —
+    or, with ``incremental=True``, just the dirty set — over a zero-copy
+    publication of the window graph.  Signatures are byte-identical to
+    the serial run; schemes whose batches cannot be partitioned
+    (unbounded RWR on the non-incremental path) fall back to the serial
+    per-node loop.
+
     Live observability opt-ins: ``obs_port`` serves the run's *own*
     metrics registry over HTTP (``/metrics``, ``/healthz``,
     ``/snapshot.json``, ``/series.json``; 0 binds an ephemeral port) for
@@ -126,10 +135,18 @@ class PipelineConfig:
     seed: int = 0
     obs_port: Optional[int] = None
     sample_interval: Optional[float] = None
+    strategy: str = "serial"
+    jobs: int = 0
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise PipelineError(f"signature length k must be >= 1, got {self.k}")
+        if self.strategy not in ("serial", "shm"):
+            raise PipelineError(
+                f"unknown strategy {self.strategy!r}; use 'serial' or 'shm'"
+            )
+        if self.jobs < 0:
+            raise PipelineError(f"jobs must be >= 0 (0 = all CPUs), got {self.jobs}")
         if self.num_windows is not None and self.window_length is not None:
             raise PipelineError("give at most one of num_windows / window_length")
         if self.num_windows is not None and self.num_windows < 1:
@@ -193,6 +210,7 @@ class SignaturePipeline:
         hooks: Iterable[WindowHook] = (),
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        engine=None,
     ) -> None:
         self.source = source
         self.store = store
@@ -201,6 +219,10 @@ class SignaturePipeline:
         self.hooks: Tuple[WindowHook, ...] = tuple(hooks)
         self._clock = clock
         self._sleep = sleep
+        # Caller-owned shared-memory engine; engaged only under
+        # strategy="shm".  When None, run() creates (and closes) its own.
+        self._engine = engine
+        self._owns_engine = False
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -222,6 +244,21 @@ class SignaturePipeline:
         (:mod:`repro.obs.logs`); a no-op unless the caller installed one
         with ``obs.use_event_log``.
         """
+        if self.config.strategy == "shm" and self._engine is None:
+            from repro.parallel.shm import ShmEngine
+
+            self._engine = ShmEngine(jobs=self.config.jobs)
+            self._owns_engine = True
+        try:
+            return self._run_observed(resume)
+        finally:
+            if self._owns_engine:
+                self._engine.close()
+                self._engine = None
+                self._owns_engine = False
+
+    def _run_observed(self, resume: bool) -> PipelineResult:
+        """The body of :meth:`run`, once the compute engine is in place."""
         parent = obs.get_registry()
         local = obs.MetricsRegistry(profile=getattr(parent, "profile", False))
         store = obs.TimeSeriesStore()
@@ -485,8 +522,17 @@ class SignaturePipeline:
             state.aggregator.advance(sorted(buckets[index]))
         if start_window and replayed_modes[-1] == MODE_EXACT:
             graph = state.aggregator.graph
-            state.previous = scheme.compute_all(graph, self._population(graph))
+            state.previous = scheme.compute_all(
+                graph, self._population(graph), **self._compute_kwargs()
+            )
         return state
+
+    def _compute_kwargs(self) -> Dict:
+        """``compute_all`` strategy forwarding: the shm engine when one is
+        engaged, nothing otherwise."""
+        if self._engine is not None and self.config.strategy == "shm":
+            return {"strategy": "shm", "engine": self._engine}
+        return {}
 
     def _replay_checkpoints(
         self, num_windows: int, report: RunReport, result: PipelineResult
@@ -657,7 +703,11 @@ class SignaturePipeline:
             "incremental.reused_signatures", scheme=scheme.name
         )
         raw = scheme.compute_all(
-            graph, population, delta=use_delta, previous=inc.previous
+            graph,
+            population,
+            delta=use_delta,
+            previous=inc.previous,
+            **self._compute_kwargs(),
         )
         if use_delta is None:
             # Cold start (first window, or after a degraded window): the
@@ -684,8 +734,22 @@ class SignaturePipeline:
     def _compute_exact(
         self, graph: CommGraph, scheme: SignatureScheme, started: float
     ) -> Optional[Dict[str, Signature]]:
-        """Per-node exact signatures, or ``None`` if the deadline tripped."""
+        """Per-node exact signatures, or ``None`` if the deadline tripped.
+
+        With an shm engine engaged and a partition-safe scheme, the
+        population is fanned across the worker pool instead (identical
+        signatures; the deadline is checked after the batch).  Unbounded
+        RWR keeps the per-node loop — its batched iteration count is
+        population-coupled, so only the serial loop matches this path's
+        historical outputs.
+        """
         deadline = self.config.window_deadline
+        kwargs = self._compute_kwargs()
+        if kwargs and scheme.partition_batch_safe(graph):
+            raw = scheme.compute_all(graph, self._population(graph), **kwargs)
+            if deadline is not None and self._clock() - started > deadline:
+                return None
+            return {str(node): signature for node, signature in raw.items()}
         signatures: Dict[str, Signature] = {}
         for node in self._population(graph):
             if deadline is not None and self._clock() - started > deadline:

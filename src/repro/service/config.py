@@ -124,10 +124,22 @@ class ServiceConfig:
     streaming_epsilon: float = 0.005
     streaming_delta: float = 0.01
     seed: int = 0
+    #: ``"shm"`` advances shard windows through a shared
+    #: :class:`repro.parallel.shm.ShmEngine` pool (``jobs`` workers, 0 =
+    #: all CPUs) owned by the supervisor — shards stop serializing graphs
+    #: per recompute.  Signatures are byte-identical to ``"serial"``.
+    strategy: str = "serial"
+    jobs: int = 0
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ServiceError(f"signature length k must be >= 1, got {self.k}")
+        if self.strategy not in ("serial", "shm"):
+            raise ServiceError(
+                f"unknown strategy {self.strategy!r}; use 'serial' or 'shm'"
+            )
+        if self.jobs < 0:
+            raise ServiceError(f"jobs must be >= 0 (0 = all CPUs), got {self.jobs}")
         if self.num_shards < 1:
             raise ServiceError(f"num_shards must be >= 1, got {self.num_shards}")
         if self.window_records < 1:

@@ -96,6 +96,12 @@ class SignatureService:
         if drain:
             self.pump(force=True)
 
+    def close(self) -> None:
+        """Shut the service down: stop the pump (draining a final short
+        window) and release the supervisor's shared-memory pool, if any."""
+        self.stop_pump(drain=True)
+        self.supervisor.close()
+
 
 class ServiceServer:
     """Serve a :class:`SignatureService` over HTTP (stdlib only).
@@ -153,7 +159,7 @@ class ServiceServer:
     def stop(self) -> None:
         if self._httpd is None:
             return
-        self.service.stop_pump(drain=True)
+        self.service.close()
         self._httpd.shutdown()
         self._httpd.server_close()
         self._httpd = None

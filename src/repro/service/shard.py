@@ -52,10 +52,14 @@ class ShardEngine:
         *,
         store: Optional[CheckpointStore] = None,
         registry: Optional[obs.MetricsRegistry] = None,
+        shm_engine=None,
     ) -> None:
         self.shard_id = shard_id
         self.config = config
         self.store = store
+        # Supervisor-owned shared-memory pool (strategy="shm"); the shard
+        # never closes it — its lifecycle belongs to whoever shares it.
+        self._shm_engine = shm_engine
         self.registry = registry if registry is not None else obs.MetricsRegistry()
         self.scheme: SignatureScheme = create_scheme(
             config.scheme, k=config.k, **config.scheme_params
@@ -83,13 +87,24 @@ class ShardEngine:
         with obs.use_registry(self.registry):
             self._apply(sorted(bucket))
 
+    def _compute_kwargs(self) -> Dict:
+        """Forward the shared-memory strategy when the supervisor gave us
+        a pool (byte-identical results either way)."""
+        if self._shm_engine is not None and self.config.strategy == "shm":
+            return {"strategy": "shm", "engine": self._shm_engine}
+        return {}
+
     def _apply(self, records: List[EdgeRecord]) -> None:
         delta = self.aggregator.advance(records)
         graph = self.aggregator.graph
         use_delta = delta if (self._previous_raw is not None and self.window >= 0) else None
         population = [node for node in graph.nodes() if graph.out_strength(node) > 0]
         raw = self.scheme.compute_all(
-            graph, population, delta=use_delta, previous=self._previous_raw
+            graph,
+            population,
+            delta=use_delta,
+            previous=self._previous_raw,
+            **self._compute_kwargs(),
         )
         self.window += 1
         self.prev_signatures = self.signatures
@@ -161,7 +176,11 @@ class ShardEngine:
                     node for node in graph.nodes() if graph.out_strength(node) > 0
                 ]
                 raw = self.scheme.compute_all(
-                    graph, population, delta=use_delta, previous=self._previous_raw
+                    graph,
+                    population,
+                    delta=use_delta,
+                    previous=self._previous_raw,
+                    **self._compute_kwargs(),
                 )
                 if self.store is not None:
                     # Heal the store: re-persist the recomputed window so the

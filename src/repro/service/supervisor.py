@@ -88,11 +88,30 @@ class ShardSupervisor:
         )
         self._clock = clock
         self._sleep = sleep
+        # One shared-memory worker pool for the whole fleet: shards
+        # advance sequentially from the pump thread, so a single pool of
+        # config.jobs workers serves every shard's window recompute
+        # without serializing graphs (strategy="shm" only).
+        self._shm_engine = None
+        if self.config.strategy == "shm":
+            from repro.parallel.shm import ShmEngine
+
+            self._shm_engine = ShmEngine(jobs=self.config.jobs)
         #: Global window index; -1 before the first bucket closes.
         self.window = -1
         self.shards: List[ShardState] = [
             self._new_state(shard_id) for shard_id in range(self.config.num_shards)
         ]
+
+    def close(self) -> None:
+        """Release the shared-memory pool and its segments (idempotent).
+
+        Only needed under ``strategy="shm"``; serial supervisors hold no
+        process-level resources.
+        """
+        if self._shm_engine is not None:
+            self._shm_engine.close()
+            self._shm_engine = None
 
     def _new_state(self, shard_id: int) -> ShardState:
         store = None
@@ -102,7 +121,11 @@ class ShardSupervisor:
         return ShardState(
             shard_id=shard_id,
             engine=ShardEngine(
-                shard_id, self.config, store=store, registry=registry
+                shard_id,
+                self.config,
+                store=store,
+                registry=registry,
+                shm_engine=self._shm_engine,
             ),
             sketch=SketchTier(self.config),
             breaker=CircuitBreaker(
@@ -198,7 +221,11 @@ class ShardSupervisor:
             if state.injector is not None:
                 state.injector.on_rebuild(state.shard_id)
             engine = ShardEngine(
-                state.shard_id, self.config, store=state.store, registry=state.registry
+                state.shard_id,
+                self.config,
+                store=state.store,
+                registry=state.registry,
+                shm_engine=self._shm_engine,
             )
             issues = engine.rebuild(state.buckets)
             for issue in issues:

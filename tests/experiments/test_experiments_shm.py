@@ -1,0 +1,34 @@
+"""Experiment-grid integration of the shared-memory recompute engine."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentConfig, cell_engine
+from repro.experiments.fig1_properties import run_fig1
+from repro.parallel.shm import active_segment_names, reset_default_engine
+
+
+class TestExperimentShmStrategy:
+    def test_fig1_matches_serial(self):
+        serial = run_fig1("network", ExperimentConfig(scale="small"))
+        try:
+            shm = run_fig1(
+                "network", ExperimentConfig(scale="small", strategy="shm", jobs=2)
+            )
+        finally:
+            reset_default_engine()
+        assert shm == serial
+        assert active_segment_names() == []
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ExperimentError, match="strategy"):
+            ExperimentConfig(strategy="quantum")
+
+    def test_cell_jobs_collapses_under_shm(self):
+        # The engine pool owns the CPUs; nesting a grid process pool on
+        # top would oversubscribe, so grid cells run in-process.
+        assert ExperimentConfig(jobs=4).cell_jobs == 4
+        assert ExperimentConfig(jobs=4, strategy="shm").cell_jobs == 1
+
+    def test_cell_engine_none_when_serial(self):
+        assert cell_engine(ExperimentConfig()) is None

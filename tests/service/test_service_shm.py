@@ -1,0 +1,105 @@
+"""Service integration of the shared-memory recompute engine.
+
+The supervisor owns one :class:`ShmEngine` pool for the whole shard fleet
+(``strategy="shm"``); shards borrow it per window advance.  Signatures —
+including after a crash/rebuild cycle — must be byte-identical to the
+serial service, and closing the service must release the pool.
+"""
+
+import random
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.graph.stream import EdgeRecord
+from repro.parallel.shm import active_segment_names
+from repro.service import ServiceConfig, SignatureService
+
+
+def make_bucket(size, seed):
+    rng = random.Random(seed)
+    return [
+        EdgeRecord(
+            time=float(t),
+            src=f"h{rng.randrange(12)}",
+            dst=f"h{rng.randrange(12)}",
+            weight=float(rng.randrange(1, 5)),
+        )
+        for t in range(size)
+    ]
+
+
+def run_service(strategy, buckets=3):
+    config = ServiceConfig(
+        scheme="tt",
+        k=5,
+        num_shards=2,
+        window_records=32,
+        strategy=strategy,
+        jobs=2,
+    )
+    service = SignatureService(config)
+    try:
+        for seed in range(buckets):
+            assert service.ingest(make_bucket(32, seed))
+            service.pump()
+        return {
+            state.shard_id: {
+                node: sig.entries for node, sig in state.engine.signatures.items()
+            }
+            for state in service.supervisor.shards
+        }
+    finally:
+        service.close()
+
+
+class TestServiceShmStrategy:
+    def test_byte_identical_to_serial(self):
+        assert run_service("shm") == run_service("serial")
+
+    def test_close_releases_segments(self):
+        run_service("shm")
+        assert active_segment_names() == []
+
+    def test_close_is_idempotent(self):
+        config = ServiceConfig(strategy="shm", jobs=1)
+        service = SignatureService(config)
+        service.close()
+        service.close()
+
+    def test_rebuild_uses_shared_pool(self):
+        config = ServiceConfig(
+            scheme="tt", k=5, num_shards=1, window_records=32,
+            strategy="shm", jobs=2,
+        )
+        service = SignatureService(config)
+        try:
+            for seed in range(2):
+                service.ingest(make_bucket(32, seed))
+                service.pump()
+            state = service.supervisor.shards[0]
+            before = {n: s.entries for n, s in state.engine.signatures.items()}
+            # The restart path must construct the new engine with the same
+            # shared pool and converge to identical signatures.
+            service.supervisor._try_restart(state, opportunistic=False)
+            rebuilt = service.supervisor.shards[0].engine
+            assert rebuilt._shm_engine is service.supervisor._shm_engine
+            after = {n: s.entries for n, s in rebuilt.signatures.items()}
+            assert after == before
+        finally:
+            service.close()
+
+    def test_serial_config_has_no_pool(self):
+        service = SignatureService(ServiceConfig())
+        try:
+            assert service.supervisor._shm_engine is None
+        finally:
+            service.close()
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ServiceError, match="strategy"):
+            ServiceConfig(strategy="osmosis")
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ServiceError, match="jobs"):
+            ServiceConfig(jobs=-1)

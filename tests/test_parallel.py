@@ -8,7 +8,12 @@ from repro import obs
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig1_properties import run_fig1
 from repro.experiments.fig3_auc import run_fig3
-from repro.parallel import SerialExecutor, effective_jobs, parallel_map
+from repro.parallel import (
+    SerialExecutor,
+    available_cpus,
+    effective_jobs,
+    parallel_map,
+)
 
 
 def square(value):
@@ -164,9 +169,30 @@ class TestEffectiveJobs:
         assert effective_jobs(1) == 1
         assert effective_jobs(5) == 5
 
-    def test_zero_means_cpu_count(self):
-        expected = os.cpu_count() or 1
-        assert effective_jobs(0) == expected
+    def test_zero_means_available_cpus(self):
+        assert effective_jobs(0) == available_cpus()
+
+    def test_affinity_mask_wins_over_cpu_count(self, monkeypatch):
+        # In a container pinned to 3 of N cores, jobs=0 must mean 3 workers
+        # (os.cpu_count() reports the machine, not the process).
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert available_cpus() == 3
+        assert effective_jobs(0) == 3
+
+    def test_cpu_count_fallback_without_affinity(self, monkeypatch):
+        # macOS / Windows have no sched_getaffinity.
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert available_cpus() == 6
+        assert effective_jobs(0) == 6
+
+    def test_cpu_count_none_means_one(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert available_cpus() == 1
 
     def test_negative_is_an_error(self):
         # Only 0 means auto; a negative count is almost certainly a typo and

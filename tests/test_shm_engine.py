@@ -1,0 +1,390 @@
+"""Tests for the zero-copy shared-memory recompute engine.
+
+The engine's whole contract is *byte-identity with the serial path plus
+guaranteed segment cleanup*, so most tests here compare against
+``compute_all`` directly (object equality on :class:`Signature`, entry
+tuples included) and then assert that no ``/dev/shm`` segment outlives
+its manifest — including when a worker dies mid-dispatch.
+"""
+
+import os
+import random
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.packed import SignaturePack, cross_pair_distances
+from repro.core.scheme import create_scheme
+from repro.core.signature import Signature
+from repro.core.top_talkers import TopTalkers
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.comm_graph import CommGraph
+from repro.graph.windows import GraphSequence
+from repro.graph.stream import EdgeRecord
+from repro.parallel.shm import (
+    ShmEngine,
+    ShmError,
+    active_segment_names,
+    attach_graph,
+    attach_pack,
+    default_engine,
+    publish_graph,
+    publish_pack,
+    release_manifest,
+    reset_default_engine,
+)
+
+SCHEME_GRID = [
+    ("tt", {}),
+    ("ut", {}),
+    ("it", {}),
+    ("rwr", {"max_hops": 3}),
+    ("rwr", {}),  # unbounded: not partition-safe, runs whole-batch
+]
+
+
+def random_graph(seed, num_nodes=40, num_edges=160):
+    rng = random.Random(seed)
+    graph = CommGraph()
+    for _ in range(num_edges):
+        src = f"h{rng.randrange(num_nodes)}"
+        dst = f"h{rng.randrange(num_nodes)}"
+        if src != dst:
+            graph.add_edge(src, dst, rng.uniform(0.25, 9.0))
+    return graph
+
+
+def random_bipartite(seed, users=12, hosts=8, num_edges=60):
+    rng = random.Random(seed)
+    graph = BipartiteGraph()
+    for _ in range(num_edges):
+        graph.add_edge(
+            f"u{rng.randrange(users)}", f"s{rng.randrange(hosts)}", rng.uniform(0.5, 4.0)
+        )
+    return graph
+
+
+def population(graph):
+    return [node for node in graph.nodes() if graph.out_strength(node) > 0]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    # Tiny message size forces multi-chunk dispatches even on small graphs,
+    # exercising the merge path; 2 workers exercises real cross-process IPC.
+    with ShmEngine(jobs=2, message_size=7) as shared:
+        yield shared
+
+
+class CrashScheme(TopTalkers):
+    """A scheme whose batch kernel kills its worker process outright."""
+
+    name = "crash"
+
+    def _compute_batch(self, graph, nodes):
+        os._exit(13)
+
+
+class TestManifestRoundTrip:
+    def test_graph_roundtrip_is_exact(self):
+        graph = random_graph(3)
+        manifest = publish_graph(graph)
+        try:
+            clone = attach_graph(manifest)
+            assert list(clone.nodes()) == list(graph.nodes())
+            assert clone.num_edges == graph.num_edges
+            assert clone.total_weight == graph.total_weight
+            for node in graph.nodes():
+                # Insertion order AND exact float weights must survive.
+                assert list(clone.out_neighbors(node).items()) == list(
+                    graph.out_neighbors(node).items()
+                )
+                assert list(clone.in_neighbors(node).items()) == list(
+                    graph.in_neighbors(node).items()
+                )
+        finally:
+            release_manifest(manifest)
+
+    def test_bipartite_roundtrip_keeps_sides(self):
+        graph = random_bipartite(4)
+        manifest = publish_graph(graph)
+        try:
+            clone = attach_graph(manifest)
+            assert isinstance(clone, BipartiteGraph)
+            assert clone.left_nodes == graph.left_nodes
+            assert clone.right_nodes == graph.right_nodes
+        finally:
+            release_manifest(manifest)
+
+    def test_pack_roundtrip_is_exact(self):
+        signatures = {
+            f"v{i}": Signature(f"v{i}", {f"m{j}": float(j + 1) for j in range(i % 4)})
+            for i in range(10)
+        }
+        pack = SignaturePack.from_signatures(signatures)
+        manifest = publish_pack(pack)
+        try:
+            clone = attach_pack(manifest)
+            assert clone.owners == pack.owners
+            assert clone.signatures == pack.signatures
+            assert np.array_equal(clone.matrix.toarray(), pack.matrix.toarray())
+        finally:
+            release_manifest(manifest)
+
+    def test_release_unlinks_segments(self):
+        manifest = publish_graph(random_graph(5))
+        assert active_segment_names()
+        release_manifest(manifest)
+        assert active_segment_names() == []
+
+
+class TestComputeEquivalence:
+    @pytest.mark.parametrize("name,params", SCHEME_GRID)
+    def test_byte_identical_to_serial(self, engine, name, params):
+        scheme = create_scheme(name, k=5, **params)
+        graph = random_graph(11)
+        targets = population(graph)
+        serial = scheme.compute_all(graph, targets)
+        parallel = engine.compute_batch(scheme, graph, targets)
+        assert list(parallel) == list(serial)  # same dict ordering
+        assert parallel == serial
+        for node in serial:
+            assert parallel[node].entries == serial[node].entries
+
+    def test_bipartite_byte_identical(self, engine):
+        scheme = create_scheme("rwr", k=4, max_hops=3)
+        graph = random_bipartite(12)
+        targets = graph.left_nodes
+        serial = scheme.compute_all(graph, targets)
+        parallel = engine.compute_batch(scheme, graph, targets)
+        assert parallel == serial
+
+    def test_strategy_kwarg_routes_through_engine(self, engine):
+        scheme = create_scheme("tt", k=5)
+        graph = random_graph(13)
+        serial = scheme.compute_all(graph)
+        parallel = scheme.compute_all(graph, strategy="shm", engine=engine)
+        assert parallel == serial
+
+    def test_delta_path_byte_identical(self, engine):
+        rng = random.Random(17)
+        records = [
+            EdgeRecord(
+                time=t + 0.5,
+                src=f"h{rng.randrange(25)}",
+                dst=f"h{rng.randrange(25)}",
+                weight=rng.uniform(0.5, 4.0),
+            )
+            for t in range(4)
+            for _ in range(80)
+        ]
+        records.sort()
+        sequence = GraphSequence.from_sliding_records(records, num_windows=4)
+        scheme = create_scheme("tt", k=5)
+
+        def chain(**kwargs):
+            maps = [scheme.compute_all(sequence.graphs[0], **kwargs)]
+            for t in range(1, len(sequence)):
+                maps.append(
+                    scheme.compute_all(
+                        sequence.graphs[t],
+                        delta=sequence.deltas[t - 1],
+                        previous=maps[-1],
+                        **kwargs,
+                    )
+                )
+            return maps
+
+        assert chain(strategy="shm", engine=engine) == chain()
+
+    def test_randomized_property_all_schemes(self, engine):
+        # The property the whole PR hangs on: for any graph and any
+        # partitioning geometry the engine output is the serial output.
+        for seed in range(6):
+            graph = random_graph(100 + seed, num_nodes=30, num_edges=120)
+            targets = population(graph)
+            for name, params in SCHEME_GRID:
+                scheme = create_scheme(name, k=4, **params)
+                serial = scheme.compute_all(graph, targets)
+                parallel = engine.compute_batch(scheme, graph, targets)
+                assert parallel == serial, (seed, name, params)
+
+    def test_unknown_strategy_rejected(self):
+        from repro.exceptions import SchemeError
+
+        scheme = create_scheme("tt", k=3)
+        with pytest.raises(SchemeError, match="strategy"):
+            scheme.compute_all(random_graph(1), strategy="carrier-pigeon")
+
+    def test_engine_with_serial_strategy_rejected(self, engine):
+        from repro.exceptions import SchemeError
+
+        scheme = create_scheme("tt", k=3)
+        with pytest.raises(SchemeError, match="engine"):
+            scheme.compute_all(random_graph(1), strategy="serial", engine=engine)
+
+
+class TestPartitionSafety:
+    def test_base_schemes_partition_safe(self):
+        graph = random_graph(2)
+        for name in ("tt", "ut", "it"):
+            assert create_scheme(name, k=3).partition_batch_safe(graph)
+
+    def test_rwr_hop_limited_safe_unbounded_not(self):
+        graph = random_graph(2)
+        assert create_scheme("rwr", k=3, max_hops=3).partition_batch_safe(graph)
+        assert not create_scheme("rwr", k=3).partition_batch_safe(graph)
+
+    def test_unbounded_rwr_runs_as_single_task(self, engine):
+        scheme = create_scheme("rwr", k=4)
+        graph = random_graph(21)
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            result = engine.compute_batch(scheme, graph, population(graph))
+        assert result == scheme.compute_all(graph, population(graph))
+        assert registry.counter_value("shm.tasks", op="compute") == 1
+
+
+class TestPairDistances:
+    def test_matches_cross_pair_distances(self, engine):
+        rng = random.Random(31)
+        sigs_a = {
+            f"v{i}": Signature(
+                f"v{i}", {f"m{rng.randrange(20)}": rng.uniform(0.1, 5.0) for _ in range(4)}
+            )
+            for i in range(25)
+        }
+        sigs_b = {
+            owner: Signature(
+                owner, {f"m{rng.randrange(20)}": rng.uniform(0.1, 5.0) for _ in range(4)}
+            )
+            for owner in sigs_a
+        }
+        pack_a = SignaturePack.from_signatures(sigs_a)
+        pack_b = SignaturePack.from_signatures(sigs_b, order=pack_a.owners)
+        rows = np.arange(len(pack_a))
+        for metric in ("jaccard", "dice", "sdice", "shel"):
+            expected = cross_pair_distances(pack_a, pack_b, rows, rows, metric)
+            actual = engine.pair_distances(pack_a, pack_b, rows, rows, metric)
+            assert np.array_equal(actual, expected)
+
+
+class TestLifecycle:
+    def test_context_manager_cleans_up(self):
+        with ShmEngine(jobs=2) as local:
+            local.compute_batch(create_scheme("tt", k=3), random_graph(41), None)
+            names = local.segment_names()
+            assert names
+        assert local.closed
+        for name in names:
+            assert not Path("/dev/shm", name).exists()
+
+    def test_compute_after_close_raises(self):
+        local = ShmEngine(jobs=1)
+        local.close()
+        with pytest.raises(ShmError, match="closed"):
+            local.compute_batch(create_scheme("tt", k=3), random_graph(42), None)
+
+    def test_close_is_idempotent(self):
+        local = ShmEngine(jobs=1)
+        local.close()
+        local.close()
+
+    def test_worker_crash_cleans_segments_and_pool_recovers(self):
+        local = ShmEngine(jobs=2)
+        graph = random_graph(43)
+        with pytest.raises(BrokenProcessPool):
+            local.compute_batch(CrashScheme(k=3), graph, population(graph))
+        # Segments survive the crash (the parent owns them) ...
+        names = local.segment_names()
+        assert names
+        # ... the next dispatch transparently rebuilds the pool ...
+        scheme = create_scheme("tt", k=3)
+        assert local.compute_batch(scheme, graph, None) == scheme.compute_all(graph)
+        # ... and close() unlinks everything, worker corpses included.
+        local.close()
+        for name in names:
+            assert not Path("/dev/shm", name).exists()
+        assert local.segment_names() == []
+
+    def test_default_engine_reuse_and_reset(self):
+        reset_default_engine()
+        first = default_engine(jobs=2)
+        assert default_engine(jobs=2) is first
+        other = default_engine(jobs=1)  # parameter change -> new engine
+        assert other is not first
+        assert first.closed
+        reset_default_engine()
+        assert other.closed
+
+    def test_graph_version_bump_invalidates_cached_manifest(self, engine):
+        scheme = create_scheme("tt", k=3)
+        graph = random_graph(44)
+        before = engine.compute_batch(scheme, graph, None)
+        assert before == scheme.compute_all(graph)
+        graph.add_edge("fresh-src", "fresh-dst", 5.0)
+        after = engine.compute_batch(scheme, graph, None)
+        assert after == scheme.compute_all(graph)
+        assert "fresh-src" in after
+
+
+class TestObservability:
+    def test_metrics_and_span_recorded(self, engine):
+        scheme = create_scheme("tt", k=3)
+        graph = random_graph(51)
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            with obs.span("caller"):
+                engine.compute_batch(scheme, graph, population(graph))
+        assert registry.counter_value("shm.dispatches", op="compute") == 1
+        assert registry.counter_value("shm.tasks", op="compute") >= 2
+        assert registry.counter_total("shm.bytes_shared") > 0
+        span_paths = [tuple(span["path"]) for span in registry.snapshot()["spans"]]
+        assert any(
+            len(path) >= 2
+            and path[0] == "caller"
+            and path[1].startswith("shm.dispatch")
+            for path in span_paths
+        )
+
+    def test_worker_metrics_merged_in_input_order(self, engine):
+        scheme = create_scheme("tt", k=3)
+        graph = random_graph(52)
+        targets = population(graph)
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            engine.compute_batch(scheme, graph, targets)
+        # Scheme kernels count per-node computes; the merged total must
+        # equal the serial run's regardless of worker scheduling.
+        serial_registry = obs.MetricsRegistry()
+        with obs.use_registry(serial_registry):
+            scheme.compute_all(graph, targets)
+        shm_counts = {
+            key: value
+            for key, value in registry.counters_flat().items()
+            if not key.startswith("shm.")
+        }
+        serial_counts = dict(serial_registry.counters_flat())
+        assert shm_counts == serial_counts
+
+    def test_disabled_registry_stays_silent(self, engine):
+        scheme = create_scheme("tt", k=3)
+        graph = random_graph(53)
+        registry = obs.MetricsRegistry()
+        engine.compute_batch(scheme, graph, None)  # no active registry
+        with obs.use_registry(registry):
+            pass
+        assert registry.counters_flat() == {}
+
+    def test_workers_gauge_tracks_pool(self):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            with ShmEngine(jobs=2) as local:
+                local.compute_batch(create_scheme("tt", k=3), random_graph(54), None)
+                assert registry.snapshot()["gauges"][0][2] == 2
+        assert ("shm.workers", {}, 0.0) in [
+            tuple(entry[:2]) + (entry[2],) for entry in registry.snapshot()["gauges"]
+        ]

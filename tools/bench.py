@@ -21,11 +21,20 @@ sliding-window signature engine against per-window full recomputation on a
 backbone-plus-churn trace, asserts byte-identical outputs, and writes
 ``benchmarks/perf/BENCH_incremental_engine.json``.
 
+A third stage (``--stage shm``) benchmarks the zero-copy shared-memory
+recompute engine (:mod:`repro.parallel.shm`) against both the serial path
+and a pickle-per-task ``parallel_map`` baseline at 1/2/4/8 workers,
+asserts byte-identical signatures, and writes
+``benchmarks/perf/BENCH_shared_memory.json``.  The vs-pickle gate (>= 2x
+at 4 workers) is core-count independent and always enforced; the
+vs-serial scaling gate only fires on hosts with >= 4 CPUs.
+
 Usage::
 
     python tools/bench.py                 # full run, n=2000 windows
     python tools/bench.py --quick         # CI smoke: small n, agreement only
     python tools/bench.py --stage incremental   # delta-engine stage only
+    python tools/bench.py --stage shm           # shared-memory stage only
     python tools/bench.py --stage all
     python tools/bench.py --output out.json
 """
@@ -54,12 +63,21 @@ DEFAULT_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_distance_kernels.jso
 INCREMENTAL_OUTPUT = (
     REPO_ROOT / "benchmarks" / "perf" / "BENCH_incremental_engine.json"
 )
+SHM_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_shared_memory.json"
 AGREEMENT_TOLERANCE = 1e-9
 
 #: Incremental-engine acceptance gate: schemes whose mean dirty fraction is
 #: at most MAX_DIRTY_FRACTION must show at least MIN_INCREMENTAL_SPEEDUP.
 MIN_INCREMENTAL_SPEEDUP = 3.0
 MAX_DIRTY_FRACTION = 0.10
+
+#: Shared-memory engine acceptance gates, both measured at
+#: SHM_GATE_WORKERS workers.  The vs-pickle ratio compares equal
+#: parallelism (only the transport differs), so it transfers across core
+#: counts and is enforced everywhere; the vs-serial ratio needs real
+#: cores and is only enforced when the host has >= SHM_GATE_WORKERS CPUs.
+MIN_SHM_SPEEDUP = 2.0
+SHM_GATE_WORKERS = 4
 
 
 def synthetic_window(count: int, k: int, seed: int, churn: float = 0.0) -> dict:
@@ -355,6 +373,190 @@ def bench_incremental(
         )
 
 
+#: Scheme line-up for the shared-memory stage (the fig1/fig3 recompute
+#: kernels plus the service's push scheme; unbounded RWR is excluded on
+#: purpose — it is not partition-safe, so the engine runs it whole-batch
+#: and there is nothing to parallelize).  The third element names the
+#: gates the scheme can physically demonstrate: transport-bound schemes
+#: (cheap per-node compute, the graph dominates the wire) gate on
+#: vs-pickle, compute-bound schemes gate on vs-serial scaling.
+SHM_SCHEMES = [
+    ("tt", {}, ("pickle",)),
+    ("ut", {}, ("pickle",)),
+    ("it", {}, ("pickle",)),
+    ("rwr", {"max_hops": 3}, ("serial",)),
+    ("rwr-push", {}, ("serial",)),
+]
+
+
+def shm_graph(num_nodes: int, out_degree: int, seed: int):
+    """A seeded communication graph heavy enough to expose transport cost."""
+    from repro.graph.comm_graph import CommGraph
+
+    rng = random.Random(seed)
+    graph = CommGraph()
+    for i in range(num_nodes):
+        src = f"h{i}"
+        for _ in range(out_degree):
+            dst = f"h{rng.randrange(num_nodes)}"
+            if dst != src:
+                graph.add_edge(src, dst, rng.uniform(0.5, 8.0))
+    return graph
+
+
+def _pickle_chunk(task):
+    """parallel_map baseline worker: the whole graph rides in the pickle.
+
+    This is exactly what a naive ``parallel_map`` port of the recompute
+    loop pays per chunk — the cost the shared-memory engine exists to
+    remove.  Returns the same compact rows the shm workers return, so the
+    two baselines merge identically.
+    """
+    graph, scheme, chunk = task
+    result = scheme._compute_batch(graph, chunk)
+    return [(node, result[node].entries) for node in result]
+
+
+def _pickle_parallel_compute(scheme, graph, targets, workers: int, message_size: int):
+    """Pickle-transport equivalent of ``ShmEngine.compute_batch``.
+
+    Same chunk geometry as the engine (so the only variable is how bytes
+    reach the workers), merged in submission order for determinism.
+    """
+    from repro.core.signature import Signature as _Signature
+    from repro.parallel import parallel_map
+
+    chunk = max(1, min(message_size, -(-len(targets) // max(workers, 1))))
+    tasks = [
+        (graph, scheme, targets[start : start + chunk])
+        for start in range(0, len(targets), chunk)
+    ]
+    merged = {}
+    for rows in parallel_map(_pickle_chunk, tasks, jobs=workers):
+        for node, entries in rows:
+            merged[node] = _Signature(node, dict(entries))
+    return {node: merged[node] for node in targets}
+
+
+def bench_shm(
+    num_nodes: int,
+    out_degree: int,
+    worker_counts,
+    repeats: int,
+    records_out: list,
+    schemes=None,
+) -> None:
+    """Serial vs pickle-``parallel_map`` vs shared-memory batch recompute.
+
+    All three paths are asserted byte-identical per scheme and worker
+    count (``Signature.entries`` equality on the full population).  The
+    shm engine is warmed with one untimed dispatch per worker count —
+    steady-state is its honest number (a persistent engine forks its pool
+    and publishes the graph once per run, not once per window), while the
+    pickle baseline's per-call pool is inherent to ``parallel_map`` and
+    stays inside its timing.
+    """
+    from repro.core.scheme import create_scheme
+    from repro.parallel.shm import DEFAULT_MESSAGE_SIZE, ShmEngine
+
+    graph = shm_graph(num_nodes, out_degree, seed=11)
+    population = [node for node in graph.nodes() if graph.out_strength(node) > 0]
+
+    for name, params, gates in schemes if schemes is not None else SHM_SCHEMES:
+        scheme = create_scheme(name, k=10, **params)
+        serial_wall, serial_map = timed(
+            lambda: scheme.compute_all(graph, population), repeats=repeats
+        )
+        for workers in worker_counts:
+            pickle_wall, pickle_map = timed(
+                lambda: _pickle_parallel_compute(
+                    scheme, graph, population, workers, DEFAULT_MESSAGE_SIZE
+                ),
+                repeats=repeats,
+            )
+            with ShmEngine(jobs=workers) as engine:
+                engine.compute_batch(scheme, graph, population)  # warm pool
+                shm_wall, shm_map = timed(
+                    lambda: engine.compute_batch(scheme, graph, population),
+                    repeats=repeats,
+                )
+            for label, candidate in (("pickle", pickle_map), ("shm", shm_map)):
+                if list(candidate) != list(serial_map) or any(
+                    candidate[node].entries != serial_map[node].entries
+                    for node in serial_map
+                ):
+                    raise AssertionError(
+                        f"{label} path diverged from serial for {name} "
+                        f"at {workers} workers"
+                    )
+            records_out.append(
+                {
+                    "op": "shm_batch_recompute",
+                    "scheme": scheme.describe(),
+                    "n": num_nodes,
+                    "workers": workers,
+                    "gates": list(gates),
+                    "serial_wall_s": round(serial_wall, 6),
+                    "pickle_wall_s": round(pickle_wall, 6),
+                    "shm_wall_s": round(shm_wall, 6),
+                    "speedup_vs_serial": round(serial_wall / shm_wall, 2),
+                    "speedup_vs_pickle": round(pickle_wall / shm_wall, 2),
+                }
+            )
+
+
+def bench_shm_dirty(
+    num_nodes: int, num_windows: int, workers: int, repeats: int, records_out: list
+) -> None:
+    """The pipeline's actual workload: dirty-set recompute across windows.
+
+    Chains ``compute_all(delta=..., previous=...)`` over a sliding
+    backbone-plus-churn trace under both strategies and asserts the chains
+    byte-identical end to end.
+    """
+    from repro.core.scheme import create_scheme
+    from repro.graph.windows import GraphSequence
+    from repro.parallel.shm import ShmEngine
+
+    trace = incremental_trace(num_nodes, num_windows, churn_fraction=0.05, seed=29)
+    sequence = GraphSequence.from_sliding_records(trace, num_windows=num_windows)
+    scheme = create_scheme("tt", k=10)
+
+    def run_chain(strategy, engine=None):
+        kwargs = {"strategy": strategy, "engine": engine} if engine else {}
+        maps = [scheme.compute_all(sequence.graphs[0], **kwargs)]
+        for t in range(1, len(sequence)):
+            maps.append(
+                scheme.compute_all(
+                    sequence.graphs[t],
+                    delta=sequence.deltas[t - 1],
+                    previous=maps[-1],
+                    **kwargs,
+                )
+            )
+        return maps
+
+    serial_wall, serial_maps = timed(lambda: run_chain("serial"), repeats=repeats)
+    with ShmEngine(jobs=workers) as engine:
+        shm_wall, shm_maps = timed(
+            lambda: run_chain("shm", engine), repeats=repeats
+        )
+    if serial_maps != shm_maps:
+        raise AssertionError("shm dirty-set chain diverged from serial")
+    records_out.append(
+        {
+            "op": "shm_dirty_set_chain",
+            "scheme": scheme.describe(),
+            "n": num_nodes,
+            "windows": num_windows,
+            "workers": workers,
+            "serial_wall_s": round(serial_wall, 6),
+            "shm_wall_s": round(shm_wall, 6),
+            "speedup_vs_serial": round(serial_wall / shm_wall, 2),
+        }
+    )
+
+
 def warm_up() -> None:
     """Prime BLAS threads / page caches so first-call cost is not timed."""
     signatures = synthetic_window(64, 10, seed=1)
@@ -493,6 +695,108 @@ def _run_incremental_stage(args) -> int:
     return 0
 
 
+def _run_shm_stage(args) -> int:
+    from repro.parallel import available_cpus
+    from repro.parallel.shm import active_segment_names
+
+    num_nodes = 800 if args.quick else 1500
+    out_degree = 16 if args.quick else 20
+    worker_counts = (1, 2, 4) if args.quick else (1, 2, 4, 8)
+    repeats = 3
+    cores = available_cpus()
+    # rwr-push is compute-bound (seconds per window even on small graphs):
+    # skipped in the CI smoke, and in the full run it gets its own small
+    # graph and single repeat so the stage stays in minutes, not hours.
+    cheap_schemes = [entry for entry in SHM_SCHEMES if entry[0] != "rwr-push"]
+    heavy_schemes = [] if args.quick else [
+        entry for entry in SHM_SCHEMES if entry[0] == "rwr-push"
+    ]
+
+    records: list = []
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        with obs.span("bench.shared_memory"):
+            bench_shm(
+                num_nodes, out_degree, worker_counts, repeats, records,
+                cheap_schemes,
+            )
+            if heavy_schemes:
+                bench_shm(300, 12, worker_counts, 1, records, heavy_schemes)
+            bench_shm_dirty(
+                num_nodes // 2,
+                4 if args.quick else 8,
+                SHM_GATE_WORKERS,
+                repeats,
+                records,
+            )
+    counters = {
+        key: value
+        for key, value in registry.counters_flat().items()
+        if key.startswith("shm.")
+    }
+    leaked = active_segment_names()
+    if leaked:
+        raise AssertionError(f"bench leaked shared-memory segments: {leaked}")
+
+    serial_gate_active = cores >= SHM_GATE_WORKERS
+    payload = {
+        "benchmark": "shared_memory",
+        "mode": "quick" if args.quick else "full",
+        "host_cpus": cores,
+        "graph": {"nodes": num_nodes, "out_degree": out_degree},
+        "gate": {
+            "min_speedup": MIN_SHM_SPEEDUP,
+            "workers": SHM_GATE_WORKERS,
+            "vs_pickle": "enforced (transport-bound schemes)",
+            "vs_serial": (
+                "enforced (compute-bound schemes)"
+                if serial_gate_active
+                else f"skipped ({cores} CPUs < {SHM_GATE_WORKERS})"
+            ),
+        },
+        "results": records,
+        "obs_counters": counters,
+    }
+    output = args.output if args.output and args.stage == "shm" else SHM_OUTPUT
+    _write_payload(payload, output)
+    for record in records:
+        vs_pickle = record.get("speedup_vs_pickle")
+        print(
+            f"{record['op']}  {record['scheme']:<12}  workers={record['workers']}"
+            f"  serial {record['serial_wall_s']:>8.4f}s"
+            f"  shm {record['shm_wall_s']:>8.4f}s"
+            f"  vs-serial {record['speedup_vs_serial']:>6.2f}x"
+            + (f"  vs-pickle {vs_pickle:>6.2f}x" if vs_pickle is not None else "")
+        )
+
+    failures = []
+    for record in records:
+        if record["op"] != "shm_batch_recompute":
+            continue
+        if record["workers"] != SHM_GATE_WORKERS:
+            continue
+        gates = record["gates"]
+        if "pickle" in gates and record["speedup_vs_pickle"] < MIN_SHM_SPEEDUP:
+            failures.append(
+                f"{record['scheme']}: vs-pickle {record['speedup_vs_pickle']}x"
+            )
+        if (
+            serial_gate_active
+            and "serial" in gates
+            and record["speedup_vs_serial"] < MIN_SHM_SPEEDUP
+        ):
+            failures.append(
+                f"{record['scheme']}: vs-serial {record['speedup_vs_serial']}x"
+            )
+    if failures:
+        print(
+            f"FAIL: shm speedup below {MIN_SHM_SPEEDUP}x at "
+            f"{SHM_GATE_WORKERS} workers for: " + ", ".join(failures)
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -502,7 +806,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--stage",
-        choices=("kernels", "incremental", "all"),
+        choices=("kernels", "incremental", "shm", "all"),
         default="kernels",
         help="which benchmark stage to run (default: kernels)",
     )
@@ -533,6 +837,8 @@ def main(argv=None) -> int:
         exit_code |= _run_kernels_stage(args)
     if args.stage in ("incremental", "all"):
         exit_code |= _run_incremental_stage(args)
+    if args.stage in ("shm", "all"):
+        exit_code |= _run_shm_stage(args)
     return exit_code
 
 
