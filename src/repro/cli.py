@@ -185,6 +185,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
         incremental=args.incremental,
         strategy=args.strategy,
         jobs=args.jobs if args.strategy == "shm" else 0,
+        sketch_budget_bytes=args.sketch_budget,
         error_budget=args.error_budget,
         max_memory_cells=args.memory_budget,
         window_deadline=args.window_deadline,
@@ -217,6 +218,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         distance=args.serve_distance,
         strategy=args.strategy,
         jobs=args.jobs if args.strategy == "shm" else 0,
+        sketch_budget_bytes=args.sketch_budget,
     )
     service = SignatureService(config, checkpoint_dir=args.checkpoint_dir)
     if args.input:
@@ -288,12 +290,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--strategy",
-        choices=("serial", "shm"),
+        choices=("serial", "shm", "sketch"),
         default="serial",
         help="batch-recompute engine: 'serial' computes in-process (default), "
         "'shm' fans signature batches out over a zero-copy shared-memory "
-        "worker pool sized by --jobs (0 = one worker per CPU); outputs "
-        "are byte-identical either way",
+        "worker pool sized by --jobs (0 = one worker per CPU; outputs "
+        "byte-identical to serial), 'sketch' answers from the "
+        "memory-budgeted sketch tier (--sketch-budget bytes of state; "
+        "hot sources exact, tail sketched — accuracy contract)",
+    )
+    parser.add_argument(
+        "--sketch-budget",
+        type=int,
+        default=2097152,
+        metavar="BYTES",
+        help="byte budget of the sketch tier under --strategy sketch "
+        "(default: 2097152 = 2 MiB)",
     )
     parser.add_argument(
         "--dataset",
@@ -557,6 +569,8 @@ def main(argv=None) -> int:
         parser.error(
             f"--jobs must be >= 0 (0 means one worker per CPU); got {args.jobs}"
         )
+    if args.sketch_budget < 1:
+        parser.error(f"--sketch-budget must be >= 1 byte; got {args.sketch_budget}")
     if args.obs_serve is not None and not 0 <= args.obs_serve <= 65535:
         parser.error(
             f"--obs-serve must be a TCP port (0..65535); got {args.obs_serve}"
@@ -589,6 +603,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         incremental=args.incremental,
         strategy=args.strategy,
+        sketch_budget_bytes=args.sketch_budget,
     )
     commands = sorted(_COMMANDS) if args.command == "all" else [args.command]
 

@@ -93,9 +93,18 @@ class SignatureScheme(abc.ABC):
         target list or, combined with the incremental path, just the
         dirty set — across a :class:`repro.parallel.shm.ShmEngine` worker
         pool reading the graph from shared memory.  Results are
-        byte-identical either way.  ``engine`` optionally supplies the
-        engine (a caller-owned pool); otherwise the process-wide
-        :func:`repro.parallel.shm.default_engine` is used.
+        byte-identical either way.  ``strategy="sketch"`` routes the batch
+        through a memory-budgeted
+        :class:`repro.streaming.tier.SketchTierEngine` — exact signatures
+        for the hottest sources, sketch-backed ones for the long tail —
+        under an **accuracy contract** (top-k overlap vs exact, gated by
+        the sketch bench) instead of byte-identity; the incremental
+        delta/previous path is bypassed, since reusing byte-exact prior
+        signatures inside an approximate answer would blur which contract
+        the result satisfies.  ``engine`` optionally supplies the engine
+        (a caller-owned pool or tier); otherwise the matching process-wide
+        default (:func:`repro.parallel.shm.default_engine` /
+        :func:`repro.streaming.tier.default_engine`) is used.
 
         Subclasses with batched implementations (e.g. matrix-based RWR)
         override :meth:`_compute_batch`; the contract is identical to
@@ -105,7 +114,7 @@ class SignatureScheme(abc.ABC):
         """
         targets: List[NodeId] = list(nodes) if nodes is not None else graph.nodes()
         batch = self._batch_runner(graph, strategy, engine)
-        if delta is not None and previous is not None:
+        if delta is not None and previous is not None and strategy != "sketch":
             dirty = self.dirty_nodes(graph, delta)
             if dirty is not None:
                 stale = set(dirty) | delta.added_nodes | delta.removed_nodes
@@ -131,7 +140,9 @@ class SignatureScheme(abc.ABC):
         """Resolve ``strategy`` into a ``targets -> signatures`` callable."""
         if strategy == "serial":
             if engine is not None:
-                raise SchemeError("engine= is only meaningful with strategy='shm'")
+                raise SchemeError(
+                    "engine= is only meaningful with strategy='shm' or 'sketch'"
+                )
             return lambda targets: self._compute_batch(graph, targets)
         if strategy == "shm":
             if engine is None:
@@ -139,8 +150,15 @@ class SignatureScheme(abc.ABC):
 
                 engine = default_engine()
             return lambda targets: engine.compute_batch(self, graph, targets)
+        if strategy == "sketch":
+            if engine is None:
+                from repro.streaming.tier import default_engine
+
+                engine = default_engine()
+            return lambda targets: engine.compute_batch(self, graph, targets)
         raise SchemeError(
-            f"unknown compute strategy {strategy!r}; expected 'serial' or 'shm'"
+            f"unknown compute strategy {strategy!r}; "
+            "expected 'serial', 'shm' or 'sketch'"
         )
 
     def partition_batch_safe(self, graph: CommGraph) -> bool:

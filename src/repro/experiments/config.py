@@ -55,7 +55,12 @@ class ExperimentConfig:
     ``jobs`` workers recompute index ranges zero-copy.  With ``"shm"``
     the experiment grid itself runs serially (the worker pool is the
     parallelism), so ``jobs`` moves from grid cells to the engine;
-    results are byte-identical either way.
+    results are byte-identical either way.  ``"sketch"`` routes batches
+    through the memory-budgeted sketch tier
+    (:mod:`repro.streaming.tier`, ``sketch_budget_bytes`` of state):
+    hot sources exact, tail sketched — an accuracy contract, so
+    experiment outputs *do* depend on it (that dependence is the point
+    of sketch-tier experiments).
     """
 
     scale: str = "paper"
@@ -65,13 +70,18 @@ class ExperimentConfig:
     jobs: int = 1
     incremental: bool = False
     strategy: str = "serial"
+    sketch_budget_bytes: int = 2097152
 
     def __post_init__(self) -> None:
         if self.scale not in ("paper", "small"):
             raise ExperimentError(f"unknown scale {self.scale!r}; use 'paper' or 'small'")
-        if self.strategy not in ("serial", "shm"):
+        if self.strategy not in ("serial", "shm", "sketch"):
             raise ExperimentError(
-                f"unknown strategy {self.strategy!r}; use 'serial' or 'shm'"
+                f"unknown strategy {self.strategy!r}; use 'serial', 'shm' or 'sketch'"
+            )
+        if self.sketch_budget_bytes < 1:
+            raise ExperimentError(
+                f"sketch_budget_bytes must be >= 1, got {self.sketch_budget_bytes}"
             )
 
     @property
@@ -141,8 +151,10 @@ def consecutive_signature_maps(
     the two graphs — recomputing only the scheme's dirty set.
     ``strategy``/``engine`` are forwarded to ``compute_all`` so the
     batches (or just the dirty set) can run on the shared-memory worker
-    pool.  Both knobs are byte-identical to the plain serial recompute,
-    so experiment outputs do not depend on them.
+    pool, or through the budgeted sketch tier.  ``"shm"`` is
+    byte-identical to the plain serial recompute; ``"sketch"`` is not —
+    it answers under the tier's accuracy contract (and recomputes whole
+    batches, ignoring ``delta``/``previous``).
     """
     from repro.graph.delta import WindowDelta
 
@@ -159,18 +171,25 @@ def consecutive_signature_maps(
 
 
 def cell_engine(config: ExperimentConfig):
-    """Shared-memory engine for an experiment grid cell (``None`` when the
+    """Compute engine for an experiment grid cell (``None`` when the
     strategy is serial).
 
-    Cells share the process-wide :func:`repro.parallel.shm.default_engine`
-    sized to ``config.jobs`` — one persistent worker pool and one graph
-    publication serve every (scheme, distance) cell of the grid.
+    Under ``"shm"``, cells share the process-wide
+    :func:`repro.parallel.shm.default_engine` sized to ``config.jobs`` —
+    one persistent worker pool and one graph publication serve every
+    (scheme, distance) cell of the grid.  Under ``"sketch"``, cells share
+    the process-wide :func:`repro.streaming.tier.default_engine` at the
+    configured byte budget.
     """
-    if config.strategy != "shm":
-        return None
-    from repro.parallel.shm import default_engine
+    if config.strategy == "shm":
+        from repro.parallel.shm import default_engine
 
-    return default_engine(config.jobs)
+        return default_engine(config.jobs)
+    if config.strategy == "sketch":
+        from repro.streaming.tier import default_engine
+
+        return default_engine(config.sketch_budget_bytes)
+    return None
 
 
 def make_schemes(

@@ -111,6 +111,14 @@ class PipelineConfig:
     (unbounded RWR on the non-incremental path) fall back to the serial
     per-node loop.
 
+    ``strategy="sketch"`` answers each window from a memory-budgeted
+    :class:`~repro.streaming.tier.SketchTierEngine` instead: exact
+    signatures for the hottest sources, budget-sized sketches for the
+    tail (``sketch_budget_bytes`` caps total tier state).  This is an
+    *accuracy* contract, not byte-identity — checkpoints record it, so a
+    resume under a different contract is refused rather than silently
+    mixing exact and sketched windows.
+
     Live observability opt-ins: ``obs_port`` serves the run's *own*
     metrics registry over HTTP (``/metrics``, ``/healthz``,
     ``/snapshot.json``, ``/series.json``; 0 binds an ephemeral port) for
@@ -137,16 +145,21 @@ class PipelineConfig:
     sample_interval: Optional[float] = None
     strategy: str = "serial"
     jobs: int = 0
+    sketch_budget_bytes: int = 2097152
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise PipelineError(f"signature length k must be >= 1, got {self.k}")
-        if self.strategy not in ("serial", "shm"):
+        if self.strategy not in ("serial", "shm", "sketch"):
             raise PipelineError(
-                f"unknown strategy {self.strategy!r}; use 'serial' or 'shm'"
+                f"unknown strategy {self.strategy!r}; use 'serial', 'shm' or 'sketch'"
             )
         if self.jobs < 0:
             raise PipelineError(f"jobs must be >= 0 (0 = all CPUs), got {self.jobs}")
+        if self.sketch_budget_bytes < 1:
+            raise PipelineError(
+                f"sketch_budget_bytes must be >= 1, got {self.sketch_budget_bytes}"
+            )
         if self.num_windows is not None and self.window_length is not None:
             raise PipelineError("give at most one of num_windows / window_length")
         if self.num_windows is not None and self.num_windows < 1:
@@ -249,6 +262,15 @@ class SignaturePipeline:
 
             self._engine = ShmEngine(jobs=self.config.jobs)
             self._owns_engine = True
+        if self.config.strategy == "sketch" and self._engine is None:
+            from repro.streaming.tier import SketchTierEngine
+
+            # Stateless apart from accounting: no close() needed, so the
+            # run keeps it for reuse instead of tearing it down.
+            self._engine = SketchTierEngine(
+                budget_bytes=self.config.sketch_budget_bytes,
+                seed=self.config.seed,
+            )
         try:
             return self._run_observed(resume)
         finally:
@@ -465,12 +487,19 @@ class SignaturePipeline:
     # Resume
     # ------------------------------------------------------------------
     def _run_state(self) -> Dict:
-        """The engine identity stamped into the checkpoint manifest."""
+        """The engine identity stamped into the checkpoint manifest.
+
+        ``contract`` separates byte-identical strategies (serial/shm,
+        freely interchangeable across resumes) from the sketch tier's
+        accuracy contract — resuming one onto the other would silently
+        mix exact and approximate windows in a single run directory.
+        """
         return {
             "engine": "incremental" if self.config.incremental else "full",
             "scheme": self.config.scheme,
             "k": self.config.k,
             "bipartite": self.config.bipartite,
+            "contract": "sketch" if self.config.strategy == "sketch" else "exact",
         }
 
     def _check_run_state(self) -> None:
@@ -528,10 +557,12 @@ class SignaturePipeline:
         return state
 
     def _compute_kwargs(self) -> Dict:
-        """``compute_all`` strategy forwarding: the shm engine when one is
-        engaged, nothing otherwise."""
+        """``compute_all`` strategy forwarding: the engaged engine (shm or
+        sketch), nothing otherwise."""
         if self._engine is not None and self.config.strategy == "shm":
             return {"strategy": "shm", "engine": self._engine}
+        if self._engine is not None and self.config.strategy == "sketch":
+            return {"strategy": "sketch", "engine": self._engine}
         return {}
 
     def _replay_checkpoints(

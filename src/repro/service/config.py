@@ -128,18 +128,28 @@ class ServiceConfig:
     #: :class:`repro.parallel.shm.ShmEngine` pool (``jobs`` workers, 0 =
     #: all CPUs) owned by the supervisor — shards stop serializing graphs
     #: per recompute.  Signatures are byte-identical to ``"serial"``.
+    #: ``"sketch"`` answers each window from a memory-budgeted
+    #: :class:`repro.streaming.tier.SketchTierEngine` (shared by the
+    #: fleet): exact signatures for each shard's hottest sources, sketches
+    #: for the tail, under an accuracy contract instead of byte-identity.
     strategy: str = "serial"
     jobs: int = 0
+    #: Byte budget of the ``"sketch"`` strategy's tier (per supervisor).
+    sketch_budget_bytes: int = 2097152
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ServiceError(f"signature length k must be >= 1, got {self.k}")
-        if self.strategy not in ("serial", "shm"):
+        if self.strategy not in ("serial", "shm", "sketch"):
             raise ServiceError(
-                f"unknown strategy {self.strategy!r}; use 'serial' or 'shm'"
+                f"unknown strategy {self.strategy!r}; use 'serial', 'shm' or 'sketch'"
             )
         if self.jobs < 0:
             raise ServiceError(f"jobs must be >= 0 (0 = all CPUs), got {self.jobs}")
+        if self.sketch_budget_bytes < 1:
+            raise ServiceError(
+                f"sketch_budget_bytes must be >= 1, got {self.sketch_budget_bytes}"
+            )
         if self.num_shards < 1:
             raise ServiceError(f"num_shards must be >= 1, got {self.num_shards}")
         if self.window_records < 1:

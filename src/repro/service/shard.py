@@ -26,7 +26,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence
 
 from repro import obs
-from repro.core.distances import get_distance
+from repro.core.distances import OUT_OF_RANGE_TOL, get_distance
 from repro.core.scheme import SignatureScheme, create_scheme
 from repro.core.signature import Signature
 from repro.exceptions import CheckpointError
@@ -42,6 +42,24 @@ from repro.streaming.stream_schemes import (
 from repro.types import NodeId
 
 
+def _clamp_persistence(value: float, counter) -> float:
+    """Clamp ``1 - distance`` to [0, 1], counting genuine excursions.
+
+    Registered distances clamp themselves, but custom distances (or a
+    distance that exceeds 1 on disjoint supports) would otherwise surface
+    as negative persistence in ``/anomaly`` responses.
+    """
+    if value < 0.0:
+        if value < -OUT_OF_RANGE_TOL:
+            counter.inc()
+        return 0.0
+    if value > 1.0:
+        if value > 1.0 + OUT_OF_RANGE_TOL:
+            counter.inc()
+        return 1.0
+    return value
+
+
 class ShardEngine:
     """Exact incremental signature engine for one shard."""
 
@@ -53,6 +71,7 @@ class ShardEngine:
         store: Optional[CheckpointStore] = None,
         registry: Optional[obs.MetricsRegistry] = None,
         shm_engine=None,
+        sketch_engine=None,
     ) -> None:
         self.shard_id = shard_id
         self.config = config
@@ -60,6 +79,8 @@ class ShardEngine:
         # Supervisor-owned shared-memory pool (strategy="shm"); the shard
         # never closes it — its lifecycle belongs to whoever shares it.
         self._shm_engine = shm_engine
+        # Supervisor-owned budgeted sketch tier (strategy="sketch").
+        self._sketch_engine = sketch_engine
         self.registry = registry if registry is not None else obs.MetricsRegistry()
         self.scheme: SignatureScheme = create_scheme(
             config.scheme, k=config.k, **config.scheme_params
@@ -88,10 +109,14 @@ class ShardEngine:
             self._apply(sorted(bucket))
 
     def _compute_kwargs(self) -> Dict:
-        """Forward the shared-memory strategy when the supervisor gave us
-        a pool (byte-identical results either way)."""
+        """Forward the configured execution strategy when the supervisor
+        gave us an engine: ``"shm"`` stays byte-identical to serial,
+        ``"sketch"`` trades exactness for a memory budget (deterministic
+        for a fixed seed, so rebuilds still converge)."""
         if self._shm_engine is not None and self.config.strategy == "shm":
             return {"strategy": "shm", "engine": self._shm_engine}
+        if self._sketch_engine is not None and self.config.strategy == "sketch":
+            return {"strategy": "sketch", "engine": self._sketch_engine}
         return {}
 
     def _apply(self, records: List[EdgeRecord]) -> None:
@@ -217,7 +242,10 @@ class ShardEngine:
         prev = self.prev_signatures.get(node)
         if now is None or prev is None:
             return None
-        return 1.0 - self._distance(prev, now)
+        return _clamp_persistence(
+            1.0 - self._distance(prev, now),
+            self.registry.counter("distance.out_of_range", path="shard.persistence"),
+        )
 
 
 class SketchTier:
@@ -225,14 +253,25 @@ class SketchTier:
 
     Fed the same buckets as the exact engine but structurally independent
     of it: rebuilding a crashed engine (or losing it for good) does not
-    disturb the sketch tier.  Each window's builder is reconstructed from
-    the retained last ``window_buckets`` buckets, mirroring the sliding
-    window without needing decrementable sketches.
+    disturb the sketch tier.  Each arriving bucket gets its own builder
+    (observing only that bucket, once); the window's builder is the *merge*
+    of the retained last ``window_buckets`` bucket builders.  Advancing
+    therefore costs one bucket observation plus O(window_buckets) sketch
+    merges, instead of the old full re-observation of every retained
+    record per window.
     """
 
-    def __init__(self, config: ServiceConfig) -> None:
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        registry: Optional[obs.MetricsRegistry] = None,
+    ) -> None:
         self.config = config
-        self._buckets: Deque[List[EdgeRecord]] = deque(maxlen=config.window_buckets)
+        self.registry = registry if registry is not None else obs.MetricsRegistry()
+        self._bucket_builders: Deque[StreamingTopTalkers] = deque(
+            maxlen=config.window_buckets
+        )
         self.current: Optional[StreamingTopTalkers] = None
         self.previous: Optional[StreamingTopTalkers] = None
         self.window = -1
@@ -251,13 +290,25 @@ class SketchTier:
         )
 
     def advance(self, bucket: Sequence[EdgeRecord]) -> None:
-        """Roll the sketch window forward by one bucket."""
-        self._buckets.append(sorted(bucket))
+        """Roll the sketch window forward by one bucket (merge, not rebuild).
+
+        Bucket builders are immutable once observed, so the fold below
+        never re-reads a record: evicting the oldest bucket is just the
+        deque dropping its builder, and the window summary is rebuilt from
+        ``window_buckets`` sketch merges.
+        """
         builder = self._builder()
-        for held in self._buckets:
-            builder.observe_records(held)
+        builder.observe_records(sorted(bucket))
+        self._bucket_builders.append(builder)
+        window_builder: Optional[StreamingTopTalkers] = None
+        for part in self._bucket_builders:
+            if window_builder is None:
+                window_builder = part
+            else:
+                window_builder = window_builder.merge(part)
+                self.registry.counter("sketch.merges").inc()
         self.previous = self.current
-        self.current = builder
+        self.current = window_builder
         self.window += 1
 
     def signature(self, node: str) -> Optional[Signature]:
@@ -273,4 +324,7 @@ class SketchTier:
         if node not in self.current.sources or node not in self.previous.sources:
             return None
         distance = get_distance(self.config.distance)
-        return 1.0 - distance(self.previous.signature(node), self.current.signature(node))
+        return _clamp_persistence(
+            1.0 - distance(self.previous.signature(node), self.current.signature(node)),
+            obs.counter("distance.out_of_range", path="sketch.persistence"),
+        )

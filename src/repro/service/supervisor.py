@@ -97,6 +97,18 @@ class ShardSupervisor:
             from repro.parallel.shm import ShmEngine
 
             self._shm_engine = ShmEngine(jobs=self.config.jobs)
+        # One budgeted sketch tier for the whole fleet (strategy="sketch"):
+        # every shard's exact-engine recompute answers hot sources exactly
+        # and the tail from budget-sized sketches, so total tier state
+        # tracks config.sketch_budget_bytes instead of the node universe.
+        self._sketch_engine = None
+        if self.config.strategy == "sketch":
+            from repro.streaming.tier import SketchTierEngine
+
+            self._sketch_engine = SketchTierEngine(
+                budget_bytes=self.config.sketch_budget_bytes,
+                seed=self.config.seed,
+            )
         #: Global window index; -1 before the first bucket closes.
         self.window = -1
         self.shards: List[ShardState] = [
@@ -126,8 +138,9 @@ class ShardSupervisor:
                 store=store,
                 registry=registry,
                 shm_engine=self._shm_engine,
+                sketch_engine=self._sketch_engine,
             ),
-            sketch=SketchTier(self.config),
+            sketch=SketchTier(self.config, registry=registry),
             breaker=CircuitBreaker(
                 self.config.breaker, name=f"shard-{shard_id}", clock=self._clock
             ),
@@ -226,6 +239,7 @@ class ShardSupervisor:
                 store=state.store,
                 registry=state.registry,
                 shm_engine=self._shm_engine,
+                sketch_engine=self._sketch_engine,
             )
             issues = engine.rebuild(state.buckets)
             for issue in issues:
@@ -307,7 +321,7 @@ class ShardSupervisor:
         """
         state = self.shards[shard_id]
         if state.health == HEALTH_DOWN:
-            state.sketch = SketchTier(self.config)
+            state.sketch = SketchTier(self.config, registry=state.registry)
             recent = state.buckets[-self.config.window_buckets:]
             for bucket in recent:
                 state.sketch.advance(bucket)

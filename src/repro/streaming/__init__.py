@@ -17,6 +17,11 @@ from repro.streaming.stream_schemes import (
     StreamingTopTalkers,
     StreamingUnexpectedTalkers,
 )
+from repro.streaming.tier import (
+    DEFAULT_BUDGET_BYTES,
+    SketchTierEngine,
+    default_engine,
+)
 
 __all__ = [
     "HashFamily",
@@ -26,4 +31,7 @@ __all__ = [
     "SpaceSaving",
     "StreamingTopTalkers",
     "StreamingUnexpectedTalkers",
+    "DEFAULT_BUDGET_BYTES",
+    "SketchTierEngine",
+    "default_engine",
 ]

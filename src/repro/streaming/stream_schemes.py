@@ -128,6 +128,74 @@ class StreamingTopTalkers:
         """All sources seen so far."""
         return tuple(self._sketches)
 
+    # ------------------------------------------------------------------
+    # Merging (per-bucket / per-shard construction)
+    # ------------------------------------------------------------------
+    def _config_key(self) -> Tuple:
+        """Everything that must coincide for two builders to be mergeable."""
+        return (
+            type(self),
+            self.k,
+            self.epsilon,
+            self.delta,
+            self.candidate_capacity,
+            self.seed,
+        )
+
+    def _spawn(self) -> "StreamingTopTalkers":
+        """A fresh empty builder with this builder's configuration."""
+        return StreamingTopTalkers(
+            k=self.k,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            candidate_capacity=self.candidate_capacity,
+            seed=self.seed,
+        )
+
+    def _empty_sketch(self) -> CountMinSketch:
+        return CountMinSketch(epsilon=self.epsilon, delta=self.delta, seed=self.seed)
+
+    def merge(self, other: "StreamingTopTalkers") -> "StreamingTopTalkers":
+        """Combine two builders over disjoint streams into a fresh builder.
+
+        Per-source CM sketches add, SpaceSaving candidate sets merge under
+        the mergeable-summaries bounds, and exact out-volumes sum — so
+        per-bucket (sliding window) or per-shard (fleet) builders combine
+        into the summary of the concatenated stream without re-observation.
+        The result shares no state with either input.  Builders must agree
+        on type and every sketch parameter (hash seeds included).
+        """
+        if self._config_key() != other._config_key():
+            raise StreamingError(
+                "can only merge streaming builders with identical type and "
+                "configuration (k/epsilon/delta/capacity/seed)"
+            )
+        merged = self._spawn()
+        self._merge_state_into(merged, other)
+        return merged
+
+    def _merge_state_into(
+        self, merged: "StreamingTopTalkers", other: "StreamingTopTalkers"
+    ) -> None:
+        for src in sorted(
+            set(self._sketches) | set(other._sketches), key=str
+        ):
+            mine = self._sketches.get(src)
+            theirs = other._sketches.get(src)
+            # Merging with an empty peer copies — the merged builder must
+            # not alias either input's mutable sketch state.
+            merged._sketches[src] = (mine or self._empty_sketch()).merge(
+                theirs or self._empty_sketch()
+            )
+            merged._candidates[src] = (
+                self._candidates.get(src) or SpaceSaving(self.candidate_capacity)
+            ).merge(
+                other._candidates.get(src) or SpaceSaving(self.candidate_capacity)
+            )
+            merged._out_volume[src] = self._out_volume.get(
+                src, 0.0
+            ) + other._out_volume.get(src, 0.0)
+
 
 class StreamingUnexpectedTalkers(StreamingTopTalkers):
     """One-pass approximate Unexpected Talkers signatures.
@@ -160,8 +228,21 @@ class StreamingUnexpectedTalkers(StreamingTopTalkers):
 
     def observe(self, src: NodeId, dst: NodeId, weight: Weight = 1.0) -> None:
         super().observe(src, dst, weight)
-        if weight == 0 or src == dst:
+        if weight == 0:
             return
+        # Self-loops are excluded from the numerator (Definition 1) by the
+        # base class, but a self-loop source *does* count toward the
+        # destination's in-degree — matching exact ``CommGraph.in_degree``.
+        self.note_in_degree(src, dst)
+
+    def note_in_degree(self, src: NodeId, dst: NodeId) -> None:
+        """Register ``src`` in ``dst``'s in-degree sketch without building
+        any Top-Talkers state for ``src``.
+
+        The sketch tier engine scopes per-source summaries to its tail
+        owners, but ``|I(j)|`` must still count *every* source — including
+        hot ones whose signatures are computed exactly.
+        """
         if dst not in self._indegree:
             self._indegree[dst] = FlajoletMartin(
                 num_registers=self.fm_registers, seed=self.seed
@@ -192,3 +273,29 @@ class StreamingUnexpectedTalkers(StreamingTopTalkers):
         for sketch in self._indegree.values():
             cells += sketch.memory_cells()
         return cells
+
+    # ------------------------------------------------------------------
+    def _config_key(self) -> Tuple:
+        return super()._config_key() + (self.fm_registers,)
+
+    def _spawn(self) -> "StreamingUnexpectedTalkers":
+        return StreamingUnexpectedTalkers(
+            k=self.k,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            candidate_capacity=self.candidate_capacity,
+            fm_registers=self.fm_registers,
+            seed=self.seed,
+        )
+
+    def _empty_fm(self) -> FlajoletMartin:
+        return FlajoletMartin(num_registers=self.fm_registers, seed=self.seed)
+
+    def _merge_state_into(
+        self, merged: "StreamingUnexpectedTalkers", other: "StreamingUnexpectedTalkers"
+    ) -> None:
+        super()._merge_state_into(merged, other)
+        for dst in sorted(set(self._indegree) | set(other._indegree), key=str):
+            merged._indegree[dst] = (self._indegree.get(dst) or self._empty_fm()).merge(
+                other._indegree.get(dst) or self._empty_fm()
+            )

@@ -62,6 +62,22 @@ class TestApply:
         value = engine.persistence(survivors[0])
         assert value is not None and 0.0 <= value <= 1.0
 
+    def test_persistence_clamped_when_distance_exceeds_one(
+        self, config, buckets, monkeypatch
+    ):
+        import repro.service.shard as shard_module
+
+        monkeypatch.setattr(
+            shard_module, "get_distance", lambda name: lambda a, b: 1.5
+        )
+        engine = ShardEngine(0, config)
+        engine.apply(buckets[0])
+        engine.apply(buckets[1])
+        survivors = [n for n in engine.signatures if n in engine.prev_signatures]
+        assert survivors
+        assert engine.persistence(survivors[0]) == 0.0
+        assert engine.registry.counter_total("distance.out_of_range") == 1.0
+
     def test_query_index_matches_signatures(self, config, buckets):
         engine = ShardEngine(0, config)
         for bucket in buckets:
@@ -175,6 +191,64 @@ class TestSketchTier:
         tier.advance(records_factory(20, nodes=4, seed=3, start=200.0))
         # ...and the window has rolled fully past the first bucket.
         assert tier.window == 2
+
+    def test_advance_merges_instead_of_reobserving(self, records_factory):
+        config = ServiceConfig(
+            num_shards=1, window_records=25, window_buckets=3, queue_capacity=100, k=5
+        )
+        tier = SketchTier(config)
+        for i in range(5):
+            tier.advance(records_factory(20, nodes=4, seed=i, start=i * 100.0))
+        # 0 merges for the first bucket, 1 for the second, 2 per advance
+        # once the three-bucket window is full.
+        assert tier.registry.counter_total("sketch.merges") == 1 + 2 + 2 + 2
+
+    def test_each_record_observed_exactly_once(self, records_factory, monkeypatch):
+        """The tentpole contract: advancing re-observes nothing — each
+        record enters exactly one bucket builder, and windows are built by
+        sketch merging (the old path re-read every retained record)."""
+        from repro.streaming.stream_schemes import StreamingTopTalkers
+
+        calls = {"observe": 0}
+        original = StreamingTopTalkers.observe
+
+        def counting(self, src, dst, weight=1.0):
+            calls["observe"] += 1
+            return original(self, src, dst, weight)
+
+        monkeypatch.setattr(StreamingTopTalkers, "observe", counting)
+        config = ServiceConfig(
+            num_shards=1, window_records=25, window_buckets=3, queue_capacity=100, k=5
+        )
+        tier = SketchTier(config)
+        total = 0
+        for i in range(5):
+            bucket = records_factory(20, nodes=4, seed=i, start=i * 100.0)
+            total += len(bucket)
+            tier.advance(bucket)
+        assert calls["observe"] == total
+
+    def test_persistence_clamped_when_distance_exceeds_one(
+        self, config, buckets, monkeypatch
+    ):
+        """Regression: the sketch tier computed ``1 - distance`` without the
+        range clamp the exact path got, so a distance > 1 surfaced as a
+        negative persistence in /anomaly responses."""
+        import repro.service.shard as shard_module
+        from repro import obs
+
+        monkeypatch.setattr(
+            shard_module, "get_distance", lambda name: lambda a, b: 1.5
+        )
+        tier = SketchTier(config)
+        tier.advance(buckets[0])
+        tier.advance(buckets[0])
+        node = next(record.src for record in buckets[0])
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            value = tier.persistence(node)
+        assert value == 0.0
+        assert registry.counter_total("distance.out_of_range") == 1.0
 
     def test_ut_scheme_uses_unexpected_talkers(self, buckets):
         from repro.streaming.stream_schemes import StreamingUnexpectedTalkers

@@ -1,0 +1,248 @@
+"""Property tests: merged per-bucket sketches == one sketch over the
+concatenated stream.
+
+This is the contract the sketch tier's window advance and the fleet-wide
+shard combination both lean on: observing a stream bucket-by-bucket and
+merging must be indistinguishable (exactly, where the structure allows;
+within the published bounds otherwise) from observing the whole stream.
+Weights are integer-valued so float addition order cannot blur the exact
+comparisons.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StreamingError
+from repro.streaming.countmin import CountMinSketch
+from repro.streaming.fm import FlajoletMartin
+from repro.streaming.spacesaving import SpaceSaving
+from repro.streaming.stream_schemes import (
+    StreamingTopTalkers,
+    StreamingUnexpectedTalkers,
+)
+
+
+def random_stream(rng, length, num_sources=12, num_destinations=40):
+    """Random (src, dst, weight) triples with integer weights (incl. a few
+    self-loops and zero weights, which builders must treat consistently)."""
+    stream = []
+    for _ in range(length):
+        src = f"s{rng.integers(0, num_sources)}"
+        if rng.random() < 0.05:
+            dst = src
+        else:
+            dst = f"d{rng.integers(0, num_destinations)}"
+        weight = float(rng.integers(0, 6))
+        stream.append((src, dst, weight))
+    return stream
+
+
+def split_buckets(stream, num_buckets, rng):
+    cuts = sorted(rng.choice(len(stream), size=num_buckets - 1, replace=False))
+    buckets, start = [], 0
+    for cut in list(cuts) + [len(stream)]:
+        buckets.append(stream[start:cut])
+        start = cut
+    return buckets
+
+
+class TestCountMinMerge:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merged_equals_concatenated(self, seed):
+        rng = np.random.default_rng(seed)
+        stream = [
+            (f"item-{rng.integers(0, 50)}", float(rng.integers(1, 10)))
+            for _ in range(600)
+        ]
+        buckets = split_buckets(stream, 4, rng)
+        whole = CountMinSketch(epsilon=0.01, delta=0.01, seed=3)
+        for item, count in stream:
+            whole.update(item, count)
+        parts = []
+        for bucket in buckets:
+            sketch = CountMinSketch(epsilon=0.01, delta=0.01, seed=3)
+            for item, count in bucket:
+                sketch.update(item, count)
+            parts.append(sketch)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged.merge(part)
+        assert merged.total == whole.total
+        assert np.array_equal(merged._table, whole._table)
+        for item in {item for item, _count in stream}:
+            assert merged.estimate(item) == whole.estimate(item)
+
+    def test_mismatched_shape_rejected(self):
+        with pytest.raises(StreamingError):
+            CountMinSketch(width=16, depth=4).merge(CountMinSketch(width=32, depth=4))
+
+    def test_mismatched_seed_rejected(self):
+        with pytest.raises(StreamingError):
+            CountMinSketch(seed=0).merge(CountMinSketch(seed=1))
+
+
+class TestFlajoletMartinMerge:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merged_equals_concatenated(self, seed):
+        rng = np.random.default_rng(seed)
+        items = [f"item-{rng.integers(0, 400)}" for _ in range(500)]
+        buckets = split_buckets(items, 3, rng)
+        whole = FlajoletMartin(num_registers=32, seed=7)
+        for item in items:
+            whole.add(item)
+        parts = []
+        for bucket in buckets:
+            sketch = FlajoletMartin(num_registers=32, seed=7)
+            for item in bucket:
+                sketch.add(item)
+            parts.append(sketch)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged.merge(part)
+        assert np.array_equal(merged._bitmaps, whole._bitmaps)
+        assert merged.estimate() == whole.estimate()
+
+    def test_mismatched_registers_rejected(self):
+        with pytest.raises(StreamingError):
+            FlajoletMartin(num_registers=16).merge(FlajoletMartin(num_registers=32))
+
+    def test_mismatched_seed_rejected(self):
+        with pytest.raises(StreamingError):
+            FlajoletMartin(seed=0).merge(FlajoletMartin(seed=5))
+
+
+class TestSpaceSavingMerge:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_when_no_evictions(self, seed):
+        """With capacity above the distinct-item count neither side ever
+        evicts, so the merge must equal counting the concatenated stream."""
+        rng = np.random.default_rng(seed)
+        stream = [
+            (f"item-{rng.integers(0, 30)}", float(rng.integers(1, 8)))
+            for _ in range(400)
+        ]
+        buckets = split_buckets(stream, 3, rng)
+        whole = SpaceSaving(64)
+        for item, count in stream:
+            whole.update(item, count)
+        merged = None
+        for bucket in buckets:
+            counter = SpaceSaving(64)
+            for item, count in bucket:
+                counter.update(item, count)
+            merged = counter if merged is None else merged.merge(counter)
+        assert merged.total == whole.total
+        assert sorted(merged.items()) == sorted(whole.items())
+        assert merged.top(10) == whole.top(10)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bounds_survive_evictions(self, seed):
+        """Under eviction pressure the merge stays a valid summary: counts
+        never underestimate and count - error never overestimates."""
+        rng = np.random.default_rng(100 + seed)
+        truth = {}
+        merged = None
+        for _bucket in range(4):
+            counter = SpaceSaving(8)
+            for _ in range(300):
+                if rng.random() < 0.6:
+                    item = f"heavy-{rng.integers(0, 4)}"
+                else:
+                    item = f"light-{rng.integers(0, 120)}"
+                counter.update(item)
+                truth[item] = truth.get(item, 0) + 1
+            merged = counter if merged is None else merged.merge(counter)
+        assert len(merged) <= 8
+        assert merged.total == sum(truth.values())
+        for item, count, error in merged.items():
+            assert count >= truth.get(item, 0)
+            assert count - error <= truth.get(item, 0)
+
+    def test_heavy_hitters_survive_merging(self):
+        rng = np.random.default_rng(42)
+        merged = None
+        for _bucket in range(5):
+            counter = SpaceSaving(16)
+            for _ in range(1000):
+                if rng.random() < 0.5:
+                    counter.update(f"heavy-{rng.integers(0, 3)}")
+                else:
+                    counter.update(f"light-{rng.integers(0, 400)}")
+            merged = counter if merged is None else merged.merge(counter)
+        top = [item for item, _count in merged.top(3)]
+        assert set(top) == {"heavy-0", "heavy-1", "heavy-2"}
+
+    def test_mismatched_capacity_rejected(self):
+        with pytest.raises(StreamingError):
+            SpaceSaving(8).merge(SpaceSaving(16))
+
+
+class TestBuilderMerge:
+    @pytest.mark.parametrize("builder_cls", [StreamingTopTalkers, StreamingUnexpectedTalkers])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_merged_signatures_equal_concatenated(self, builder_cls, seed):
+        rng = np.random.default_rng(seed)
+        stream = random_stream(rng, 800)
+        buckets = split_buckets(stream, 4, rng)
+
+        def build(records):
+            builder = builder_cls(k=5, epsilon=0.01, candidate_capacity=80, seed=2)
+            builder.observe_stream(records)
+            return builder
+
+        whole = build(stream)
+        merged = None
+        for bucket in buckets:
+            part = build(bucket)
+            merged = part if merged is None else merged.merge(part)
+        assert sorted(merged.sources, key=str) == sorted(whole.sources, key=str)
+        for node in whole.sources:
+            assert merged.signature(node) == whole.signature(node)
+        assert merged.memory_cells() == whole.memory_cells()
+
+    def test_ut_merge_combines_in_degrees(self):
+        left = StreamingUnexpectedTalkers(k=3, seed=0)
+        right = StreamingUnexpectedTalkers(k=3, seed=0)
+        left.observe("a", "hub", 1.0)
+        left.observe("b", "hub", 1.0)
+        right.observe("c", "hub", 1.0)
+        right.observe("d", "hub", 1.0)
+        merged = left.merge(right)
+        whole = StreamingUnexpectedTalkers(k=3, seed=0)
+        for src in ("a", "b", "c", "d"):
+            whole.observe(src, "hub", 1.0)
+        assert merged.estimated_in_degree("hub") == whole.estimated_in_degree("hub")
+
+    def test_merge_does_not_alias_inputs(self):
+        left = StreamingTopTalkers(k=3, seed=0)
+        left.observe("a", "b", 2.0)
+        right = StreamingTopTalkers(k=3, seed=0)
+        merged = left.merge(right)
+        before = merged.signature("a")
+        left.observe("a", "b", 10.0)
+        left.observe("a", "c", 4.0)
+        assert merged.signature("a") == before
+        assert merged.estimated_edge_weight("a", "b") == 2.0
+
+    def test_mismatched_config_rejected(self):
+        base = StreamingTopTalkers(k=5, seed=0)
+        for other in (
+            StreamingTopTalkers(k=6, seed=0),
+            StreamingTopTalkers(k=5, seed=1),
+            StreamingTopTalkers(k=5, epsilon=0.5, seed=0),
+            StreamingTopTalkers(k=5, candidate_capacity=99, seed=0),
+        ):
+            with pytest.raises(StreamingError):
+                base.merge(other)
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(StreamingError):
+            StreamingTopTalkers(k=5).merge(StreamingUnexpectedTalkers(k=5))
+        with pytest.raises(StreamingError):
+            StreamingUnexpectedTalkers(k=5).merge(StreamingTopTalkers(k=5))
+
+    def test_ut_fm_registers_mismatch_rejected(self):
+        with pytest.raises(StreamingError):
+            StreamingUnexpectedTalkers(fm_registers=32).merge(
+                StreamingUnexpectedTalkers(fm_registers=64)
+            )

@@ -95,6 +95,50 @@ class TestEvictionGuarantees:
                 assert key in counter, (key, count, threshold)
 
 
+class TestHeapCompaction:
+    def test_heap_stays_bounded_on_long_skewed_stream(self):
+        """Regression: every update pushes a fresh heap tuple and stale ones
+        were only discarded during eviction, so a long stream of updates to
+        already-tracked items grew the heap linearly — unbounded memory in a
+        structure whose whole point is a capacity bound."""
+        capacity = 16
+        counter = SpaceSaving(capacity)
+        rng = np.random.default_rng(11)
+        # Skewed stream dominated by repeat hits on the tracked set: almost
+        # every update re-pushes an existing entry without triggering an
+        # eviction (the only place stale tuples used to be dropped).
+        for step in range(20000):
+            if rng.random() < 0.97:
+                counter.update(f"heavy-{rng.integers(0, capacity // 2)}")
+            else:
+                counter.update(f"light-{step}")
+        assert len(counter._heap) <= 2 * capacity
+
+    def test_compaction_preserves_guarantees(self):
+        """Compaction must not disturb the SpaceSaving invariants: counts
+        never underestimate, count - error never overestimates, and the
+        eviction path keeps finding the true minimum entry."""
+        capacity = 8
+        counter = SpaceSaving(capacity)
+        truth = {}
+        rng = np.random.default_rng(12)
+        for step in range(5000):
+            if rng.random() < 0.9:
+                item, count = f"heavy-{rng.integers(0, 4)}", float(1 + step % 3)
+            else:
+                item, count = f"light-{rng.integers(0, 200)}", 1.0
+            counter.update(item, count)
+            truth[item] = truth.get(item, 0.0) + count
+        assert len(counter) <= capacity
+        minimum = min(count for _item, count, _error in counter.items())
+        for item, count, error in counter.items():
+            assert count >= truth.get(item, 0.0)
+            assert count - error <= truth.get(item, 0.0)
+        # The eviction path must still find the true minimum entry.
+        counter.update("brand-new-item", 1.0)
+        assert counter.estimate("brand-new-item") == minimum + 1.0
+
+
 class TestTop:
     def test_top_ordering(self):
         counter = SpaceSaving(10)

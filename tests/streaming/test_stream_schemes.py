@@ -132,6 +132,79 @@ class TestStreamingUnexpectedTalkers:
         assert ut_builder.memory_cells() > tt_builder.memory_cells()
 
 
+class TestSelfLoopParity:
+    """Filtering parity between the streaming builders and the exact schemes.
+
+    Exact TT/UT exclude the self-loop from the numerator (Definition 1),
+    but exact ``CommGraph.in_degree`` counts a self-loop source — so the
+    streaming UT in-degree sketch must too, or exact-vs-sketch accuracy
+    gates get skewed by filtering differences rather than sketch error.
+    """
+
+    def edges(self):
+        return [
+            ("i", "x", 5.0),
+            ("i", "y", 6.0),
+            ("z", "x", 1.0),
+            ("z", "y", 1.0),
+            ("y", "y", 1.0),
+        ]
+
+    def exact_graph(self):
+        from repro.graph.comm_graph import CommGraph
+
+        graph = CommGraph()
+        for src, dst, weight in self.edges():
+            graph.add_edge(src, dst, weight)
+        return graph
+
+    def test_self_loop_counts_toward_streaming_in_degree(self):
+        """Regression: the streaming UT builder dropped ``src == dst``
+        before the FM add, so a destination's self-loop never reached its
+        in-degree estimate while exact ``in_degree`` counts it."""
+        graph = self.exact_graph()
+        assert graph.in_degree("y") == 3  # {i, z, y} — self-loop included
+        builder = StreamingUnexpectedTalkers(k=2, epsilon=0.001)
+        builder.observe_stream(graph.edges())
+        assert builder.estimated_in_degree("y") == pytest.approx(
+            graph.in_degree("y"), rel=0.2
+        )
+
+    def test_streamed_ranking_matches_exact(self):
+        """Exact: |I(x)| = 2, |I(y)| = 3, so x (5/2) outranks y (6/3) for
+        owner i.  Pre-fix the sketch saw |I(y)| ~= 2 and inverted the order."""
+        graph = self.exact_graph()
+        exact = create_scheme("ut", k=2).compute(graph, "i")
+        assert exact.weight("x") > exact.weight("y")
+        builder = StreamingUnexpectedTalkers(k=2, epsilon=0.001)
+        builder.observe_stream(graph.edges())
+        streamed = builder.signature("i")
+        assert streamed.nodes == exact.nodes
+        assert streamed.weight("x") > streamed.weight("y")
+
+    def test_self_loop_still_excluded_from_numerator(self):
+        builder = StreamingUnexpectedTalkers(k=3)
+        builder.observe("a", "a", 5.0)
+        assert builder.sources == ()  # no TT state from a pure self-loop
+        builder.observe("a", "b", 1.0)
+        assert "a" not in builder.signature("a").nodes
+
+    def test_zero_weight_parity(self):
+        """Zero-weight records materialise endpoints in the exact graph but
+        contribute no edge and no in-neighbour entry; the streaming side
+        drops them entirely — both yield empty signatures."""
+        from repro.graph.comm_graph import CommGraph
+
+        graph = CommGraph()
+        graph.add_edge("a", "b", 0.0)
+        exact = create_scheme("ut", k=3).compute(graph, "a")
+        builder = StreamingUnexpectedTalkers(k=3)
+        builder.observe("a", "b", 0.0)
+        assert len(exact) == 0
+        assert len(builder.signature("a")) == 0
+        assert builder.estimated_in_degree("b") == 0.0
+
+
 class TestObserveRecords:
     def test_records_match_triple_stream(self):
         from repro.graph.stream import EdgeRecord

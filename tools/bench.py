@@ -29,12 +29,23 @@ asserts byte-identical signatures, and writes
 at 4 workers) is core-count independent and always enforced; the
 vs-serial scaling gate only fires on hosts with >= 4 CPUs.
 
+A fourth stage (``--stage sketch``) maps the memory-budgeted sketch
+tier's accuracy-vs-memory curve (:mod:`repro.streaming.tier`) on a
+large-external-universe enterprise trace (100k+ graph nodes in full
+mode), measures top-k overlap and persistence error against the exact
+signatures at each budget, benchmarks the merge-based
+``SketchTier.advance`` against the old full re-observation path, and
+writes ``benchmarks/perf/BENCH_sketch_tier.json``.  Gates (full mode):
+mean top-k overlap >= 0.9 at the default budget, and tier bytes >= 4x
+below the exact graph's adjacency at the same per-entry cost.
+
 Usage::
 
     python tools/bench.py                 # full run, n=2000 windows
     python tools/bench.py --quick         # CI smoke: small n, agreement only
     python tools/bench.py --stage incremental   # delta-engine stage only
     python tools/bench.py --stage shm           # shared-memory stage only
+    python tools/bench.py --stage sketch        # sketch-tier stage only
     python tools/bench.py --stage all
     python tools/bench.py --output out.json
 """
@@ -64,6 +75,7 @@ INCREMENTAL_OUTPUT = (
     REPO_ROOT / "benchmarks" / "perf" / "BENCH_incremental_engine.json"
 )
 SHM_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_shared_memory.json"
+SKETCH_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_sketch_tier.json"
 AGREEMENT_TOLERANCE = 1e-9
 
 #: Incremental-engine acceptance gate: schemes whose mean dirty fraction is
@@ -78,6 +90,14 @@ MAX_DIRTY_FRACTION = 0.10
 #: cores and is only enforced when the host has >= SHM_GATE_WORKERS CPUs.
 MIN_SHM_SPEEDUP = 2.0
 SHM_GATE_WORKERS = 4
+
+#: Sketch-tier acceptance gates, both evaluated at the tier's default
+#: budget on the full-mode trace: mean top-k overlap with the exact
+#: signatures, and how far tier state sits below the exact graph's
+#: adjacency (both sides priced at HOT_ENTRY_BYTES per entry, so the
+#: ratio compares like with like).
+MIN_SKETCH_OVERLAP = 0.9
+MIN_SKETCH_MEMORY_RATIO = 4.0
 
 
 def synthetic_window(count: int, k: int, seed: int, churn: float = 0.0) -> dict:
@@ -557,6 +577,257 @@ def bench_shm_dirty(
     )
 
 
+def _add_scanner_hosts(data, num_scanners, draws_per_window, universe, seed):
+    """Graft scanner-style sources onto an enterprise trace.
+
+    Scanners (vulnerability probes, crawlers, monitoring fleets) are the
+    canonical reason a sketch tier exists: a handful of sources whose
+    one-off probes inflate the distinct-destination universe far past
+    what exact per-source state can hold, while the hundreds of ordinary
+    hosts keep small, repetitive adjacencies.  Each scanner sprays
+    ``draws_per_window`` uniform probes into its own ``wild-*`` address
+    space, fresh every window.
+    """
+    rng = np.random.default_rng(seed)
+    scanners = [f"scan-{index:03d}" for index in range(num_scanners)]
+    for graph in data.graphs.graphs:
+        for host in scanners:
+            graph.add_left_node(host)
+            targets, counts = np.unique(
+                rng.integers(0, universe, size=draws_per_window),
+                return_counts=True,
+            )
+            for address, count in zip(targets.tolist(), counts.tolist()):
+                graph.add_edge(host, f"wild-{address:07d}", float(count))
+    data.local_hosts.extend(scanners)
+    return data
+
+
+def sketch_trace(quick: bool):
+    """A two-window enterprise trace plus scanner hosts.
+
+    Full mode pushes the destination universe past 100k distinct graph
+    nodes per window — the regime the budgeted tier exists for (exact
+    per-source state tracks the universe; tier state tracks the budget).
+    The mix is deliberate: ~400 repeat-talker hosts the hot-set knapsack
+    can cover exactly, plus 20 scanners whose sprayed probes carry the
+    bulk of the distinct-node mass and land in the sketched tail.
+    """
+    from repro.datasets.enterprise import EnterpriseFlowGenerator, EnterpriseParams
+
+    if quick:
+        params = EnterpriseParams(
+            num_hosts=80,
+            num_external=2500,
+            num_windows=2,
+            num_alias_users=5,
+            seed=3,
+        )
+        data = EnterpriseFlowGenerator(params).generate()
+        return _add_scanner_hosts(
+            data, num_scanners=2, draws_per_window=1500, universe=30000, seed=17
+        )
+    params = EnterpriseParams(
+        num_hosts=400,
+        num_external=50000,
+        mean_sessions=300.0,
+        noise_share=0.15,
+        num_windows=2,
+        num_alias_users=20,
+        seed=3,
+    )
+    data = EnterpriseFlowGenerator(params).generate()
+    return _add_scanner_hosts(
+        data, num_scanners=20, draws_per_window=16000, universe=1000000, seed=17
+    )
+
+
+def _mean_topk_overlap(exact: dict, approx: dict, hosts) -> float:
+    overlaps = [
+        len(exact[h].nodes & approx[h].nodes) / len(exact[h].nodes)
+        for h in hosts
+        if exact[h].nodes
+    ]
+    return sum(overlaps) / len(overlaps) if overlaps else 1.0
+
+
+def _persistence_map(now: dict, prev: dict, hosts) -> dict:
+    from repro.core.distances import get_distance
+
+    sdice = get_distance("sdice")
+    return {
+        h: 1.0 - sdice(prev[h], now[h])
+        for h in hosts
+        if h in now and h in prev
+    }
+
+
+def bench_sketch_accuracy(data, budgets, repeats: int, records_out: list) -> dict:
+    """Top-k overlap / persistence error / bytes across the budget curve.
+
+    Returns the summary facts the gates need (exact adjacency bytes and
+    the default-budget row).  The exact side is priced at the tier's own
+    HOT_ENTRY_BYTES per adjacency entry, so the memory ratio compares
+    idealized-compact state on both sides rather than flattering the
+    sketch with Python dict overheads.
+    """
+    from repro.core.scheme import create_scheme
+    from repro.streaming.tier import (
+        DEFAULT_BUDGET_BYTES,
+        HOT_ENTRY_BYTES,
+        SketchTierEngine,
+    )
+
+    graph_now, graph_next = data.graphs.graphs[0], data.graphs.graphs[1]
+    hosts = data.local_hosts
+    scheme = create_scheme("tt", k=10)
+    exact_now = scheme.compute_all(graph_now, hosts)
+    exact_next = scheme.compute_all(graph_next, hosts)
+    exact_persistence = _persistence_map(exact_next, exact_now, hosts)
+    exact_bytes = (graph_now.num_nodes + graph_now.num_edges) * HOT_ENTRY_BYTES
+
+    default_row = None
+    for budget in budgets:
+        engine = SketchTierEngine(budget_bytes=budget, seed=3)
+        wall, approx_now = timed(
+            lambda: scheme.compute_all(
+                graph_now, hosts, strategy="sketch", engine=engine
+            ),
+            repeats=repeats,
+        )
+        stats = dict(engine.last_stats)
+        approx_next = scheme.compute_all(
+            graph_next, hosts, strategy="sketch", engine=engine
+        )
+        overlap = (
+            _mean_topk_overlap(exact_now, approx_now, hosts)
+            + _mean_topk_overlap(exact_next, approx_next, hosts)
+        ) / 2.0
+        approx_persistence = _persistence_map(approx_next, approx_now, hosts)
+        errors = [
+            abs(exact_persistence[h] - approx_persistence[h])
+            for h in exact_persistence
+            if h in approx_persistence
+        ]
+        row = {
+            "op": "sketch_accuracy_vs_memory",
+            "budget_bytes": budget,
+            "bytes_used": int(stats["bytes_used"]),
+            "hot_nodes": int(stats["hot_nodes"]),
+            "tail_nodes": int(stats["tail_nodes"]),
+            "cm_width": int(stats["cm_width"]),
+            "topk_overlap": round(overlap, 4),
+            "persistence_mae": round(
+                sum(errors) / len(errors) if errors else 0.0, 4
+            ),
+            "exact_bytes": exact_bytes,
+            "memory_ratio_vs_exact": round(exact_bytes / stats["bytes_used"], 2),
+            "wall_s": round(wall, 6),
+            "is_default_budget": budget == DEFAULT_BUDGET_BYTES,
+        }
+        records_out.append(row)
+        if row["is_default_budget"]:
+            default_row = row
+    return {
+        "exact_bytes": exact_bytes,
+        "graph_nodes": graph_now.num_nodes,
+        "graph_edges": graph_now.num_edges,
+        "default_row": default_row,
+    }
+
+
+def sketch_advance_buckets(
+    num_buckets: int, bucket_size: int, num_sources: int, seed: int
+) -> list:
+    """Seeded per-bucket record lists for the advance-throughput bench."""
+    from repro.graph.stream import EdgeRecord
+
+    rng = random.Random(seed)
+    return [
+        [
+            EdgeRecord(
+                time=float(b),
+                src=f"h{rng.randrange(num_sources)}",
+                dst=f"e{rng.randrange(8 * num_sources)}",
+                weight=float(rng.randrange(1, 6)),
+            )
+            for _ in range(bucket_size)
+        ]
+        for b in range(num_buckets)
+    ]
+
+
+def bench_sketch_advance(quick: bool, repeats: int, records_out: list) -> None:
+    """Merge-based ``SketchTier.advance`` vs the old full re-observation.
+
+    The baseline reproduces the code this PR removed: every advance built
+    a fresh window builder and re-observed all retained records —
+    O(window_buckets x bucket) record updates per window, against the new
+    path's one bucket observation plus sketch merges.
+    """
+    from collections import deque
+
+    from repro.service.config import ServiceConfig
+    from repro.service.shard import SketchTier
+    from repro.streaming.stream_schemes import StreamingTopTalkers
+
+    # The regime the merge path targets: shard-sized owner populations
+    # with many records per bucket, where re-observation cost scales with
+    # window_buckets x bucket while merging scales with owners.
+    window_buckets = 4 if quick else 8
+    buckets = sketch_advance_buckets(
+        num_buckets=10 if quick else 24,
+        bucket_size=1024 if quick else 4096,
+        num_sources=16 if quick else 24,
+        seed=41,
+    )
+    config = ServiceConfig(
+        scheme="tt", k=10, window_buckets=window_buckets, window_records=1
+    )
+
+    def run_merge():
+        tier = SketchTier(config)
+        for bucket in buckets:
+            tier.advance(bucket)
+        return tier.current
+
+    def run_rebuild():
+        retained: deque = deque(maxlen=window_buckets)
+        current = None
+        for bucket in buckets:
+            retained.append(sorted(bucket))
+            builder = StreamingTopTalkers(
+                k=config.k,
+                epsilon=config.streaming_epsilon,
+                delta=config.streaming_delta,
+                seed=config.seed,
+            )
+            for part in retained:
+                builder.observe_records(part)
+            current = builder
+        return current
+
+    merge_wall, merge_builder = timed(run_merge, repeats=repeats)
+    rebuild_wall, rebuild_builder = timed(run_rebuild, repeats=repeats)
+    if set(merge_builder.sources) != set(rebuild_builder.sources):
+        raise AssertionError(
+            "merge-based advance tracks a different source set than rebuild"
+        )
+    records_out.append(
+        {
+            "op": "sketch_advance_throughput",
+            "windows": len(buckets),
+            "window_buckets": window_buckets,
+            "records_per_bucket": len(buckets[0]),
+            "rebuild_wall_s": round(rebuild_wall, 6),
+            "merge_wall_s": round(merge_wall, 6),
+            "speedup_vs_rebuild": round(rebuild_wall / merge_wall, 2),
+            "rebuild_windows_per_s": round(len(buckets) / rebuild_wall, 1),
+            "merge_windows_per_s": round(len(buckets) / merge_wall, 1),
+        }
+    )
+
+
 def warm_up() -> None:
     """Prime BLAS threads / page caches so first-call cost is not timed."""
     signatures = synthetic_window(64, 10, seed=1)
@@ -797,6 +1068,96 @@ def _run_shm_stage(args) -> int:
     return 0
 
 
+def _run_sketch_stage(args) -> int:
+    from repro.streaming.tier import DEFAULT_BUDGET_BYTES
+
+    repeats = 1 if args.quick else 2
+    budgets = (
+        (1 << 14, 1 << 17, DEFAULT_BUDGET_BYTES)
+        if args.quick
+        else (1 << 16, 1 << 18, 1 << 20, DEFAULT_BUDGET_BYTES, 1 << 22)
+    )
+
+    records: list = []
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        with obs.span("bench.sketch_tier"):
+            data = sketch_trace(args.quick)
+            facts = bench_sketch_accuracy(data, budgets, repeats, records)
+            bench_sketch_advance(args.quick, repeats, records)
+    counters = {
+        key: value
+        for key, value in registry.counters_flat().items()
+        if key.startswith("sketch.")
+    }
+
+    payload = {
+        "benchmark": "sketch_tier",
+        "mode": "quick" if args.quick else "full",
+        "trace": {
+            "hosts": len(data.local_hosts),
+            "graph_nodes": facts["graph_nodes"],
+            "graph_edges": facts["graph_edges"],
+            "exact_bytes": facts["exact_bytes"],
+        },
+        "gate": {
+            "default_budget_bytes": DEFAULT_BUDGET_BYTES,
+            "min_topk_overlap": MIN_SKETCH_OVERLAP,
+            "min_memory_ratio": MIN_SKETCH_MEMORY_RATIO,
+            "min_graph_nodes": 100000,
+        },
+        "results": records,
+        "obs_counters": counters,
+    }
+    output = args.output if args.output and args.stage == "sketch" else SKETCH_OUTPUT
+    _write_payload(payload, output)
+    for record in records:
+        if record["op"] == "sketch_accuracy_vs_memory":
+            print(
+                f"sketch_accuracy  budget {record['budget_bytes']:>9}"
+                f"  used {record['bytes_used']:>9}"
+                f"  hot {record['hot_nodes']:>4}  tail {record['tail_nodes']:>5}"
+                f"  overlap {record['topk_overlap']:.3f}"
+                f"  persist-mae {record['persistence_mae']:.4f}"
+                f"  mem-ratio {record['memory_ratio_vs_exact']:>6.2f}x"
+            )
+        else:
+            print(
+                f"sketch_advance   {record['windows']} windows x "
+                f"{record['window_buckets']} buckets"
+                f"  rebuild {record['rebuild_wall_s']:.4f}s"
+                f"  merge {record['merge_wall_s']:.4f}s"
+                f"  speedup {record['speedup_vs_rebuild']:.2f}x"
+            )
+
+    if args.quick:
+        return 0
+    failures = []
+    default_row = facts["default_row"]
+    if facts["graph_nodes"] < 100000:
+        failures.append(
+            f"trace too small for the memory gate: {facts['graph_nodes']} "
+            f"graph nodes < 100000"
+        )
+    if default_row is None:
+        failures.append("default budget missing from the curve")
+    else:
+        if default_row["topk_overlap"] < MIN_SKETCH_OVERLAP:
+            failures.append(
+                f"top-k overlap {default_row['topk_overlap']} < "
+                f"{MIN_SKETCH_OVERLAP} at the default budget"
+            )
+        if default_row["memory_ratio_vs_exact"] < MIN_SKETCH_MEMORY_RATIO:
+            failures.append(
+                f"memory ratio {default_row['memory_ratio_vs_exact']}x < "
+                f"{MIN_SKETCH_MEMORY_RATIO}x at the default budget"
+            )
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -806,7 +1167,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--stage",
-        choices=("kernels", "incremental", "shm", "all"),
+        choices=("kernels", "incremental", "shm", "sketch", "all"),
         default="kernels",
         help="which benchmark stage to run (default: kernels)",
     )
@@ -839,6 +1200,8 @@ def main(argv=None) -> int:
         exit_code |= _run_incremental_stage(args)
     if args.stage in ("shm", "all"):
         exit_code |= _run_shm_stage(args)
+    if args.stage in ("sketch", "all"):
+        exit_code |= _run_sketch_stage(args)
     return exit_code
 
 
