@@ -1,0 +1,111 @@
+"""Watching the signature service watch itself: traces, digests, SLOs.
+
+The sharded service (``examples/resilient_service.py``) keeps answering
+while shards fail — this example shows how you'd *know*:
+
+1. run a seeded open-loop load profile through an in-process service
+   (``repro.service.loadgen``) and read per-endpoint exact quantiles;
+2. fetch the span tree of a real ``/similar`` scatter-gather from
+   ``GET /trace/<id>`` — frontend edge, home-shard query, per-shard
+   gather spans, all stamped with the caller's ``X-Trace-Id``;
+3. read the mergeable latency digests off ``/metrics`` (Prometheus
+   summaries with a guaranteed ±1% quantile error) and fold the
+   per-shard breaker digests into one cross-shard view;
+4. ask ``GET /slo`` for multi-window error-budget burn rates, then grep
+   the structured event log for one trace id to replay that request.
+
+Run:  python examples/service_slo.py
+"""
+
+import io
+import json
+
+from repro import obs
+from repro.service import (
+    LoadGenerator,
+    LoadProfile,
+    ServiceConfig,
+    SignatureService,
+)
+
+
+def main():
+    config = ServiceConfig(num_shards=3, window_records=64)
+    service = SignatureService(config)
+    buffer = io.StringIO()
+    log = obs.EventLog(buffer, run_id="slo-demo", level="debug")
+
+    try:
+        # --- 1. seeded load -------------------------------------------------
+        profile = LoadProfile(requests=150, warmup_records=256, seed=7)
+        with obs.use_event_log(log):
+            report = LoadGenerator(service, profile).run()
+        print("== load profile ==")
+        print(f"requests: {profile.requests}  seed: {profile.seed}  "
+              f"duration: {report.duration_s * 1e3:.1f}ms")
+        for kind, entry in report.endpoint_summary().items():
+            print(f"  {kind:>9}: n={entry['count']:<4} "
+                  f"p50={entry['p50_s'] * 1e3:.3f}ms "
+                  f"p99={entry['p99_s'] * 1e3:.3f}ms "
+                  f"statuses={entry['by_status']}")
+
+        # --- 2. the span tree of one real scatter-gather --------------------
+        status, headers, _body = service.respond(
+            "GET", "/similar/h1?k=3", headers={"X-Trace-Id": "deadbeef" * 4}
+        )
+        trace_id = headers["X-Trace-Id"]
+        _status, _h, trace_body = service.respond("GET", f"/trace/{trace_id}")
+        trace = json.loads(trace_body)
+        print(f"\n== trace {trace_id[:12]}... (status {status}) ==")
+
+        def show(span, depth=1):
+            attrs = span.get("attrs", {})
+            label = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            print(f"  {'  ' * depth}{span['name']} "
+                  f"[{span['duration_s'] * 1e3:.3f}ms] {label}")
+            for child in span.get("children", []):
+                show(child, depth + 1)
+
+        show(trace["spans"])
+
+        # --- 3. digests: per-endpoint and cross-shard -----------------------
+        snapshot = service.frontend.merged_snapshot()
+        print("\n== latency digests (±1% quantile error, mergeable) ==")
+        breaker_states = []
+        for name, labels, state in snapshot["digests"]:
+            if name == "service.latency_s":
+                p99 = obs.quantile_from_state(state, 0.99)
+                print(f"  {labels['endpoint']:>10}: count={state['count']:<4} "
+                      f"p99={p99 * 1e3:.3f}ms")
+            elif name == "breaker.latency_s" and labels["outcome"] == "success":
+                breaker_states.append(state)
+        merged = obs.merge_digest_states(breaker_states)
+        print(f"  cross-shard breaker merge: {len(breaker_states)} shards, "
+              f"count={merged.count}, p99={merged.quantile(0.99) * 1e3:.3f}ms")
+
+        # --- 4. SLO burn rates and trace-correlated events ------------------
+        slo = json.loads(service.respond("GET", "/slo")[2])
+        print("\n== /slo ==")
+        for objective in slo["objectives"]:
+            windows = ", ".join(
+                f"{int(w['window_s'])}s: {w['burn_rate']:.2f}"
+                for w in objective["windows"]
+            )
+            print(f"  {objective['name']:<14} verdict={objective['verdict']} "
+                  f"burn=[{windows}]")
+
+        buffer.seek(0)
+        tagged = [
+            json.loads(line)
+            for line in buffer
+            if json.loads(line).get("trace_id")
+        ]
+        print(f"\n== event log ==\n  {len(tagged)} events carry trace ids; "
+              "read_events(path, trace_id=...) replays one request")
+    finally:
+        service.close()
+        log.close()
+
+
+if __name__ == "__main__":
+    main()

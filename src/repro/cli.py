@@ -219,6 +219,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         strategy=args.strategy,
         jobs=args.jobs if args.strategy == "shm" else 0,
         sketch_budget_bytes=args.sketch_budget,
+        slo_similar_p99_s=args.slo_similar_p99 or None,
+        slo_availability=args.slo_availability or None,
+        trace_store_size=args.trace_store_size,
     )
     service = SignatureService(config, checkpoint_dir=args.checkpoint_dir)
     if args.input:
@@ -241,7 +244,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     with ServiceServer(service, host=args.host, port=args.port) as server:
         print(f"signature service listening on {server.url}")
         print(
-            "endpoints: /status /metrics /signature/<node> "
+            "endpoints: /status /metrics /slo /trace/<id> /signature/<node> "
             "/similar/<node>?k=N /anomaly/<node> (POST /ingest)"
         )
         try:
@@ -476,6 +479,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="exit after this long (smoke tests / CI); default: serve forever",
+    )
+    service_group.add_argument(
+        "--slo-similar-p99",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="latency objective: /similar p99 must stay below this "
+        "(default: 0.25; 0 disables the objective)",
+    )
+    service_group.add_argument(
+        "--slo-availability",
+        type=float,
+        default=0.999,
+        metavar="FRACTION",
+        help="availability objective across all endpoints "
+        "(default: 0.999; 0 disables the objective)",
+    )
+    service_group.add_argument(
+        "--trace-store-size",
+        type=int,
+        default=256,
+        help="finished traces kept in memory for GET /trace/<id> "
+        "(default: 256)",
     )
     return parser
 

@@ -28,6 +28,7 @@ shared no-op, so instrumented code pays a single attribute read.
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
+    Digest,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -36,6 +37,7 @@ from repro.obs.registry import (
     counter,
     current_span_path,
     detached_span_path,
+    digest,
     enabled,
     gauge,
     get_registry,
@@ -44,6 +46,30 @@ from repro.obs.registry import (
     render_key,
     span,
     use_registry,
+)
+from repro.obs.digest import (
+    DEFAULT_RELATIVE_ACCURACY,
+    EXPORT_QUANTILES,
+    LatencyDigest,
+    merge_digest_states,
+    quantile_from_state,
+)
+from repro.obs.tracing import (
+    RequestContext,
+    TraceSpan,
+    TraceStore,
+    current_trace,
+    new_trace_id,
+    trace_span,
+    use_trace,
+)
+from repro.obs.slo import (
+    DEFAULT_WINDOWS_S,
+    KIND_AVAILABILITY,
+    KIND_LATENCY,
+    ServiceObjective,
+    SLOTracker,
+    burn_rate_rule,
 )
 from repro.obs.export import (
     SCHEMA_ID,
@@ -90,11 +116,18 @@ __all__ = [
     "AlertRule",
     "DEFAULT_BUCKETS",
     "DEFAULT_QUANTILES",
+    "DEFAULT_RELATIVE_ACCURACY",
+    "DEFAULT_WINDOWS_S",
     "Counter",
+    "Digest",
     "EventLog",
+    "EXPORT_QUANTILES",
     "Gauge",
     "Histogram",
+    "KIND_AVAILABILITY",
+    "KIND_LATENCY",
     "LEVELS",
+    "LatencyDigest",
     "MetricsRegistry",
     "NullEventLog",
     "NullRegistry",
@@ -102,16 +135,24 @@ __all__ = [
     "NULL_REGISTRY",
     "ObsServer",
     "PROMETHEUS_CONTENT_TYPE",
+    "RequestContext",
     "Sampler",
     "SCHEMA_ID",
+    "SLOTracker",
     "Series",
+    "ServiceObjective",
     "StdlibBridgeHandler",
     "TimeSeriesStore",
+    "TraceSpan",
+    "TraceStore",
     "attach_stdlib",
     "build_payload",
+    "burn_rate_rule",
     "counter",
     "current_span_path",
+    "current_trace",
     "detached_span_path",
+    "digest",
     "emit",
     "enabled",
     "format_hotspots",
@@ -120,16 +161,21 @@ __all__ = [
     "get_event_log",
     "get_registry",
     "histogram",
+    "merge_digest_states",
     "merge_into_active",
     "new_run_id",
+    "new_trace_id",
     "persistence_drop_rule",
     "quantile_from_buckets",
+    "quantile_from_state",
     "read_events",
     "render_key",
     "span",
     "to_prometheus",
+    "trace_span",
     "use_event_log",
     "use_registry",
+    "use_trace",
     "validate_payload",
     "validate_prometheus",
     "write_json",

@@ -13,6 +13,7 @@ import json
 import re
 from typing import Dict, List, Optional
 
+from repro.obs.digest import EXPORT_QUANTILES, LatencyDigest
 from repro.obs.profiling import format_hotspots
 from repro.obs.registry import render_key
 
@@ -65,7 +66,20 @@ def build_payload(snapshot: Dict, meta: Optional[Dict] = None) -> Dict:
         },
         "spans": _span_tree(snapshot.get("spans", [])),
     }
+    digests = snapshot.get("digests")
+    if digests:
+        payload["digests"] = {
+            render_key(name, tuple(sorted(labels.items()))): _digest_entry(state)
+            for name, labels, state in digests
+        }
     return payload
+
+
+def _digest_entry(state: Dict) -> Dict:
+    """Digest state plus ready-to-read quantile estimates."""
+    entry = dict(state)
+    entry["quantiles"] = LatencyDigest.from_dict(state).quantiles(EXPORT_QUANTILES)
+    return entry
 
 
 def write_json(path, snapshot: Dict, meta: Optional[Dict] = None) -> Dict:
@@ -138,6 +152,16 @@ def to_prometheus(snapshot: Dict) -> str:
         lines.append(f"{prom}_bucket{_prom_labels(inf_labels)} {cumulative}")
         lines.append(f"{prom}_sum{_prom_labels(labels)} {state['sum']:g}")
         lines.append(f"{prom}_count{_prom_labels(labels)} {state['count']}")
+    for name, labels, state in snapshot.get("digests", []):
+        prom = _prom_name(name)
+        _type_line(prom, "summary")
+        digest = LatencyDigest.from_dict(state)
+        for q in EXPORT_QUANTILES:
+            q_labels = dict(labels)
+            q_labels["quantile"] = f"{q:g}"
+            lines.append(f"{prom}{_prom_labels(q_labels)} {digest.quantile(q):g}")
+        lines.append(f"{prom}_sum{_prom_labels(labels)} {state['sum']:g}")
+        lines.append(f"{prom}_count{_prom_labels(labels)} {state['count']}")
     for record in snapshot.get("spans", []):
         prom = _prom_name("span_seconds")
         _type_line(prom, "summary")
@@ -202,6 +226,38 @@ def validate_payload(payload: Dict) -> List[str]:
                 total = sum(count for count in counts if isinstance(count, int))
                 _expect(total == state.get("count"),
                         f"histograms[{key!r}] bucket counts must sum to count")
+
+    digests = payload.get("digests")
+    if digests is not None:  # optional section: pre-digest payloads omit it
+        _expect(isinstance(digests, dict), "digests must be an object")
+    if isinstance(digests, dict):
+        for key, state in digests.items():
+            if not isinstance(state, dict):
+                errors.append(f"digests[{key!r}] must be an object")
+                continue
+            for field in ("relative_accuracy", "buckets", "zero_count",
+                          "count", "sum"):
+                _expect(field in state, f"digests[{key!r}] missing {field!r}")
+            accuracy = state.get("relative_accuracy")
+            if isinstance(accuracy, (int, float)):
+                _expect(0.0 < accuracy < 1.0,
+                        f"digests[{key!r}] relative_accuracy must be in (0, 1)")
+            buckets = state.get("buckets")
+            _expect(isinstance(buckets, list),
+                    f"digests[{key!r}] buckets must be an array")
+            if isinstance(buckets, list):
+                indices = [pair[0] for pair in buckets if isinstance(pair, list)]
+                _expect(indices == sorted(indices),
+                        f"digests[{key!r}] bucket indices must be sorted")
+                total = sum(
+                    pair[1] for pair in buckets
+                    if isinstance(pair, list) and len(pair) == 2
+                    and isinstance(pair[1], int)
+                )
+                if isinstance(state.get("zero_count"), int):
+                    total += state["zero_count"]
+                _expect(total == state.get("count"),
+                        f"digests[{key!r}] bucket counts must sum to count")
 
     def _check_span(node, where: str) -> None:
         if not isinstance(node, dict):
@@ -269,6 +325,7 @@ def validate_prometheus(text: str) -> List[str]:
     errors: List[str] = []
     buckets: Dict[tuple, List[tuple]] = {}
     counts: Dict[tuple, float] = {}
+    quantiles: Dict[tuple, List[tuple]] = {}
     for number, line in enumerate(text.splitlines(), start=1):
         if not line:
             continue
@@ -308,6 +365,13 @@ def validate_prometheus(text: str) -> List[str]:
             family = name[: -len("_count")]
             rest = tuple(sorted(labels.items()))
             counts[(family, rest)] = value
+        elif "quantile" in labels:
+            rest = tuple(sorted(
+                (key, val) for key, val in labels.items() if key != "quantile"
+            ))
+            quantiles.setdefault((name, rest), []).append(
+                (labels["quantile"], value, number)
+            )
     for (family, rest), series in buckets.items():
         cumulative = [value for _le, value in series]
         if cumulative != sorted(cumulative):
@@ -322,6 +386,28 @@ def validate_prometheus(text: str) -> List[str]:
                 f"{family}{dict(rest)}: +Inf bucket {inf_values[0]} != "
                 f"_count {counts[(family, rest)]}"
             )
+    for (family, rest), series in quantiles.items():
+        parsed = []
+        for q_text, value, number in series:
+            q = _parse_prom_value(q_text)
+            if q is None or not 0.0 <= q <= 1.0:
+                errors.append(
+                    f"line {number}: quantile label must be in [0, 1], "
+                    f"got {q_text!r}"
+                )
+            else:
+                parsed.append((q, value))
+        # A summary's quantile estimates read off one CDF: a higher
+        # quantile can never report a smaller value.
+        parsed.sort()
+        values = [value for _q, value in parsed]
+        if values != sorted(values):
+            errors.append(
+                f"{family}{dict(rest)}: quantile values must be "
+                f"non-decreasing in quantile: {parsed}"
+            )
+        if (family, rest) not in counts:
+            errors.append(f"{family}{dict(rest)}: summary missing _count sample")
     return errors
 
 

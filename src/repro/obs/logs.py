@@ -36,12 +36,15 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.obs.registry import counter as active_counter, current_span_path
+from repro.obs.tracing import current_trace
 
 #: Event severities, least to most severe (numeric ranks for filtering).
 LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
 
 #: Fields every event carries; user fields may not collide with them.
-RESERVED_FIELDS = ("ts", "level", "event", "run_id", "span", "seq")
+#: ``trace_id``/``request_id`` appear only while a request trace is active.
+RESERVED_FIELDS = ("ts", "level", "event", "run_id", "span", "seq",
+                   "trace_id", "request_id")
 
 
 def new_run_id() -> str:
@@ -111,6 +114,13 @@ class EventLog:
             "run_id": self.run_id,
             "span": "/".join(current_span_path()),
         }
+        trace = current_trace()
+        if trace is not None:
+            # Request correlation: every line emitted while serving a
+            # request carries its trace so `read_events(..., trace_id=...)`
+            # reconstructs the request's story across subsystems.
+            record["trace_id"] = trace.trace_id
+            record["request_id"] = trace.request_id
         record.update(fields)
         with self._lock:
             # The sequence number is assigned under the lock so concurrent
@@ -207,8 +217,14 @@ def emit(event: str, level: str = "info", **fields) -> Optional[Dict]:
     return log.emit(event, level=level, **fields)
 
 
-def read_events(path: Union[str, Path]) -> List[Dict]:
-    """Parse a JSON-lines event file back into a list of records."""
+def read_events(
+    path: Union[str, Path], trace_id: Optional[str] = None
+) -> List[Dict]:
+    """Parse a JSON-lines event file back into a list of records.
+
+    With ``trace_id`` set, return only the records stamped with that
+    request trace — the per-request view of a shared log file.
+    """
     records: List[Dict] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
@@ -216,11 +232,13 @@ def read_events(path: Union[str, Path]) -> List[Dict]:
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError as error:
                 raise ValueError(
                     f"{path}:{line_number}: not a JSON event line ({error})"
                 ) from error
+            if trace_id is None or record.get("trace_id") == trace_id:
+                records.append(record)
     return records
 
 

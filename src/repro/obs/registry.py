@@ -34,6 +34,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.digest import DEFAULT_RELATIVE_ACCURACY, LatencyDigest
 from repro.obs.profiling import capture_profile
 
 #: Default histogram buckets (seconds-ish scale; upper edges, +inf implied).
@@ -118,6 +119,27 @@ class Histogram:
             state["count"] += 1
             state["min"] = value if state["count"] == 1 else min(state["min"], value)
             state["max"] = value if state["count"] == 1 else max(state["max"], value)
+
+
+class Digest:
+    """Log-bucketed quantile digest; merges by adding bucket counts.
+
+    Unlike :class:`Histogram` there are no edges to agree on — only the
+    relative-accuracy parameter, which all workers must share for a merge
+    to be valid.  Quantile estimates carry a guaranteed relative-error
+    bound (see :mod:`repro.obs.digest`).
+    """
+
+    __slots__ = ("_registry", "_key")
+
+    def __init__(self, registry: "MetricsRegistry", key: _InstrumentKey) -> None:
+        self._registry = registry
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        registry = self._registry
+        with registry._lock:
+            registry._digests[self._key].observe(value)
 
 
 class _NullInstrument:
@@ -251,6 +273,7 @@ class MetricsRegistry:
         self._counters: Dict[_InstrumentKey, float] = {}
         self._gauges: Dict[_InstrumentKey, float] = {}
         self._histograms: Dict[_InstrumentKey, Dict] = {}
+        self._digests: Dict[_InstrumentKey, LatencyDigest] = {}
         self._spans: Dict[Tuple[str, ...], Dict] = {}
 
     # ------------------------------------------------------------------
@@ -286,6 +309,35 @@ class MetricsRegistry:
                     f"buckets {state['buckets']}"
                 )
         return Histogram(self, key)
+
+    def digest(
+        self, name: str, relative_accuracy: float | None = None, **labels
+    ) -> Digest:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            state = self._digests.get(key)
+            if state is None:
+                alpha = (
+                    relative_accuracy
+                    if relative_accuracy is not None
+                    else DEFAULT_RELATIVE_ACCURACY
+                )
+                self._digests[key] = LatencyDigest(alpha)
+            elif (
+                relative_accuracy is not None
+                and relative_accuracy != state.relative_accuracy
+            ):
+                raise ValueError(
+                    f"digest {render_key(*key)!r} already exists with "
+                    f"relative_accuracy {state.relative_accuracy}"
+                )
+        return Digest(self, key)
+
+    def digest_state(self, name: str, **labels) -> Optional[LatencyDigest]:
+        """The live digest for a key, or ``None`` if it never observed."""
+        with self._lock:
+            state = self._digests.get((name, _labels_key(labels)))
+            return state.copy() if state is not None else None
 
     def span(self, name: str, profile: bool = False, **attrs) -> _Span:
         key, values = _span_key(name, attrs)
@@ -338,6 +390,10 @@ class MetricsRegistry:
                         },
                     ]
                     for (name, labels), state in sorted(self._histograms.items())
+                ],
+                "digests": [
+                    [name, dict(labels), state.to_dict()]
+                    for (name, labels), state in sorted(self._digests.items())
                 ],
                 "spans": [
                     {
@@ -400,6 +456,19 @@ class MetricsRegistry:
                     state["max"] = (
                         max(state["max"], incoming["max"]) if had_any else incoming["max"]
                     )
+            for name, labels, incoming in snapshot.get("digests", []):
+                key = (name, _labels_key(labels))
+                state = self._digests.get(key)
+                if state is None:
+                    self._digests[key] = LatencyDigest.from_dict(incoming)
+                    continue
+                try:
+                    state.merge(LatencyDigest.from_dict(incoming))
+                except ValueError:
+                    raise ValueError(
+                        f"cannot merge digest {render_key(name, _labels_key(labels))!r}:"
+                        f" relative accuracies differ"
+                    ) from None
             for record in snapshot.get("spans", []):
                 path = prefix + tuple(record["path"])
                 stats = self._spans.setdefault(path, _new_span_stats())
@@ -455,6 +524,14 @@ class NullRegistry:
         self, name: str, buckets: Sequence[float] | None = None, **labels
     ) -> _NullInstrument:
         return _NULL_INSTRUMENT
+
+    def digest(
+        self, name: str, relative_accuracy: float | None = None, **labels
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def digest_state(self, name: str, **labels) -> None:
+        return None
 
     def span(self, name: str, profile: bool = False, **attrs) -> _NullSpan:
         return _NULL_SPAN
@@ -513,6 +590,11 @@ def gauge(name: str, **labels):
 def histogram(name: str, buckets: Sequence[float] | None = None, **labels):
     """Histogram on the active registry (no-op when observability is off)."""
     return _ACTIVE.get().histogram(name, buckets=buckets, **labels)
+
+
+def digest(name: str, relative_accuracy: float | None = None, **labels):
+    """Latency digest on the active registry (no-op when observability is off)."""
+    return _ACTIVE.get().digest(name, relative_accuracy=relative_accuracy, **labels)
 
 
 def span(name: str, profile: bool = False, **attrs):

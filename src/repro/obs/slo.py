@@ -1,0 +1,262 @@
+"""Service-level objectives: declarative targets and error-budget burn rates.
+
+An SLO turns a latency digest into an operational verdict.  The two kinds
+the service needs:
+
+* **latency** — "p99 of ``/similar`` under 50 ms" means *at most 1% of
+  requests may be slower than 50 ms (or fail)*.  The error budget is
+  ``1 - quantile`` (1% here); a request is *bad* if it was slow or errored.
+* **availability** — "99.9% of requests succeed" has budget
+  ``1 - target`` (0.1%); a request is *bad* if it errored, regardless of
+  latency.
+
+**Burn rate** is the observed error rate divided by the budget: burn 1.0
+means errors arrive exactly as fast as the budget tolerates; burn 10 means
+the monthly budget is gone in ~3 days.  Following the multi-window
+practice (Google SRE workbook ch. 5), :class:`SLOTracker` evaluates each
+objective over several rolling windows and alerts on the **minimum** burn
+across windows — both the short window (still burning *now*) and the long
+window (burned enough to matter) must breach, which suppresses both blips
+and stale pages.
+
+The tracker buckets outcomes at ``bucket_s`` granularity per objective, so
+memory is ``O(longest window / bucket_s)`` and recording is O(1).  An
+injectable clock keeps tests deterministic.  Wiring alerts is optional:
+pass an :class:`repro.obs.alerts.AlertManager` and every ``evaluate``
+feeds it ``slo.<name>.burn_rate`` samples so the existing hysteresis /
+debounce machinery decides when to page.
+
+What counts as *bad* at the service edge: HTTP 5xx (503 shed, 504
+deadline-exceeded, 500) — the service failed the caller.  429 from
+ingest backpressure is the protocol working as designed and counts good.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.alerts import DIRECTION_ABOVE, AlertManager, AlertRule
+
+__all__ = [
+    "KIND_AVAILABILITY",
+    "KIND_LATENCY",
+    "DEFAULT_WINDOWS_S",
+    "ServiceObjective",
+    "SLOTracker",
+    "burn_rate_rule",
+]
+
+KIND_LATENCY = "latency"
+KIND_AVAILABILITY = "availability"
+
+#: Rolling evaluation windows (seconds): 1 min, 5 min, 30 min.
+DEFAULT_WINDOWS_S: Tuple[float, ...] = (60.0, 300.0, 1800.0)
+
+
+@dataclass(frozen=True)
+class ServiceObjective:
+    """One declarative objective over an endpoint's request stream.
+
+    ``endpoint`` matches the route label the service records under
+    (e.g. ``"/similar"``); ``"*"`` matches every endpoint.  For
+    ``latency`` objectives set ``quantile`` (the fraction of requests that
+    must be fast) and ``threshold_s``; for ``availability`` set ``target``
+    (the fraction that must succeed).
+    """
+
+    name: str
+    endpoint: str = "*"
+    kind: str = KIND_LATENCY
+    quantile: float = 0.99
+    threshold_s: float = 0.1
+    target: float = 0.999
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_LATENCY, KIND_AVAILABILITY):
+            raise ValueError(
+                f"kind must be {KIND_LATENCY!r} or {KIND_AVAILABILITY!r}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == KIND_LATENCY:
+            if not 0.0 < self.quantile < 1.0:
+                raise ValueError(f"quantile must be in (0, 1), got {self.quantile}")
+            if self.threshold_s <= 0.0:
+                raise ValueError(f"threshold_s must be > 0, got {self.threshold_s}")
+        else:
+            if not 0.0 < self.target < 1.0:
+                raise ValueError(f"target must be in (0, 1), got {self.target}")
+
+    @property
+    def error_budget(self) -> float:
+        """Fraction of requests allowed to be bad."""
+        if self.kind == KIND_LATENCY:
+            return 1.0 - self.quantile
+        return 1.0 - self.target
+
+    def matches(self, endpoint: str) -> bool:
+        return self.endpoint == "*" or self.endpoint == endpoint
+
+    def is_bad(self, latency_s: float, ok: bool) -> bool:
+        """Does this request spend error budget?"""
+        if self.kind == KIND_AVAILABILITY:
+            return not ok
+        return (not ok) or latency_s > self.threshold_s
+
+    def describe(self) -> Dict:
+        record: Dict = {
+            "name": self.name,
+            "endpoint": self.endpoint,
+            "kind": self.kind,
+            "error_budget": self.error_budget,
+        }
+        if self.kind == KIND_LATENCY:
+            record["quantile"] = self.quantile
+            record["threshold_s"] = self.threshold_s
+        else:
+            record["target"] = self.target
+        return record
+
+
+@dataclass
+class _Bucket:
+    good: int = 0
+    bad: int = 0
+
+
+class SLOTracker:
+    """Rolling good/bad accounting and burn-rate evaluation per objective."""
+
+    def __init__(
+        self,
+        objectives: Sequence[ServiceObjective],
+        windows_s: Sequence[float] = DEFAULT_WINDOWS_S,
+        bucket_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        alert_manager: Optional[AlertManager] = None,
+    ) -> None:
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {sorted(names)}")
+        if not windows_s or any(window <= 0 for window in windows_s):
+            raise ValueError(f"windows_s must be positive: {windows_s}")
+        if bucket_s <= 0:
+            raise ValueError(f"bucket_s must be > 0, got {bucket_s}")
+        self.objectives: Tuple[ServiceObjective, ...] = tuple(objectives)
+        self.windows_s: Tuple[float, ...] = tuple(sorted(windows_s))
+        self.bucket_s = float(bucket_s)
+        self.clock = clock
+        self.alert_manager = alert_manager
+        self._lock = Lock()
+        #: objective name -> ordered ``bucket index -> _Bucket`` (oldest first).
+        self._buckets: Dict[str, "OrderedDict[int, _Bucket]"] = {
+            objective.name: OrderedDict() for objective in self.objectives
+        }
+
+    # ------------------------------------------------------------------
+    def record(self, endpoint: str, latency_s: float, ok: bool) -> None:
+        """Account one finished request against every matching objective."""
+        now = self.clock()
+        index = int(now // self.bucket_s)
+        with self._lock:
+            for objective in self.objectives:
+                if not objective.matches(endpoint):
+                    continue
+                series = self._buckets[objective.name]
+                bucket = series.get(index)
+                if bucket is None:
+                    bucket = series[index] = _Bucket()
+                    self._prune(series, now)
+                if objective.is_bad(latency_s, ok):
+                    bucket.bad += 1
+                else:
+                    bucket.good += 1
+
+    def _prune(self, series: "OrderedDict[int, _Bucket]", now: float) -> None:
+        horizon = int((now - self.windows_s[-1]) // self.bucket_s) - 1
+        while series:
+            oldest = next(iter(series))
+            if oldest >= horizon:
+                break
+            del series[oldest]
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: Optional[float] = None) -> Dict:
+        """Burn rates and verdicts for every objective, as plain data.
+
+        A window with no traffic reports burn 0.0 (no budget spent).  The
+        verdict is ``"pass"`` when every window's burn rate is <= 1.0 —
+        i.e. errors are arriving no faster than the budget tolerates.
+        Feeds ``slo.<name>.burn_rate`` (minimum across windows) to the
+        attached alert manager, if any.
+        """
+        if now is None:
+            now = self.clock()
+        report: Dict = {"evaluated_at": now, "objectives": []}
+        with self._lock:
+            for objective in self.objectives:
+                series = self._buckets[objective.name]
+                windows: List[Dict] = []
+                for window_s in self.windows_s:
+                    start_index = int((now - window_s) // self.bucket_s)
+                    good = bad = 0
+                    for index, bucket in series.items():
+                        if index > start_index:
+                            good += bucket.good
+                            bad += bucket.bad
+                    total = good + bad
+                    error_rate = bad / total if total else 0.0
+                    burn_rate = error_rate / objective.error_budget
+                    windows.append(
+                        {
+                            "window_s": window_s,
+                            "total": total,
+                            "bad": bad,
+                            "error_rate": error_rate,
+                            "burn_rate": burn_rate,
+                        }
+                    )
+                worst_burn = max(window["burn_rate"] for window in windows)
+                alert_burn = min(window["burn_rate"] for window in windows)
+                entry = objective.describe()
+                entry["windows"] = windows
+                entry["burn_rate"] = alert_burn
+                entry["worst_burn_rate"] = worst_burn
+                entry["verdict"] = "pass" if worst_burn <= 1.0 else "fail"
+                report["objectives"].append(entry)
+        if self.alert_manager is not None:
+            for entry in report["objectives"]:
+                self.alert_manager.observe(
+                    f"slo.{entry['name']}.burn_rate", entry["burn_rate"], t=now
+                )
+            report["alerts_firing"] = self.alert_manager.firing
+        return report
+
+
+def burn_rate_rule(
+    objective: ServiceObjective,
+    *,
+    burn_threshold: float = 1.0,
+    clear_margin: float = 0.1,
+    for_samples: int = 2,
+    level: str = "warning",
+) -> AlertRule:
+    """An alert rule on an objective's multi-window burn rate.
+
+    Watches ``slo.<name>.burn_rate`` — the *minimum* burn across the
+    tracker's windows — so all windows must burn past ``burn_threshold``
+    before the rule sees a breach (multi-window AND).  ``for_samples``
+    consecutive evaluations debounce it further.
+    """
+    return AlertRule(
+        name=f"slo-{objective.name}",
+        metric=f"slo.{objective.name}.burn_rate",
+        threshold=burn_threshold,
+        direction=DIRECTION_ABOVE,
+        clear_margin=clear_margin,
+        for_samples=for_samples,
+        level=level,
+    )

@@ -26,6 +26,7 @@ import time
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.digest import LatencyDigest
 from repro.obs.registry import render_key
 
 #: Histogram quantiles sampled into series (suffixes ``:p50`` etc.).
@@ -154,6 +155,17 @@ class TimeSeriesStore:
                     stamp,
                     quantile_from_buckets(state["buckets"], state["counts"], q),
                 )
+        for name, labels, state in snapshot.get("digests", []):
+            key = render_key(name, tuple(sorted(labels.items())))
+            count = state["count"]
+            self.record(f"{key}:count", stamp, count)
+            if count:
+                self.record(f"{key}:mean", stamp, state["sum"] / count)
+                digest = LatencyDigest.from_dict(state)
+                for q in quantiles:
+                    self.record(
+                        f"{key}:p{int(round(q * 100))}", stamp, digest.quantile(q)
+                    )
         return stamp
 
     def to_dict(self) -> Dict[str, List[List[float]]]:

@@ -43,6 +43,8 @@ class CircuitBreaker:
         *,
         name: str = "breaker",
         clock: Callable[[], float] = time.monotonic,
+        registry=None,
+        digest_relative_accuracy: float | None = None,
     ) -> None:
         self.policy = policy or BreakerPolicy()
         self.name = name
@@ -55,6 +57,22 @@ class CircuitBreaker:
         self._probes_in_flight = 0
         self._probe_successes = 0
         self.opened_count = 0
+        # Observability exports (no-ops on the null registry): guarded-call
+        # latencies by outcome, the state as a gauge, refusals as a counter.
+        registry = registry if registry is not None else obs.NULL_REGISTRY
+        self._success_digest = registry.digest(
+            "breaker.latency_s",
+            relative_accuracy=digest_relative_accuracy,
+            outcome="success",
+        )
+        self._failure_digest = registry.digest(
+            "breaker.latency_s",
+            relative_accuracy=digest_relative_accuracy,
+            outcome="failure",
+        )
+        self._state_gauge = registry.gauge("breaker.state")
+        self._refusals = registry.counter("breaker.refusals")
+        self._state_gauge.set(STATE_CODES[STATE_CLOSED])
 
     # ------------------------------------------------------------------
     @property
@@ -84,10 +102,12 @@ class CircuitBreaker:
             if self._state == STATE_CLOSED:
                 return True
             if self._state == STATE_OPEN:
+                self._refusals.inc()
                 return False
             if self._probes_in_flight < self.policy.half_open_probes:
                 self._probes_in_flight += 1
                 return True
+            self._refusals.inc()
             return False
 
     # ------------------------------------------------------------------
@@ -100,6 +120,7 @@ class CircuitBreaker:
         if slow:
             self.record_failure(latency_s)
             return
+        self._success_digest.observe(latency_s)
         with self._lock:
             self._maybe_half_open()
             if self._state == STATE_HALF_OPEN:
@@ -113,6 +134,7 @@ class CircuitBreaker:
 
     def record_failure(self, latency_s: float = 0.0) -> None:
         """Record a failed (or over-deadline) call; may trip the breaker."""
+        self._failure_digest.observe(latency_s)
         with self._lock:
             self._maybe_half_open()
             if self._state == STATE_HALF_OPEN:
@@ -167,6 +189,7 @@ class CircuitBreaker:
         if state == self._state:
             return
         previous, self._state = self._state, state
+        self._state_gauge.set(STATE_CODES[state])
         obs.emit(
             "service.breaker",
             level="warning" if state == STATE_OPEN else "info",

@@ -11,7 +11,7 @@ reconstructed from JSON.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.distances import available_distances
 from repro.exceptions import ServiceError
@@ -136,6 +136,21 @@ class ServiceConfig:
     jobs: int = 0
     #: Byte budget of the ``"sketch"`` strategy's tier (per supervisor).
     sketch_budget_bytes: int = 2097152
+    #: Guaranteed relative error of the per-endpoint/per-shard latency
+    #: digests (see :mod:`repro.obs.digest`).  All registries that merge
+    #: must agree on this value.
+    digest_relative_accuracy: float = 0.01
+    #: How many finished request traces ``GET /trace/<id>`` can look up.
+    trace_store_size: int = 256
+    #: Rolling windows (seconds) for SLO burn-rate evaluation.
+    slo_windows_s: Tuple[float, ...] = (60.0, 300.0, 1800.0)
+    #: Availability objective over all endpoints (fraction of requests
+    #: that must not 5xx); ``None`` disables it.
+    slo_availability: Optional[float] = 0.999
+    #: Latency objective on ``/similar`` (the scatter-gather path): at
+    #: least 99% of requests must finish within this many seconds (and
+    #: succeed); ``None`` disables it.
+    slo_similar_p99_s: Optional[float] = 0.25
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -191,4 +206,26 @@ class ServiceConfig:
         if not 0 <= self.anomaly_threshold <= 1:
             raise ServiceError(
                 f"anomaly_threshold must be in [0, 1], got {self.anomaly_threshold}"
+            )
+        if not 0 < self.digest_relative_accuracy < 1:
+            raise ServiceError(
+                f"digest_relative_accuracy must be in (0, 1), "
+                f"got {self.digest_relative_accuracy}"
+            )
+        if self.trace_store_size < 1:
+            raise ServiceError(
+                f"trace_store_size must be >= 1, got {self.trace_store_size}"
+            )
+        if not self.slo_windows_s or any(w <= 0 for w in self.slo_windows_s):
+            raise ServiceError(
+                f"slo_windows_s must be non-empty and positive, "
+                f"got {self.slo_windows_s}"
+            )
+        if self.slo_availability is not None and not 0 < self.slo_availability < 1:
+            raise ServiceError(
+                f"slo_availability must be in (0, 1), got {self.slo_availability}"
+            )
+        if self.slo_similar_p99_s is not None and self.slo_similar_p99_s <= 0:
+            raise ServiceError(
+                f"slo_similar_p99_s must be positive, got {self.slo_similar_p99_s}"
             )

@@ -21,6 +21,21 @@ Failure envelope implemented here:
   response carries ``"approximate": true``.
 * **Deadlines** — a request that overruns ``request_deadline_s`` answers
   504 instead of pretending latency is fine.
+
+Observability implemented here (the PR 9 layer):
+
+* **Request tracing** — every request is served under a fresh
+  :class:`repro.obs.RequestContext` (or one continuing the caller's
+  ``X-Trace-Id``); frontend and shard code attach spans via
+  ``obs.trace_span``, the finished tree is stored in a bounded
+  :class:`repro.obs.TraceStore`, and ``GET /trace/<id>`` returns it.
+  Responses carry ``X-Trace-Id`` / ``X-Request-Id`` headers.
+* **Latency digests** — per-endpoint ``service.latency_s`` digests with
+  guaranteed relative error, merged across shard registries into
+  ``/metrics`` exactly like counters.
+* **SLOs** — declarative objectives from the config evaluated as
+  multi-window error-budget burn rates at ``GET /slo``, wired into an
+  :class:`repro.obs.AlertManager`.
 """
 
 from __future__ import annotations
@@ -91,10 +106,38 @@ class BoundedIngestQueue:
         return len(self) / self.capacity
 
 
+def service_objectives(config: ServiceConfig) -> List[obs.ServiceObjective]:
+    """The SLOs a config declares (possibly empty if all are disabled)."""
+    objectives: List[obs.ServiceObjective] = []
+    if config.slo_availability is not None:
+        objectives.append(
+            obs.ServiceObjective(
+                name="availability",
+                endpoint="*",
+                kind=obs.KIND_AVAILABILITY,
+                target=config.slo_availability,
+            )
+        )
+    if config.slo_similar_p99_s is not None:
+        objectives.append(
+            obs.ServiceObjective(
+                name="similar-p99",
+                endpoint="/similar",
+                kind=obs.KIND_LATENCY,
+                quantile=0.99,
+                threshold_s=config.slo_similar_p99_s,
+            )
+        )
+    return objectives
+
+
 class ServiceFrontend:
     """All endpoint logic, independent of sockets and threads."""
 
-    ROUTES = ("/signature/", "/similar/", "/anomaly/", "/status", "/ingest", "/metrics")
+    ROUTES = (
+        "/signature/", "/similar/", "/anomaly/", "/status", "/ingest",
+        "/metrics", "/trace/", "/slo",
+    )
 
     def __init__(
         self,
@@ -110,6 +153,28 @@ class ServiceFrontend:
         self.registry = registry if registry is not None else obs.MetricsRegistry()
         self._clock = clock
         self._started_at = clock()
+        self.traces = obs.TraceStore(self.config.trace_store_size)
+        objectives = service_objectives(self.config)
+        self.alerts = obs.AlertManager(
+            [obs.burn_rate_rule(objective) for objective in objectives]
+        )
+        self.slo = obs.SLOTracker(
+            objectives,
+            windows_s=self.config.slo_windows_s,
+            clock=clock,
+            alert_manager=self.alerts,
+        )
+        self._latency_digests: Dict[str, obs.Digest] = {}
+
+    def _latency_digest(self, endpoint: str) -> obs.Digest:
+        instrument = self._latency_digests.get(endpoint)
+        if instrument is None:
+            instrument = self._latency_digests[endpoint] = self.registry.digest(
+                "service.latency_s",
+                relative_accuracy=self.config.digest_relative_accuracy,
+                endpoint=endpoint,
+            )
+        return instrument
 
     # ------------------------------------------------------------------
     # Window pump
@@ -133,34 +198,81 @@ class ServiceFrontend:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def respond(self, method: str, path: str, body: Optional[str] = None) -> Response:
-        """Handle one request; never raises (the data plane must answer)."""
+    def respond(
+        self,
+        method: str,
+        path: str,
+        body: Optional[str] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Response:
+        """Handle one request; never raises (the data plane must answer).
+
+        ``headers`` (optional, case-insensitive) may carry ``X-Trace-Id``
+        to continue a caller's trace; the response headers always carry
+        ``X-Trace-Id`` / ``X-Request-Id`` so a client can fetch its own
+        span tree from ``GET /trace/<id>``.
+        """
         started = self._clock()
         raw_path, _, query_string = path.partition("?")
         route = self._route_of(raw_path)
-        self.registry.counter("service.requests", route=route or "unknown").inc()
-        try:
-            response = self._dispatch(method, raw_path, query_string, body, started)
-        except Exception as error:  # noqa: BLE001 - must answer the socket
-            obs.emit("service.error", level="error", path=raw_path, error=str(error))
-            self.registry.counter("service.errors").inc()
-            response = self._json(500, {"error": str(error)})
-        if (
-            self.config.request_deadline_s is not None
-            and self._clock() - started > self.config.request_deadline_s
-            and response[0] < 500
-        ):
-            self.registry.counter("service.deadline_exceeded").inc()
-            obs.emit("service.deadline_exceeded", level="warning", path=raw_path)
-            return self._json(
-                504,
-                {
-                    "error": "request deadline exceeded",
-                    "deadline_s": self.config.request_deadline_s,
-                },
+        endpoint = route or "unknown"
+        self.registry.counter("service.requests", route=endpoint).inc()
+        context = obs.RequestContext(
+            trace_id=_incoming_trace_id(headers),
+            deadline_s=self.config.request_deadline_s,
+            clock=self._clock,
+            method=method,
+            path=raw_path,
+            endpoint=endpoint,
+        )
+        with obs.use_trace(context):
+            with obs.trace_span("service.request", endpoint=endpoint):
+                try:
+                    response = self._dispatch(
+                        method, raw_path, query_string, body, started
+                    )
+                except Exception as error:  # noqa: BLE001 - must answer the socket
+                    obs.emit(
+                        "service.error", level="error",
+                        path=raw_path, error=str(error),
+                    )
+                    self.registry.counter("service.errors").inc()
+                    response = self._json(500, {"error": str(error)})
+            if (
+                self.config.request_deadline_s is not None
+                and self._clock() - started > self.config.request_deadline_s
+                and response[0] < 500
+            ):
+                self.registry.counter("service.deadline_exceeded").inc()
+                obs.emit("service.deadline_exceeded", level="warning", path=raw_path)
+                response = self._json(
+                    504,
+                    {
+                        "error": "request deadline exceeded",
+                        "deadline_s": self.config.request_deadline_s,
+                    },
+                )
+            # Emitted inside the trace scope so the log line carries
+            # trace_id/request_id — the hook that makes `read_events(...,
+            # trace_id=...)` reconstruct a single request's story.
+            obs.emit(
+                "service.request.done",
+                level="debug",
+                method=method,
+                path=raw_path,
+                status=response[0],
             )
-        self.registry.histogram("service.request_s").observe(self._clock() - started)
-        return response
+        context.finish()
+        self.traces.put(context)
+        elapsed = self._clock() - started
+        status = response[0]
+        self.registry.histogram("service.request_s").observe(elapsed)
+        self._latency_digest(endpoint).observe(elapsed)
+        self.slo.record(endpoint, elapsed, ok=status < 500)
+        response_headers = dict(response[1])
+        response_headers["X-Trace-Id"] = context.trace_id
+        response_headers["X-Request-Id"] = context.request_id
+        return status, response_headers, response[2]
 
     @staticmethod
     def _route_of(path: str) -> Optional[str]:
@@ -181,6 +293,10 @@ class ServiceFrontend:
             return self._handle_status()
         if path == "/metrics" and method == "GET":
             return self._handle_metrics()
+        if path == "/slo" and method == "GET":
+            return self._handle_slo()
+        if path.startswith("/trace/") and method == "GET":
+            return self._handle_trace(unquote(path[len("/trace/"):]))
         if path == "/ingest" and method == "POST":
             return self._handle_ingest(body)
         if method != "GET":
@@ -279,26 +395,34 @@ class ServiceFrontend:
         """
         if state.health == HEALTH_HEALTHY and state.engine is not None:
             if state.breaker.allow():
-                started = self._clock()
-                try:
-                    if state.injector is not None:
-                        state.injector.on_query(state.shard_id, node)
-                    signature = state.engine.signature(node)
-                except Exception as error:  # noqa: BLE001 - breaker accounting
-                    state.breaker.record_failure(self._clock() - started)
-                    state.registry.counter("shard.query_failures").inc()
-                    obs.emit(
-                        "service.query_failed",
-                        level="warning",
-                        shard=state.shard_id,
-                        node=node,
-                        error=str(error),
-                    )
-                else:
-                    state.breaker.record_success(self._clock() - started)
-                    return signature, False
+                with obs.trace_span(
+                    "shard.query", shard=str(state.shard_id), tier="exact"
+                ) as span_node:
+                    started = self._clock()
+                    try:
+                        if state.injector is not None:
+                            state.injector.on_query(state.shard_id, node)
+                        signature = state.engine.signature(node)
+                    except Exception as error:  # noqa: BLE001 - breaker accounting
+                        state.breaker.record_failure(self._clock() - started)
+                        state.registry.counter("shard.query_failures").inc()
+                        if span_node is not None:
+                            span_node.error = str(error)
+                        obs.emit(
+                            "service.query_failed",
+                            level="warning",
+                            shard=state.shard_id,
+                            node=node,
+                            error=str(error),
+                        )
+                    else:
+                        state.breaker.record_success(self._clock() - started)
+                        return signature, False
         self.registry.counter("service.approximate_answers").inc()
-        return state.sketch.signature(node), True
+        with obs.trace_span(
+            "sketch.fallback", shard=str(state.shard_id), tier="sketch"
+        ):
+            return state.sketch.signature(node), True
 
     def _handle_signature(self, node: str, _params: Dict) -> Response:
         state = self.supervisor.state_for(node)
@@ -349,19 +473,27 @@ class ServiceFrontend:
         # and the response is marked partial rather than failing the query.
         scored: List[Tuple[str, float]] = []
         skipped: List[int] = []
+        trace = obs.current_trace()
         for state in self.supervisor.shards:
+            # Deadline-aware gather: once the edge deadline has passed,
+            # remaining shards are skipped — the 504 is coming either way,
+            # so don't burn their query capacity on a dead request.
+            if trace is not None and trace.expired():
+                skipped.append(state.shard_id)
+                continue
             if (
                 self.supervisor.shard_health(state) != HEALTH_HEALTHY
                 or state.engine is None
             ):
                 skipped.append(state.shard_id)
                 continue
-            scored.extend(
-                (str(owner), score)
-                for owner, score in state.engine.query_index().query(
-                    signature, k=k, exclude_self=True
+            with obs.trace_span("similar.gather", shard=str(state.shard_id)):
+                scored.extend(
+                    (str(owner), score)
+                    for owner, score in state.engine.query_index().query(
+                        signature, k=k, exclude_self=True
+                    )
                 )
-            )
         scored.sort(key=lambda item: (item[1], item[0]))
         return self._json(
             200,
@@ -387,16 +519,19 @@ class ServiceFrontend:
         persistence: Optional[float] = None
         if state.health == HEALTH_HEALTHY and state.engine is not None:
             if state.breaker.allow():
-                started = self._clock()
-                try:
-                    if state.injector is not None:
-                        state.injector.on_query(state.shard_id, node)
-                    persistence = state.engine.persistence(node)
-                except Exception:  # noqa: BLE001 - breaker accounting
-                    state.breaker.record_failure(self._clock() - started)
-                    approximate = True
-                else:
-                    state.breaker.record_success(self._clock() - started)
+                with obs.trace_span(
+                    "shard.query", shard=str(state.shard_id), tier="exact"
+                ):
+                    started = self._clock()
+                    try:
+                        if state.injector is not None:
+                            state.injector.on_query(state.shard_id, node)
+                        persistence = state.engine.persistence(node)
+                    except Exception:  # noqa: BLE001 - breaker accounting
+                        state.breaker.record_failure(self._clock() - started)
+                        approximate = True
+                    else:
+                        state.breaker.record_success(self._clock() - started)
             else:
                 approximate = True
         else:
@@ -458,17 +593,45 @@ class ServiceFrontend:
             status["service"] = HEALTH_DEGRADED
         return self._json(200, status)
 
-    def _handle_metrics(self) -> Response:
-        from repro.obs.export import to_prometheus
+    def merged_snapshot(self) -> Dict:
+        """Frontend + all shard registries as one snapshot.
 
+        This is the fleet-wide view ``/metrics`` exports and the bench
+        harness reads: per-shard digests fold together exactly like
+        counters (``breaker.latency_s`` keeps its per-shard label, so both
+        the per-shard and the cross-shard views are derivable).
+        """
         merged = obs.MetricsRegistry()
         merged.merge(self.registry.snapshot())
         merged.merge(self.supervisor.metrics_snapshot())
+        return merged.snapshot()
+
+    def _handle_metrics(self) -> Response:
+        from repro.obs.export import to_prometheus
+
         return (
             200,
             {"Content-Type": obs.PROMETHEUS_CONTENT_TYPE},
-            to_prometheus(merged.snapshot()),
+            to_prometheus(self.merged_snapshot()),
         )
+
+    def _handle_slo(self) -> Response:
+        return self._json(200, self.slo.evaluate())
+
+    def _handle_trace(self, trace_id: str) -> Response:
+        if not trace_id:
+            return self._json(404, {"error": "missing trace id"})
+        record = self.traces.get(trace_id)
+        if record is None:
+            return self._json(
+                404,
+                {
+                    "error": f"no stored trace {trace_id!r}",
+                    "stored_traces": len(self.traces),
+                    "capacity": self.traces.capacity,
+                },
+            )
+        return self._json(200, record)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -494,6 +657,16 @@ class ServiceFrontend:
         if headers:
             merged.update(headers)
         return status, merged, json.dumps(payload, sort_keys=True) + "\n"
+
+
+def _incoming_trace_id(headers: Optional[Dict[str, str]]) -> Optional[str]:
+    """The caller's ``X-Trace-Id``, if any (header names case-insensitive)."""
+    if not headers:
+        return None
+    for name, value in headers.items():
+        if name.lower() == "x-trace-id" and value:
+            return str(value).strip() or None
+    return None
 
 
 def parse_ingest_body(body: str) -> List[EdgeRecord]:

@@ -65,8 +65,14 @@ class SignatureService:
         with self._pump_lock:
             return self.frontend.pump(force=force)
 
-    def respond(self, method: str, path: str, body: Optional[str] = None) -> Response:
-        return self.frontend.respond(method, path, body)
+    def respond(
+        self,
+        method: str,
+        path: str,
+        body: Optional[str] = None,
+        headers: Optional[dict] = None,
+    ) -> Response:
+        return self.frontend.respond(method, path, body, headers=headers)
 
     # ------------------------------------------------------------------
     # Background pump
@@ -191,7 +197,14 @@ def _make_handler(server: ServiceServer):
 
         def _serve(self, method: str, body: Optional[str]) -> None:
             try:
-                status, headers, payload = frontend.respond(method, self.path, body)
+                # Handler threads get a fresh contextvar context, so the
+                # event log active at start() must be re-installed here for
+                # request-path events (deadline warnings, trace-stamped
+                # completions) to land in it.
+                with obs.use_event_log(server._log):
+                    status, headers, payload = frontend.respond(
+                        method, self.path, body, headers=dict(self.headers)
+                    )
             except Exception as error:  # noqa: BLE001 - must answer the socket
                 status = 500
                 headers = {"Content-Type": "application/json"}

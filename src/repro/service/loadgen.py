@@ -1,0 +1,332 @@
+"""Deterministic open-loop load generation against an in-process service.
+
+The SLO layer is only evidence if the traffic that feeds it is
+reproducible.  :class:`LoadProfile` describes a workload as *data* — total
+requests, a Poisson arrival rate, a seeded endpoint mix over
+``/signature`` / ``/similar`` / ``/anomaly`` / ``/ingest`` — and
+:func:`build_schedule` expands it into the exact request sequence, so two
+runs with the same seed issue byte-identical traffic.  The arrival
+process is **open-loop** (arrival times are drawn up front, independent of
+service latency, the load-testing discipline that avoids coordinated
+omission); by default the generator replays the schedule back-to-back and
+keeps the scheduled timestamps as metadata, while ``pace=True`` sleeps the
+schedule out in real time.
+
+:class:`LoadGenerator` drives the schedule through
+:meth:`SignatureService.respond` — no sockets, so measured latencies are
+the data plane's own — and returns a :class:`LoadReport` with exact
+per-endpoint quantiles (for digest-error verification), status counts,
+sample trace ids (every response carries ``X-Trace-Id``), the merged
+cross-shard digest view, and the service's own ``/slo`` verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exceptions import ServiceError
+from repro.graph.stream import EdgeRecord
+
+__all__ = [
+    "LoadProfile",
+    "LoadGenerator",
+    "LoadReport",
+    "PlannedRequest",
+    "build_schedule",
+    "exact_quantile",
+    "synthetic_records",
+]
+
+#: Endpoint keys used in profiles and reports.
+ENDPOINTS = ("signature", "similar", "anomaly", "ingest")
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """A reproducible workload description (all plain values).
+
+    ``mix`` maps endpoint kind to relative weight; kinds with weight 0 are
+    never issued.  ``rate_per_s`` parameterises the exponential
+    inter-arrival draw — with ``pace=False`` (the default) it still
+    matters, because scheduled arrival times are recorded in the report.
+    """
+
+    requests: int = 400
+    rate_per_s: float = 500.0
+    seed: int = 0
+    nodes: int = 32
+    mix: Dict[str, float] = field(
+        default_factory=lambda: {
+            "signature": 0.35,
+            "similar": 0.30,
+            "anomaly": 0.20,
+            "ingest": 0.15,
+        }
+    )
+    ingest_batch: int = 32
+    similar_k: int = 5
+    #: Records ingested (and pumped into windows) before the measured run,
+    #: so queries have signatures to answer from.
+    warmup_records: int = 512
+    pace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ServiceError(f"requests must be >= 1, got {self.requests}")
+        if self.rate_per_s <= 0:
+            raise ServiceError(f"rate_per_s must be > 0, got {self.rate_per_s}")
+        if self.nodes < 1:
+            raise ServiceError(f"nodes must be >= 1, got {self.nodes}")
+        if self.ingest_batch < 1:
+            raise ServiceError(f"ingest_batch must be >= 1, got {self.ingest_batch}")
+        if self.similar_k < 1:
+            raise ServiceError(f"similar_k must be >= 1, got {self.similar_k}")
+        if self.warmup_records < 0:
+            raise ServiceError(
+                f"warmup_records must be >= 0, got {self.warmup_records}"
+            )
+        unknown = set(self.mix) - set(ENDPOINTS)
+        if unknown:
+            raise ServiceError(f"unknown endpoints in mix: {sorted(unknown)}")
+        if not any(weight > 0 for weight in self.mix.values()):
+            raise ServiceError(f"mix needs at least one positive weight: {self.mix}")
+
+    def to_dict(self) -> Dict:
+        return {
+            "requests": self.requests,
+            "rate_per_s": self.rate_per_s,
+            "seed": self.seed,
+            "nodes": self.nodes,
+            "mix": dict(self.mix),
+            "ingest_batch": self.ingest_batch,
+            "similar_k": self.similar_k,
+            "warmup_records": self.warmup_records,
+            "pace": self.pace,
+        }
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One scheduled request: when, what, and against which node."""
+
+    at_s: float
+    kind: str
+    method: str
+    path: str
+    body: Optional[str] = None
+
+
+def synthetic_records(
+    count: int, nodes: int = 32, seed: int = 0, start: float = 0.0
+) -> List[EdgeRecord]:
+    """Seeded synthetic edge traffic over an ``h<i>`` node universe."""
+    rng = random.Random(seed)
+    records = []
+    for i in range(count):
+        src = f"h{rng.randrange(nodes)}"
+        dst = f"h{rng.randrange(nodes)}"
+        records.append(
+            EdgeRecord(
+                time=start + float(i),
+                src=src,
+                dst=dst,
+                weight=1.0 + rng.randrange(4),
+            )
+        )
+    return records
+
+
+def build_schedule(profile: LoadProfile) -> List[PlannedRequest]:
+    """Expand a profile into its exact request sequence (pure function)."""
+    rng = random.Random(profile.seed)
+    kinds = [kind for kind in ENDPOINTS if profile.mix.get(kind, 0.0) > 0]
+    weights = [profile.mix[kind] for kind in kinds]
+    schedule: List[PlannedRequest] = []
+    at_s = 0.0
+    ingest_time = 10_000.0  # past the warmup records' timestamps
+    for _ in range(profile.requests):
+        at_s += rng.expovariate(profile.rate_per_s)
+        kind = rng.choices(kinds, weights=weights)[0]
+        node = f"h{rng.randrange(profile.nodes)}"
+        if kind == "signature":
+            planned = PlannedRequest(at_s, kind, "GET", f"/signature/{node}")
+        elif kind == "similar":
+            planned = PlannedRequest(
+                at_s, kind, "GET", f"/similar/{node}?k={profile.similar_k}"
+            )
+        elif kind == "anomaly":
+            planned = PlannedRequest(at_s, kind, "GET", f"/anomaly/{node}")
+        else:
+            rows = []
+            for _i in range(profile.ingest_batch):
+                rows.append(
+                    [
+                        ingest_time,
+                        f"h{rng.randrange(profile.nodes)}",
+                        f"h{rng.randrange(profile.nodes)}",
+                        1.0 + rng.randrange(4),
+                    ]
+                )
+                ingest_time += 1.0
+            planned = PlannedRequest(
+                at_s, kind, "POST", "/ingest", json.dumps({"records": rows})
+            )
+        schedule.append(planned)
+    return schedule
+
+
+def exact_quantile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``ceil(q * (n - 1))``-th order statistic of pre-sorted values.
+
+    Exactly the order statistic :meth:`LatencyDigest.quantile` targets
+    (``numpy.quantile(..., method="higher")``), so digest error can be
+    measured against it.
+    """
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ServiceError(f"quantile must be in [0, 1], got {q}")
+    return float(sorted_values[math.ceil(q * (len(sorted_values) - 1))])
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured, as plain data."""
+
+    profile: LoadProfile
+    duration_s: float
+    #: endpoint kind -> sorted latency list (seconds).
+    latencies: Dict[str, List[float]]
+    #: endpoint kind -> {status -> count}.
+    statuses: Dict[str, Dict[int, int]]
+    #: endpoint kind -> one trace id observed for it.
+    sample_traces: Dict[str, str]
+    slo_report: Dict
+    #: ``/metrics``-equivalent merged snapshot (frontend + shards).
+    snapshot: Dict
+
+    REPORT_QUANTILES = (0.5, 0.95, 0.99)
+
+    def endpoint_summary(self) -> Dict[str, Dict]:
+        summary: Dict[str, Dict] = {}
+        for kind in sorted(self.latencies):
+            values = self.latencies[kind]
+            by_status = self.statuses.get(kind, {})
+            ok = sum(count for status, count in by_status.items() if status < 500)
+            entry = {
+                "count": len(values),
+                "ok": ok,
+                "by_status": {str(status): count
+                              for status, count in sorted(by_status.items())},
+            }
+            for q in self.REPORT_QUANTILES:
+                entry[f"p{int(q * 100)}_s"] = exact_quantile(values, q)
+            if values:
+                entry["mean_s"] = sum(values) / len(values)
+                entry["max_s"] = values[-1]
+            summary[kind] = entry
+        return summary
+
+    def to_dict(self) -> Dict:
+        return {
+            "profile": self.profile.to_dict(),
+            "duration_s": self.duration_s,
+            "endpoints": self.endpoint_summary(),
+            "sample_traces": dict(self.sample_traces),
+            "slo": self.slo_report,
+        }
+
+
+class LoadGenerator:
+    """Replay a profile's schedule against an in-process service."""
+
+    def __init__(
+        self,
+        service,
+        profile: LoadProfile | None = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.service = service
+        self.profile = profile or LoadProfile()
+        self._clock = clock
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def warmup(self) -> int:
+        """Seed the service with signatures; returns windows closed."""
+        if self.profile.warmup_records == 0:
+            return 0
+        records = synthetic_records(
+            self.profile.warmup_records,
+            nodes=self.profile.nodes,
+            seed=self.profile.seed + 1,
+        )
+        if not self.service.ingest(records):
+            raise ServiceError(
+                "warmup rejected by backpressure; raise queue_capacity or "
+                "lower warmup_records"
+            )
+        return self.service.pump(force=True)
+
+    def run(self, warmup: bool = True) -> LoadReport:
+        """Issue the whole schedule; returns the measured report.
+
+        Single caller thread, requests in schedule order.  With
+        ``pace=False`` requests run back-to-back (service-time
+        measurement); with ``pace=True`` each waits for its scheduled
+        arrival (true open-loop, wall-clock permitting).
+        """
+        if warmup:
+            self.warmup()
+        schedule = build_schedule(self.profile)
+        latencies: Dict[str, List[float]] = {}
+        statuses: Dict[str, Dict[int, int]] = {}
+        sample_traces: Dict[str, str] = {}
+        run_started = self._clock()
+        for planned in schedule:
+            if self.profile.pace:
+                behind = planned.at_s - (self._clock() - run_started)
+                if behind > 0:
+                    self._sleep(behind)
+            started = self._clock()
+            status, headers, _body = self.service.respond(
+                planned.method, planned.path, planned.body
+            )
+            elapsed = self._clock() - started
+            latencies.setdefault(planned.kind, []).append(elapsed)
+            statuses.setdefault(planned.kind, {})
+            statuses[planned.kind][status] = (
+                statuses[planned.kind].get(status, 0) + 1
+            )
+            trace_id = headers.get("X-Trace-Id")
+            if trace_id:
+                # Keep the last 200 trace for each kind so the sample is a
+                # request that actually did the work (not a 404 warmup miss).
+                if status == 200 or planned.kind not in sample_traces:
+                    sample_traces[planned.kind] = trace_id
+            # Apply any ingested windows so later queries see the data and
+            # the queue cannot drown (single-threaded harness = no pump
+            # thread unless the caller started one).
+            if planned.kind == "ingest":
+                self.service.pump()
+        duration_s = self._clock() - run_started
+        for values in latencies.values():
+            values.sort()
+        slo_status, _slo_headers, slo_body = self.service.respond("GET", "/slo")
+        slo_report = json.loads(slo_body) if slo_status == 200 else {}
+        return LoadReport(
+            profile=self.profile,
+            duration_s=duration_s,
+            latencies=latencies,
+            statuses=statuses,
+            sample_traces=sample_traces,
+            slo_report=slo_report,
+            snapshot=self.service.frontend.merged_snapshot(),
+        )

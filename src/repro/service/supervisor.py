@@ -142,7 +142,11 @@ class ShardSupervisor:
             ),
             sketch=SketchTier(self.config, registry=registry),
             breaker=CircuitBreaker(
-                self.config.breaker, name=f"shard-{shard_id}", clock=self._clock
+                self.config.breaker,
+                name=f"shard-{shard_id}",
+                clock=self._clock,
+                registry=registry,
+                digest_relative_accuracy=self.config.digest_relative_accuracy,
             ),
             registry=registry,
             store=store,
@@ -397,6 +401,10 @@ class ShardSupervisor:
                     "histograms": [
                         (name, {**labels, "shard": label}, payload)
                         for name, labels, payload in snapshot["histograms"]
+                    ],
+                    "digests": [
+                        (name, {**labels, "shard": label}, payload)
+                        for name, labels, payload in snapshot.get("digests", [])
                     ],
                     "spans": snapshot["spans"],
                 },

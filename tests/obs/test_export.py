@@ -273,3 +273,92 @@ class TestValidatePrometheus:
 
     def test_accepts_special_values(self):
         assert obs.validate_prometheus("m 1.5e-3\nn +Inf\no NaN\n") == []
+
+
+def digest_registry() -> obs.MetricsRegistry:
+    registry = obs.MetricsRegistry()
+    digest = registry.digest("service.latency_s", endpoint="/similar")
+    for value in (0.010, 0.020, 0.040, 0.080, 0.500):
+        digest.observe(value)
+    return registry
+
+
+class TestDigestExport:
+    def test_payload_carries_states_and_quantiles(self):
+        payload = build_payload(digest_registry().snapshot())
+        assert validate_payload(payload) == []
+        entries = payload["digests"]
+        assert list(entries) == ["service.latency_s{endpoint=/similar}"]
+        entry = entries["service.latency_s{endpoint=/similar}"]
+        assert entry["count"] == 5
+        quantiles = entry["quantiles"]
+        assert quantiles["p50"] == pytest.approx(0.040, rel=0.011)
+        assert quantiles["p99"] == pytest.approx(0.500, rel=0.011)
+
+    def test_payload_omits_digests_when_absent(self):
+        payload = build_payload(sample_registry().snapshot())
+        assert "digests" not in payload
+        assert validate_payload(payload) == []
+
+    def test_payload_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "payload.json"
+        write_json(path, digest_registry().snapshot())
+        restored = json.loads(path.read_text())
+        assert validate_payload(restored) == []
+        (state,) = restored["digests"].values()
+        merged = obs.merge_digest_states([state, state])
+        assert merged.count == 10
+
+    def test_prometheus_summary_lines(self):
+        text = to_prometheus(digest_registry().snapshot())
+        assert obs.validate_prometheus(text) == []
+        assert "# TYPE repro_service_latency_s summary" in text
+        assert (
+            'repro_service_latency_s{endpoint="/similar",quantile="0.5"}' in text
+        )
+        assert 'repro_service_latency_s_count{endpoint="/similar"} 5' in text
+        assert 'repro_service_latency_s_sum{endpoint="/similar"}' in text
+
+    def test_validate_payload_rejects_corrupt_digest(self):
+        payload = build_payload(digest_registry().snapshot())
+        (entry,) = payload["digests"].values()
+        entry["count"] = 99  # buckets no longer sum to count
+        assert any(
+            "digest" in problem for problem in validate_payload(payload)
+        )
+
+    def test_validate_payload_rejects_bad_accuracy(self):
+        payload = build_payload(digest_registry().snapshot())
+        (entry,) = payload["digests"].values()
+        entry["relative_accuracy"] = 1.5
+        assert validate_payload(payload)
+
+
+class TestValidatePrometheusSummaries:
+    def test_rejects_quantile_label_out_of_range(self):
+        bad = 's{quantile="1.5"} 3\ns_count 1\n'
+        problems = obs.validate_prometheus(bad)
+        assert any("quantile" in problem for problem in problems)
+
+    def test_rejects_non_monotone_quantile_values(self):
+        bad = (
+            's{quantile="0.5"} 5\n'
+            's{quantile="0.99"} 3\n'
+            "s_count 2\n"
+        )
+        problems = obs.validate_prometheus(bad)
+        assert any("non-decreasing" in problem for problem in problems)
+
+    def test_rejects_summary_without_count(self):
+        bad = 's{quantile="0.5"} 3\n'
+        problems = obs.validate_prometheus(bad)
+        assert any("_count" in problem for problem in problems)
+
+    def test_accepts_well_formed_summary(self):
+        good = (
+            's{quantile="0.5"} 3\n'
+            's{quantile="0.99"} 7\n'
+            "s_sum 10\n"
+            "s_count 2\n"
+        )
+        assert obs.validate_prometheus(good) == []

@@ -1,0 +1,196 @@
+"""Tests for declarative SLOs and error-budget burn rates (repro.obs.slo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    KIND_AVAILABILITY,
+    KIND_LATENCY,
+    AlertManager,
+    SLOTracker,
+    ServiceObjective,
+    burn_rate_rule,
+)
+
+
+class ManualClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def latency_slo(**kwargs) -> ServiceObjective:
+    defaults = dict(
+        name="similar-p99",
+        endpoint="/similar",
+        kind=KIND_LATENCY,
+        quantile=0.99,
+        threshold_s=0.1,
+    )
+    defaults.update(kwargs)
+    return ServiceObjective(**defaults)
+
+
+def availability_slo(**kwargs) -> ServiceObjective:
+    defaults = dict(name="availability", kind=KIND_AVAILABILITY, target=0.999)
+    defaults.update(kwargs)
+    return ServiceObjective(**defaults)
+
+
+class TestServiceObjective:
+    def test_error_budget(self):
+        assert latency_slo().error_budget == pytest.approx(0.01)
+        assert availability_slo().error_budget == pytest.approx(0.001)
+
+    def test_matching(self):
+        assert latency_slo().matches("/similar")
+        assert not latency_slo().matches("/signature")
+        assert availability_slo().matches("/anything")
+
+    def test_badness_semantics(self):
+        slo = latency_slo(threshold_s=0.1)
+        assert not slo.is_bad(0.05, ok=True)
+        assert slo.is_bad(0.15, ok=True)  # slow spends latency budget
+        assert slo.is_bad(0.05, ok=False)  # errors always spend it
+        avail = availability_slo()
+        assert not avail.is_bad(99.0, ok=True)  # slow but up: fine
+        assert avail.is_bad(0.001, ok=False)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceObjective(name="x", kind="throughput")
+        with pytest.raises(ValueError):
+            latency_slo(quantile=1.0)
+        with pytest.raises(ValueError):
+            latency_slo(threshold_s=0.0)
+        with pytest.raises(ValueError):
+            availability_slo(target=0.0)
+
+    def test_describe_shapes(self):
+        latency = latency_slo().describe()
+        assert latency["threshold_s"] == 0.1
+        assert "target" not in latency
+        avail = availability_slo().describe()
+        assert avail["target"] == 0.999
+        assert "threshold_s" not in avail
+
+
+class TestSLOTracker:
+    def make(self, *objectives, windows=(10.0, 60.0), alert_manager=None):
+        clock = ManualClock()
+        tracker = SLOTracker(
+            objectives or (latency_slo(), availability_slo()),
+            windows_s=windows,
+            clock=clock,
+            alert_manager=alert_manager,
+        )
+        return tracker, clock
+
+    def test_burn_rate_math(self):
+        """10% bad traffic against a 1% budget burns at exactly 10x."""
+        tracker, clock = self.make(latency_slo())
+        for index in range(100):
+            slow = index < 10
+            tracker.record("/similar", 0.5 if slow else 0.01, ok=True)
+            clock.advance(0.05)
+        report = tracker.evaluate()
+        entry = report["objectives"][0]
+        assert entry["verdict"] == "fail"
+        for window in entry["windows"]:
+            assert window["total"] == 100
+            assert window["bad"] == 10
+            assert window["burn_rate"] == pytest.approx(10.0)
+        assert entry["burn_rate"] == pytest.approx(10.0)
+        assert entry["worst_burn_rate"] == pytest.approx(10.0)
+
+    def test_within_budget_passes(self):
+        tracker, clock = self.make(latency_slo())
+        for _ in range(500):
+            tracker.record("/similar", 0.01, ok=True)
+            clock.advance(0.01)
+        tracker.record("/similar", 0.5, ok=True)  # 1 slow in 501: under 1%
+        entry = tracker.evaluate()["objectives"][0]
+        assert entry["verdict"] == "pass"
+        assert 0.0 < entry["worst_burn_rate"] <= 1.0
+
+    def test_endpoint_scoping(self):
+        tracker, _clock = self.make(latency_slo(), availability_slo())
+        tracker.record("/signature", 9.9, ok=False)  # not /similar
+        report = {e["name"]: e for e in tracker.evaluate()["objectives"]}
+        assert report["similar-p99"]["windows"][0]["total"] == 0
+        assert report["availability"]["windows"][0]["bad"] == 1
+
+    def test_empty_window_burns_nothing(self):
+        tracker, _clock = self.make()
+        for entry in tracker.evaluate()["objectives"]:
+            assert entry["burn_rate"] == 0.0
+            assert entry["verdict"] == "pass"
+
+    def test_windows_roll_off(self):
+        """A burst ages out of the short window first, then the long one —
+        the alerting burn (min across windows) drops as soon as the short
+        window clears."""
+        tracker, clock = self.make(availability_slo(), windows=(10.0, 120.0))
+        for _ in range(20):
+            tracker.record("/similar", 0.01, ok=False)
+        entry = tracker.evaluate()["objectives"][0]
+        assert entry["burn_rate"] > 1.0  # burning in both windows
+        clock.advance(30.0)
+        entry = tracker.evaluate()["objectives"][0]
+        short, long = entry["windows"]
+        assert short["total"] == 0 and short["burn_rate"] == 0.0
+        assert long["bad"] == 20
+        assert entry["burn_rate"] == 0.0  # min: short window recovered
+        assert entry["worst_burn_rate"] > 1.0
+        clock.advance(200.0)
+        entry = tracker.evaluate()["objectives"][0]
+        assert entry["worst_burn_rate"] == 0.0  # fully aged out
+
+    def test_bucket_pruning_bounds_memory(self):
+        tracker, clock = self.make(availability_slo(), windows=(10.0, 30.0))
+        for _ in range(500):
+            tracker.record("/x", 0.01, ok=True)
+            clock.advance(1.0)
+        series = tracker._buckets["availability"]
+        assert len(series) <= int(30.0 / tracker.bucket_s) + 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOTracker([latency_slo(), latency_slo()])  # duplicate names
+        with pytest.raises(ValueError):
+            SLOTracker([latency_slo()], windows_s=())
+        with pytest.raises(ValueError):
+            SLOTracker([latency_slo()], bucket_s=0.0)
+
+    def test_alert_manager_wiring(self):
+        """Sustained burn in all windows trips the debounced rule; the
+        report carries the firing alerts."""
+        objective = availability_slo(target=0.99)
+        manager = AlertManager([burn_rate_rule(objective)])
+        tracker, clock = self.make(
+            objective, windows=(5.0, 20.0), alert_manager=manager
+        )
+        for _ in range(50):
+            tracker.record("/similar", 0.01, ok=False)
+        first = tracker.evaluate()
+        assert first["alerts_firing"] == []  # debounced: needs 2 samples
+        clock.advance(1.0)
+        for _ in range(50):
+            tracker.record("/similar", 0.01, ok=False)
+        second = tracker.evaluate()
+        assert "slo-availability" in second["alerts_firing"]
+
+
+class TestBurnRateRule:
+    def test_rule_shape(self):
+        rule = burn_rate_rule(latency_slo(), burn_threshold=2.0, level="error")
+        assert rule.name == "slo-similar-p99"
+        assert rule.metric == "slo.similar-p99.burn_rate"
+        assert rule.threshold == 2.0
+        assert rule.level == "error"

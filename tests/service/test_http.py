@@ -89,6 +89,26 @@ class TestServer:
                 deadline -= 1
             assert window == before + 1
 
+    def test_handler_threads_inherit_event_log(self, service, tmp_path):
+        """Handler threads get fresh contextvar contexts; the server must
+        re-install the log captured at start() so request-path events
+        (trace-stamped completions) reach it — regression for events lost
+        in live serving mode."""
+        from repro import obs
+
+        path = tmp_path / "events.jsonl"
+        log = obs.EventLog(path, run_id="http", level="debug")
+        with log, obs.use_event_log(log):
+            with ServiceServer(service, port=0) as server:
+                request = urllib.request.Request(
+                    f"{server.url}/status",
+                    headers={"X-Trace-Id": "feed" * 8},
+                )
+                with urllib.request.urlopen(request, timeout=10) as response:
+                    assert response.status == 200
+        tagged = list(obs.read_events(path, trace_id="feed" * 8))
+        assert any(e["event"] == "service.request.done" for e in tagged)
+
     def test_server_refuses_double_start(self, service):
         server = ServiceServer(service, port=0)
         server.start()

@@ -1,0 +1,201 @@
+"""Tests for the deterministic load harness (repro.service.loadgen)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    LoadGenerator,
+    LoadProfile,
+    ServiceConfig,
+    SignatureService,
+    build_schedule,
+    exact_quantile,
+    synthetic_records,
+)
+
+
+def make_service(**overrides):
+    defaults = dict(num_shards=2, window_records=64)
+    defaults.update(overrides)
+    return SignatureService(ServiceConfig(**defaults))
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        profile = LoadProfile(requests=100, seed=42)
+        assert build_schedule(profile) == build_schedule(profile)
+
+    def test_different_seeds_differ(self):
+        first = build_schedule(LoadProfile(requests=100, seed=1))
+        second = build_schedule(LoadProfile(requests=100, seed=2))
+        assert first != second
+
+    def test_arrivals_are_open_loop_increasing(self):
+        schedule = build_schedule(LoadProfile(requests=50, rate_per_s=100.0))
+        times = [planned.at_s for planned in schedule]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+        # Mean inter-arrival tracks 1/rate within seeded-random slop.
+        mean_gap = times[-1] / len(times)
+        assert 0.003 < mean_gap < 0.03
+
+    def test_mix_weights_respected(self):
+        profile = LoadProfile(
+            requests=200, mix={"signature": 1.0, "similar": 0.0}
+        )
+        kinds = {planned.kind for planned in build_schedule(profile)}
+        assert kinds == {"signature"}
+
+    def test_ingest_bodies_are_valid_json_batches(self):
+        profile = LoadProfile(requests=50, mix={"ingest": 1.0}, ingest_batch=7)
+        for planned in build_schedule(profile):
+            assert planned.method == "POST"
+            rows = json.loads(planned.body)["records"]
+            assert len(rows) == 7
+
+    def test_profile_validation(self):
+        with pytest.raises(ServiceError):
+            LoadProfile(requests=0)
+        with pytest.raises(ServiceError):
+            LoadProfile(rate_per_s=0.0)
+        with pytest.raises(ServiceError):
+            LoadProfile(mix={"bogus": 1.0})
+        with pytest.raises(ServiceError):
+            LoadProfile(mix={"similar": 0.0})
+
+    def test_synthetic_records_deterministic(self):
+        assert synthetic_records(20, seed=3) == synthetic_records(20, seed=3)
+        assert synthetic_records(20, seed=3) != synthetic_records(20, seed=4)
+
+
+class TestExactQuantile:
+    def test_order_statistic_definition(self):
+        import numpy as np
+
+        values = sorted([0.5, 0.1, 0.9, 0.3, 0.7, 0.2, 0.8, 0.4, 0.6, 1.0])
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert exact_quantile(values, q) == float(
+                np.quantile(values, q, method="higher")
+            )
+        assert exact_quantile([], 0.5) == 0.0
+        with pytest.raises(ServiceError):
+            exact_quantile(values, 1.5)
+
+
+class TestLoadGenerator:
+    def test_run_produces_full_report(self):
+        service = make_service()
+        try:
+            report = LoadGenerator(
+                service, LoadProfile(requests=80, warmup_records=128, seed=9)
+            ).run()
+        finally:
+            service.close()
+        assert sum(len(v) for v in report.latencies.values()) == 80
+        summary = report.endpoint_summary()
+        assert set(summary) <= {"signature", "similar", "anomaly", "ingest"}
+        for entry in summary.values():
+            assert entry["p50_s"] <= entry["p95_s"] <= entry["p99_s"]
+            assert entry["ok"] == entry["count"]  # nothing 5xx in calm seas
+        assert report.slo_report["objectives"]
+        assert report.sample_traces
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["profile"]["seed"] == 9
+
+    def test_sample_traces_resolve_via_trace_endpoint(self):
+        service = make_service()
+        try:
+            report = LoadGenerator(
+                service, LoadProfile(requests=60, warmup_records=128, seed=2)
+            ).run()
+            for kind, trace_id in report.sample_traces.items():
+                status, _headers, body = service.respond(
+                    "GET", f"/trace/{trace_id}"
+                )
+                assert status == 200, kind
+                assert json.loads(body)["spans"]["name"] == "service.request"
+        finally:
+            service.close()
+
+    def test_snapshot_carries_merged_digests(self):
+        service = make_service()
+        try:
+            report = LoadGenerator(
+                service, LoadProfile(requests=60, warmup_records=128, seed=4)
+            ).run()
+        finally:
+            service.close()
+        names = {name for name, _l, _s in report.snapshot["digests"]}
+        assert "service.latency_s" in names
+        assert "breaker.latency_s" in names
+
+    def test_warmup_can_be_skipped(self):
+        service = make_service()
+        try:
+            profile = LoadProfile(
+                requests=20,
+                warmup_records=0,
+                seed=1,
+                mix={"signature": 1.0},
+            )
+            report = LoadGenerator(service, profile).run()
+        finally:
+            service.close()
+        # Nothing ingested: every signature lookup misses, none 5xx.
+        assert report.statuses["signature"] == {404: 20}
+
+    def test_paced_mode_sleeps_scheduled_gaps(self):
+        service = make_service()
+        sleeps = []
+        try:
+            profile = LoadProfile(
+                requests=10,
+                rate_per_s=5.0,  # big gaps so every request waits
+                warmup_records=0,
+                pace=True,
+                mix={"signature": 1.0},
+            )
+            LoadGenerator(service, profile, sleep=sleeps.append).run()
+        finally:
+            service.close()
+        assert sleeps, "paced mode should sleep between arrivals"
+        assert all(gap > 0 for gap in sleeps)
+
+    def test_concurrent_slo_scrapes_during_load(self):
+        """Satellite guarantee: /slo (and /metrics) stay consistent while
+        the load generator hammers the data plane from another thread."""
+        service = make_service()
+        errors = []
+        done = threading.Event()
+
+        def scrape():
+            while not done.is_set():
+                try:
+                    status, _h, body = service.respond("GET", "/slo")
+                    assert status == 200
+                    report = json.loads(body)
+                    for entry in report["objectives"]:
+                        assert entry["verdict"] in ("pass", "fail")
+                        for window in entry["windows"]:
+                            assert window["bad"] <= window["total"]
+                    m_status, _mh, text = service.respond("GET", "/metrics")
+                    assert m_status == 200
+                except Exception as error:  # noqa: BLE001 - collected below
+                    errors.append(error)
+                    return
+
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        try:
+            report = LoadGenerator(
+                service, LoadProfile(requests=150, warmup_records=128, seed=11)
+            ).run()
+        finally:
+            done.set()
+            scraper.join(timeout=10.0)
+            service.close()
+        assert errors == []
+        assert sum(len(v) for v in report.latencies.values()) == 150

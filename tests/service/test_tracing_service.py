@@ -1,0 +1,285 @@
+"""End-to-end tracing and SLO behavior at the service edge: trace ids in
+and out, span trees for scatter-gather, /trace and /slo endpoints, breaker
+digests in /metrics."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.service import (
+    ServiceConfig,
+    ServiceFrontend,
+    ShardSupervisor,
+    SignatureService,
+    WedgeShard,
+    service_objectives,
+)
+
+
+def build(config, clock=None):
+    supervisor = ShardSupervisor(config)
+    kwargs = {"clock": clock} if clock is not None else {}
+    return supervisor, ServiceFrontend(supervisor, config, **kwargs)
+
+
+def fill(frontend, records_factory, count=120, seed=5):
+    frontend.queue.offer(records_factory(count, nodes=12, seed=seed))
+    frontend.pump()
+
+
+def get_trace(frontend, trace_id):
+    status, _headers, body = frontend.respond("GET", f"/trace/{trace_id}")
+    return status, json.loads(body)
+
+
+class TestTraceHeaders:
+    def test_every_response_carries_trace_and_request_ids(self, small_config):
+        _supervisor, frontend = build(small_config)
+        _status, headers, _body = frontend.respond("GET", "/status")
+        assert len(headers["X-Trace-Id"]) == 32
+        assert len(headers["X-Request-Id"]) == 16
+
+    def test_incoming_trace_id_is_honored(self, small_config):
+        _supervisor, frontend = build(small_config)
+        _s, headers, _b = frontend.respond(
+            "GET", "/status", headers={"X-Trace-Id": "cafe" * 8}
+        )
+        assert headers["X-Trace-Id"] == "cafe" * 8
+        # ... case-insensitively, as HTTP headers arrive.
+        _s, headers, _b = frontend.respond(
+            "GET", "/status", headers={"x-trace-id": "beef" * 8}
+        )
+        assert headers["X-Trace-Id"] == "beef" * 8
+
+    def test_distinct_requests_get_distinct_ids(self, small_config):
+        _supervisor, frontend = build(small_config)
+        first = frontend.respond("GET", "/status")[1]["X-Trace-Id"]
+        second = frontend.respond("GET", "/status")[1]["X-Trace-Id"]
+        assert first != second
+
+
+class TestTraceEndpoint:
+    def test_similar_scatter_gather_span_tree(
+        self, small_config, records_factory
+    ):
+        _supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        status, headers, _body = frontend.respond("GET", "/similar/h1?k=3")
+        assert status == 200
+        t_status, trace = get_trace(frontend, headers["X-Trace-Id"])
+        assert t_status == 200
+        assert trace["request_id"] == headers["X-Request-Id"]
+        root = trace["spans"]
+        assert root["name"] == "service.request"
+        assert root["attrs"]["endpoint"] == "/similar"
+        names = [child["name"] for child in root["children"]]
+        assert "shard.query" in names  # the target node's own signature
+        gathers = [c for c in root["children"] if c["name"] == "similar.gather"]
+        assert len(gathers) == small_config.num_shards
+        assert {g["attrs"]["shard"] for g in gathers} == {"0", "1", "2"}
+
+    def test_sketch_fallback_span_when_shard_degraded(
+        self, small_config, records_factory
+    ):
+        supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        shard = supervisor.shard_for("h1")
+        supervisor.shards[shard].health = "DEGRADED"
+        supervisor.shards[shard].engine = None
+        status, headers, body = frontend.respond("GET", "/signature/h1")
+        assert status == 200
+        assert json.loads(body)["approximate"] is True
+        _t, trace = get_trace(frontend, headers["X-Trace-Id"])
+        names = [child["name"] for child in trace["spans"]["children"]]
+        assert "sketch.fallback" in names
+
+    def test_missing_and_unknown_trace_404(self, small_config):
+        _supervisor, frontend = build(small_config)
+        status, record = get_trace(frontend, "doesnotexist")
+        assert status == 404
+        assert "capacity" in record
+        status, _headers, _body = frontend.respond("GET", "/trace/")
+        assert status == 404
+
+    def test_store_respects_configured_capacity(self, small_config):
+        config = ServiceConfig(
+            num_shards=small_config.num_shards,
+            window_records=small_config.window_records,
+            trace_store_size=2,
+        )
+        _supervisor, frontend = build(config)
+        ids = [
+            frontend.respond("GET", "/status")[1]["X-Trace-Id"]
+            for _ in range(5)
+        ]
+        assert len(frontend.traces) == 2
+        assert get_trace(frontend, ids[0])[0] == 404
+        assert get_trace(frontend, ids[-1])[0] == 200
+
+    def test_deadline_expiry_skips_remaining_gather(
+        self, small_config, records_factory, clock
+    ):
+        """Once the edge deadline passes, the gather loop stops fanning out
+        — the trace shows zero gather spans even though the handler ran."""
+        supervisor = ShardSupervisor(small_config)
+        frontend = ServiceFrontend(supervisor, small_config, clock=clock)
+        fill(frontend, records_factory)
+        # Wedge h1's home shard: fetching h1's own signature burns the
+        # whole request budget before the fan-out starts.
+        home = supervisor.shard_for("h1")
+        supervisor.install_injector(
+            home, WedgeShard(from_window=-1, stall=lambda: clock.advance(10.0))
+        )
+        status, headers, _body = frontend.respond("GET", "/similar/h1?k=3")
+        assert status == 504
+        _t, trace = get_trace(frontend, headers["X-Trace-Id"])
+        children = trace["spans"]["children"]
+        assert any(c["name"] == "shard.query" for c in children)
+        assert not any(c["name"] == "similar.gather" for c in children)
+
+
+class TestSLOEndpoint:
+    def test_slo_reports_objectives_and_verdicts(
+        self, small_config, records_factory
+    ):
+        _supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        for _ in range(10):
+            frontend.respond("GET", "/similar/h1?k=3")
+        status, _headers, body = frontend.respond("GET", "/slo")
+        assert status == 200
+        report = json.loads(body)
+        entries = {e["name"]: e for e in report["objectives"]}
+        assert entries["availability"]["verdict"] == "pass"
+        similar = entries["similar-p99"]
+        assert similar["endpoint"] == "/similar"
+        assert similar["windows"][0]["total"] == 10
+        assert "burn_rate" in similar
+        assert report["alerts_firing"] == []
+
+    def test_five_hundreds_burn_availability_budget(
+        self, small_config, records_factory, clock
+    ):
+        supervisor = ShardSupervisor(small_config)
+        frontend = ServiceFrontend(supervisor, small_config, clock=clock)
+        fill(frontend, records_factory)
+        slow = WedgeShard(from_window=-1, stall=lambda: clock.advance(10.0))
+        supervisor.install_injector(0, slow)
+        node = next(
+            f"h{i}" for i in range(12) if supervisor.shard_for(f"h{i}") == 0
+        )
+        assert frontend.respond("GET", f"/signature/{node}")[0] == 504
+        report = json.loads(frontend.respond("GET", "/slo")[2])
+        entries = {e["name"]: e for e in report["objectives"]}
+        assert entries["availability"]["worst_burn_rate"] > 1.0
+        assert entries["availability"]["verdict"] == "fail"
+
+    def test_service_objectives_respect_config(self):
+        config = ServiceConfig(slo_similar_p99_s=None, slo_availability=0.99)
+        objectives = service_objectives(config)
+        assert [o.name for o in objectives] == ["availability"]
+        assert objectives[0].target == 0.99
+        none_config = ServiceConfig(
+            slo_similar_p99_s=None, slo_availability=None
+        )
+        assert service_objectives(none_config) == []
+        status, _h, body = ServiceFrontend(
+            ShardSupervisor(none_config), none_config
+        ).respond("GET", "/slo")
+        assert status == 200
+        assert json.loads(body)["objectives"] == []
+
+
+class TestBreakerDigests:
+    def test_metrics_export_per_shard_breaker_digests(
+        self, small_config, records_factory
+    ):
+        _supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        for _ in range(5):
+            frontend.respond("GET", "/signature/h1")
+        snapshot = frontend.merged_snapshot()
+        breaker = [
+            (labels, state)
+            for name, labels, state in snapshot["digests"]
+            if name == "breaker.latency_s" and labels["outcome"] == "success"
+        ]
+        shards = {labels["shard"] for labels, _state in breaker}
+        assert shards == {"0", "1", "2"}
+        assert sum(state["count"] for _labels, state in breaker) > 0
+        gauges = {
+            (name, labels.get("shard")): value
+            for name, labels, value in snapshot["gauges"]
+        }
+        assert gauges[("breaker.state", "0")] == 0.0  # CLOSED
+
+    def test_breaker_state_gauge_tracks_transitions(self, small_config, clock):
+        from repro.service import STATE_CODES, CircuitBreaker
+
+        registry = obs.MetricsRegistry()
+        breaker = CircuitBreaker(
+            small_config.breaker, clock=clock, registry=registry
+        )
+        for _ in range(4):
+            breaker.record_failure(0.01)
+        gauges = {name: value for name, _l, value in registry.snapshot()["gauges"]}
+        assert gauges["breaker.state"] == STATE_CODES["OPEN"]
+        state = registry.digest_state(
+            "breaker.latency_s", outcome="failure"
+        )
+        assert state.count == 4
+
+    def test_prometheus_scrape_includes_service_digests(
+        self, small_config, records_factory
+    ):
+        _supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        frontend.respond("GET", "/similar/h1?k=3")
+        _status, _headers, text = frontend.respond("GET", "/metrics")
+        assert obs.validate_prometheus(text) == []
+        assert 'repro_service_latency_s{endpoint="/similar",quantile="0.99"}' in text
+
+
+class TestEventLogCorrelation:
+    def test_service_events_carry_trace_ids(
+        self, small_config, records_factory, tmp_path
+    ):
+        path = tmp_path / "events.jsonl"
+        _supervisor, frontend = build(small_config)
+        fill(frontend, records_factory)
+        log = obs.EventLog(path, run_id="svc", level="debug")
+        with log, obs.use_event_log(log):
+            frontend.respond(
+                "GET", "/similar/h1?k=3", headers={"X-Trace-Id": "f00d" * 8}
+            )
+            frontend.respond("GET", "/status")
+        tagged = list(obs.read_events(path, trace_id="f00d" * 8))
+        assert tagged, "request-path events should be stamped with the trace"
+        assert all(e["trace_id"] == "f00d" * 8 for e in tagged)
+        assert any(
+            e["event"] == "service.request.done" and e["status"] == 200
+            for e in tagged
+        )
+        # The /status request got its own trace id, not f00d's.
+        others = [
+            e
+            for e in obs.read_events(path)
+            if e.get("trace_id") not in (None, "f00d" * 8)
+        ]
+        assert others
+
+
+class TestServiceWiring:
+    def test_signature_service_headers_passthrough(
+        self, small_config, records_factory
+    ):
+        service = SignatureService(small_config)
+        service.ingest(records_factory(120, nodes=12, seed=5))
+        service.pump()
+        status, headers, _body = service.respond(
+            "GET", "/signature/h1", headers={"X-Trace-Id": "abcd" * 8}
+        )
+        assert headers["X-Trace-Id"] == "abcd" * 8
+        t_status, _h, _b = service.respond("GET", "/trace/" + "abcd" * 8)
+        assert t_status == 200

@@ -39,6 +39,15 @@ writes ``benchmarks/perf/BENCH_sketch_tier.json``.  Gates (full mode):
 mean top-k overlap >= 0.9 at the default budget, and tier bytes >= 4x
 below the exact graph's adjacency at the same per-entry cost.
 
+A fifth stage (``--stage service_slo``) drives a deterministic seeded
+load profile (:mod:`repro.service.loadgen`) through an in-process
+:class:`~repro.service.http.SignatureService`, writes per-endpoint
+p50/p95/p99 latency, the cross-shard merge of the per-shard breaker
+digests, the service's own ``/slo`` burn-rate verdicts and a
+``/trace/<id>`` round-trip to ``BENCH_service_slo.json``, and gates on
+every digest quantile landing within its advertised relative accuracy of
+the exact order statistic.
+
 Usage::
 
     python tools/bench.py                 # full run, n=2000 windows
@@ -46,6 +55,7 @@ Usage::
     python tools/bench.py --stage incremental   # delta-engine stage only
     python tools/bench.py --stage shm           # shared-memory stage only
     python tools/bench.py --stage sketch        # sketch-tier stage only
+    python tools/bench.py --stage service_slo   # service SLO/latency stage
     python tools/bench.py --stage all
     python tools/bench.py --output out.json
 """
@@ -76,6 +86,7 @@ INCREMENTAL_OUTPUT = (
 )
 SHM_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_shared_memory.json"
 SKETCH_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_sketch_tier.json"
+SERVICE_SLO_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_service_slo.json"
 AGREEMENT_TOLERANCE = 1e-9
 
 #: Incremental-engine acceptance gate: schemes whose mean dirty fraction is
@@ -98,6 +109,11 @@ SHM_GATE_WORKERS = 4
 #: ratio compares like with like).
 MIN_SKETCH_OVERLAP = 0.9
 MIN_SKETCH_MEMORY_RATIO = 4.0
+
+#: Service-SLO stage gate: a LatencyDigest built from the load run's exact
+#: latencies must land every reported quantile within its advertised
+#: relative accuracy of the true order statistic (plus float slop).
+DIGEST_ERROR_SLOP = 1e-6
 
 
 def synthetic_window(count: int, k: int, seed: int, churn: float = 0.0) -> dict:
@@ -1158,6 +1174,170 @@ def _run_sketch_stage(args) -> int:
     return 0
 
 
+def _run_service_slo_stage(args) -> int:
+    from repro.obs.digest import (
+        EXPORT_QUANTILES,
+        merge_digest_states,
+        quantile_from_state,
+    )
+    from repro.service import (
+        LoadGenerator,
+        LoadProfile,
+        ServiceConfig,
+        SignatureService,
+        exact_quantile,
+    )
+
+    if args.quick:
+        config = ServiceConfig(num_shards=2, window_records=64)
+        profile = LoadProfile(requests=200, warmup_records=256, seed=0)
+    else:
+        config = ServiceConfig(num_shards=4, window_records=128)
+        profile = LoadProfile(requests=2000, warmup_records=1024, seed=0)
+
+    service = SignatureService(config)
+    failures = []
+    try:
+        report = LoadGenerator(service, profile).run()
+        summary = report.endpoint_summary()
+
+        # ------------------------------------------------------------------
+        # Digest accuracy gate: replay each endpoint's exact measured
+        # latencies through a fresh digest and demand every exported
+        # quantile lands within the advertised relative accuracy of the
+        # true order statistic.
+        alpha = config.digest_relative_accuracy
+        digest_checks = []
+        for kind, values in sorted(report.latencies.items()):
+            digest = obs.LatencyDigest(alpha)
+            digest.observe_many(values)
+            for q in EXPORT_QUANTILES:
+                exact = exact_quantile(values, q)
+                estimate = digest.quantile(q)
+                rel_error = abs(estimate - exact) / exact if exact else 0.0
+                digest_checks.append(
+                    {
+                        "endpoint": kind,
+                        "quantile": q,
+                        "exact_s": exact,
+                        "digest_s": estimate,
+                        "rel_error": rel_error,
+                    }
+                )
+                if rel_error > alpha + DIGEST_ERROR_SLOP:
+                    failures.append(
+                        f"digest p{int(q * 100)} for {kind} off by "
+                        f"{rel_error:.4f} > alpha {alpha}"
+                    )
+
+        # ------------------------------------------------------------------
+        # The service's own merged view: per-endpoint quantiles from the
+        # frontend digests, plus the cross-shard fold of the per-shard
+        # breaker digests (merged exactly like counters).
+        service_view = {}
+        breaker_states = []
+        for name, labels, state in report.snapshot.get("digests", []):
+            if name == "service.latency_s":
+                service_view[labels.get("endpoint", "?")] = {
+                    f"p{int(q * 100)}_s": quantile_from_state(state, q)
+                    for q in EXPORT_QUANTILES
+                }
+            elif name == "breaker.latency_s" and labels.get("outcome") == "success":
+                breaker_states.append(state)
+        cross_shard = merge_digest_states(breaker_states)
+        cross_shard_quantiles = {
+            f"p{int(q * 100)}_s": cross_shard.quantile(q) for q in EXPORT_QUANTILES
+        }
+        if cross_shard.count == 0:
+            failures.append("no cross-shard breaker latency samples to merge")
+
+        # ------------------------------------------------------------------
+        # SLO verdicts must exist and carry burn rates.
+        objectives = report.slo_report.get("objectives", [])
+        if not objectives:
+            failures.append("/slo returned no objectives")
+        for objective in objectives:
+            if "verdict" not in objective or "burn_rate" not in objective:
+                failures.append(
+                    f"objective {objective.get('name')} missing verdict/burn_rate"
+                )
+
+        # ------------------------------------------------------------------
+        # Trace round-trip: a real /similar scatter-gather must come back
+        # from /trace/<id> as a frontend -> shard span tree.
+        status, headers, _body = service.respond("GET", "/similar/h1?k=3")
+        trace_id = headers.get("X-Trace-Id", "")
+        t_status, _t_headers, t_body = service.respond("GET", f"/trace/{trace_id}")
+        trace_check = {"trace_id": trace_id, "status": t_status, "spans": None}
+        if t_status != 200:
+            failures.append(f"/trace/{trace_id} returned {t_status}")
+        else:
+            trace = json.loads(t_body)
+            spans = trace.get("spans") or {}
+            child_names = {c["name"] for c in spans.get("children", [])}
+            trace_check["spans"] = spans
+            if spans.get("name") != "service.request":
+                failures.append("trace root span is not service.request")
+            if status == 200 and "similar.gather" not in child_names:
+                failures.append(
+                    f"similar trace has no shard gather spans: {child_names}"
+                )
+    finally:
+        service.close()
+
+    payload = {
+        "benchmark": "service_slo",
+        "mode": "quick" if args.quick else "full",
+        "config": {
+            "num_shards": config.num_shards,
+            "window_records": config.window_records,
+            "digest_relative_accuracy": config.digest_relative_accuracy,
+            "slo_similar_p99_s": config.slo_similar_p99_s,
+            "slo_availability": config.slo_availability,
+        },
+        "profile": profile.to_dict(),
+        "duration_s": report.duration_s,
+        "endpoints": summary,
+        "digest_checks": digest_checks,
+        "cross_shard_breaker_latency": {
+            "shards_merged": len(breaker_states),
+            "count": cross_shard.count,
+            **cross_shard_quantiles,
+        },
+        "slo": report.slo_report,
+        "sample_traces": dict(report.sample_traces),
+        "trace_roundtrip": trace_check,
+        "gate": {
+            "max_digest_rel_error": config.digest_relative_accuracy
+            + DIGEST_ERROR_SLOP,
+        },
+        "failures": failures,
+    }
+    output = (
+        args.output if args.output and args.stage == "service_slo"
+        else SERVICE_SLO_OUTPUT
+    )
+    _write_payload(payload, output)
+
+    for kind, entry in summary.items():
+        print(
+            f"service_slo  {kind:>9}  n {entry['count']:>5}"
+            f"  p50 {entry['p50_s'] * 1e3:7.3f}ms"
+            f"  p99 {entry['p99_s'] * 1e3:7.3f}ms"
+            f"  ok {entry['ok']}/{entry['count']}"
+        )
+    for objective in objectives:
+        print(
+            f"service_slo  slo:{objective['name']:<14}"
+            f" verdict {objective['verdict']}"
+            f"  burn {objective['burn_rate']:.3f}"
+        )
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1167,7 +1347,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--stage",
-        choices=("kernels", "incremental", "shm", "sketch", "all"),
+        choices=("kernels", "incremental", "shm", "sketch", "service_slo", "all"),
         default="kernels",
         help="which benchmark stage to run (default: kernels)",
     )
@@ -1202,6 +1382,8 @@ def main(argv=None) -> int:
         exit_code |= _run_shm_stage(args)
     if args.stage in ("sketch", "all"):
         exit_code |= _run_sketch_stage(args)
+    if args.stage in ("service_slo", "all"):
+        exit_code |= _run_service_slo_stage(args)
     return exit_code
 
 
