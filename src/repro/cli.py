@@ -11,6 +11,9 @@ Examples::
         --errors quarantine --error-budget 0.05
     commgraph-signatures pipeline resume --input trace.csv --checkpoint-dir ckpt
     commgraph-signatures serve --port 8080 --shards 4 --input trace.csv
+    commgraph-signatures history query --history-dir hist --node host-0001
+    commgraph-signatures history trajectory --history-dir hist --node host-0001
+    commgraph-signatures history compact --history-dir hist
 """
 
 from __future__ import annotations
@@ -189,6 +192,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
         error_budget=args.error_budget,
         max_memory_cells=args.memory_budget,
         window_deadline=args.window_deadline,
+        history_dir=args.history_dir,
         # --obs-serve / --obs-sample attach to the pipeline's own live
         # registry, so scrapes during the run see windows as they complete
         # (the CLI-level registry only receives the merged result at the
@@ -201,6 +205,62 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
     )
     result = pipeline.run(resume=args.action == "resume")
     return result.report.summary()
+
+
+def _cmd_history(args: argparse.Namespace) -> str:
+    """``history query|trajectory|compact``: time-travel over a history store."""
+    from repro.experiments.report import format_table
+    from repro.store import HistoryStore
+
+    store = HistoryStore(args.history_dir)
+    if args.action == "compact":
+        before = sum(record.nbytes for record in store.segment_records())
+        removed = store.compact()
+        after = sum(record.nbytes for record in store.segment_records())
+        return (
+            f"compacted {args.history_dir}: removed {len(removed)} dead "
+            f"segment(s), {before} -> {after} bytes, "
+            f"{len(store.windows())} live window(s)"
+        )
+    if not args.node:
+        raise SystemExit("history query/trajectory requires --node")
+    if args.action == "trajectory":
+        points = store.trajectory(args.node, args.from_window, args.to_window)
+        if not points:
+            return f"no stored windows for node {args.node!r}"
+        rows = [
+            [window, len(signature), ", ".join(
+                f"{dst}:{weight:.3g}" for dst, weight in signature.entries[:5]
+            )]
+            for window, signature in points
+        ]
+        return format_table(
+            ["window", "entries", "top entries"],
+            rows,
+            title=f"Trajectory of {args.node}",
+        )
+    # query: who looked like the node in that window
+    window = args.window if args.window is not None else store.max_window()
+    if window < 0:
+        return f"history store {args.history_dir} is empty"
+    signature = store.signature(args.node, window)
+    if signature is None:
+        return f"no stored signature for node {args.node!r} in window {window}"
+    matches = store.query(
+        signature, window, k=args.history_k + 1, exhaustive=args.exhaustive
+    )
+    rows = [
+        [match.owner, match.window, match.distance]
+        for match in matches
+        if match.owner != args.node
+    ][: args.history_k]
+    if not rows:
+        return f"no lookalikes for {args.node!r} in window {window}"
+    return format_table(
+        ["node", "window", "distance"],
+        rows,
+        title=f"Lookalikes of {args.node} in window {window}",
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
@@ -223,7 +283,9 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         slo_availability=args.slo_availability or None,
         trace_store_size=args.trace_store_size,
     )
-    service = SignatureService(config, checkpoint_dir=args.checkpoint_dir)
+    service = SignatureService(
+        config, checkpoint_dir=args.checkpoint_dir, history_dir=args.history_dir
+    )
     if args.input:
         # Pre-load a trace: admit it window by window so a file larger than
         # the queue replays fully instead of tripping backpressure.
@@ -245,7 +307,8 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         print(f"signature service listening on {server.url}")
         print(
             "endpoints: /status /metrics /slo /trace/<id> /signature/<node> "
-            "/similar/<node>?k=N /anomaly/<node> (POST /ingest)"
+            "/similar/<node>?k=N /anomaly/<node> /history/<node>?window=N "
+            "/trajectory/<node>?from=A&to=B (POST /ingest)"
         )
         try:
             if args.serve_for is not None:
@@ -265,17 +328,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=sorted(_COMMANDS) + ["all", "list", "pipeline", "serve"],
+        choices=sorted(_COMMANDS) + ["all", "list", "pipeline", "serve", "history"],
         help="which experiment to run ('all' runs everything, 'list' shows "
         "options, 'pipeline' runs the fault-tolerant signature pipeline, "
-        "'serve' starts the resilient sharded signature service)",
+        "'serve' starts the resilient sharded signature service, 'history' "
+        "queries or compacts an append-only signature history store)",
     )
     parser.add_argument(
         "action",
         nargs="?",
-        choices=("run", "resume"),
+        choices=("run", "resume", "query", "trajectory", "compact"),
         default="run",
-        help="pipeline action: 'run' starts fresh, 'resume' replays checkpoints",
+        help="pipeline action: 'run' starts fresh, 'resume' replays "
+        "checkpoints; history action: 'query' finds lookalikes of --node, "
+        "'trajectory' prints --node over windows, 'compact' folds segments",
     )
     parser.add_argument(
         "--scale",
@@ -386,6 +452,13 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline_group.add_argument("--input", help="edge-record CSV trace to ingest")
     pipeline_group.add_argument(
         "--checkpoint-dir", help="directory for per-window checkpoints"
+    )
+    pipeline_group.add_argument(
+        "--history-dir",
+        default=None,
+        help="append-only columnar signature history store: the pipeline "
+        "archives every window there, 'serve' persists/restores shard "
+        "state under it, and the 'history' command queries it",
     )
     pipeline_group.add_argument(
         "--scheme", default="tt", help="signature scheme name (default: tt)"
@@ -503,6 +576,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="finished traces kept in memory for GET /trace/<id> "
         "(default: 256)",
     )
+    history_group = parser.add_argument_group("history options (history)")
+    history_group.add_argument(
+        "--node", default=None, help="node id for history query/trajectory"
+    )
+    history_group.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="window for history query (default: the latest stored window)",
+    )
+    history_group.add_argument(
+        "--from",
+        dest="from_window",
+        type=int,
+        default=None,
+        metavar="WINDOW",
+        help="first window of a trajectory (default: the beginning)",
+    )
+    history_group.add_argument(
+        "--to",
+        dest="to_window",
+        type=int,
+        default=None,
+        metavar="WINDOW",
+        help="trajectory stops before this window (default: the end)",
+    )
+    history_group.add_argument(
+        "--top",
+        dest="history_k",
+        type=int,
+        default=5,
+        metavar="K",
+        help="lookalikes to report for history query (default: 5)",
+    )
+    history_group.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="history query decodes every stored row instead of only the "
+        "LSH candidate set",
+    )
     return parser
 
 
@@ -611,11 +724,26 @@ def main(argv=None) -> int:
         print("available experiments:", ", ".join(sorted(_COMMANDS)))
         print("pipeline commands: pipeline run, pipeline resume")
         print("service command: serve")
+        print("history commands: history query, history trajectory, history compact")
         return 0
     if args.command == "pipeline":
         if not args.input or not args.checkpoint_dir:
             parser.error("pipeline requires --input and --checkpoint-dir")
+        if args.action not in ("run", "resume"):
+            parser.error(f"pipeline action must be run or resume, got {args.action!r}")
         _run_with_observability(args, lambda: print(_cmd_pipeline(args)))
+        return 0
+    if args.command == "history":
+        if args.action not in ("query", "trajectory", "compact"):
+            parser.error(
+                "history action must be query, trajectory or compact, "
+                f"got {args.action!r}"
+            )
+        if not args.history_dir:
+            parser.error("history requires --history-dir")
+        if args.history_k < 1:
+            parser.error(f"--top must be >= 1; got {args.history_k}")
+        print(_cmd_history(args))
         return 0
     if args.command == "serve":
         if not 0 <= args.port <= 65535:

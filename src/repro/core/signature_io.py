@@ -10,6 +10,15 @@ owner::
 
 Node labels must be strings (the natural case for communication data);
 loading restores plain :class:`~repro.core.signature.Signature` objects.
+
+A second on-disk representation shares these entry points: paths ending in
+``.rseg`` (:data:`repro.store.segments.SEGMENT_SUFFIX`) round-trip through
+the columnar segment format of the history store — the same bytes a
+:class:`~repro.store.history.HistoryStore` appends — so a standalone
+signature dump and a window of archived history are interchangeable.
+:func:`load_signatures` sniffs the file magic, so either format loads
+regardless of its name; weights stored columnar round-trip bit-exactly
+(raw float64), where JSON goes through decimal text.
 """
 
 from __future__ import annotations
@@ -50,8 +59,11 @@ def save_signatures(
     """Write a signature map to ``path`` as JSON; returns signatures written.
 
     The write is atomic (temp file + fsync + rename), so a crash mid-write
-    never leaves a truncated signature file behind.
+    never leaves a truncated signature file behind.  A ``.rseg`` path is
+    written as a single-window columnar segment instead of JSON.
     """
+    if _is_segment_path(path):
+        return _save_segment(signatures, path)
     document = {"version": FORMAT_VERSION, "signatures": {}}
     for owner, signature in signatures.items():
         if not isinstance(owner, str):
@@ -69,7 +81,13 @@ def save_signatures(
 
 
 def load_signatures(path: str | Path) -> Dict[str, Signature]:
-    """Read a signature map written by :func:`save_signatures`."""
+    """Read a signature map written by :func:`save_signatures`.
+
+    Detects the columnar segment format by file magic (not name), so
+    archived history segments load through the same entry point.
+    """
+    if _sniff_segment(path):
+        return _load_segment(path)
     with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
     if not isinstance(document, dict) or "signatures" not in document:
@@ -84,3 +102,53 @@ def load_signatures(path: str | Path) -> Dict[str, Signature]:
         owner: signature_from_dict(owner, payload)
         for owner, payload in document["signatures"].items()
     }
+
+
+# ----------------------------------------------------------------------
+# Columnar segment interop (lazy imports: core must not hard-depend on
+# the store package at import time)
+# ----------------------------------------------------------------------
+def _is_segment_path(path: str | Path) -> bool:
+    from repro.store.segments import SEGMENT_SUFFIX
+
+    return str(path).endswith(SEGMENT_SUFFIX)
+
+
+def _sniff_segment(path: str | Path) -> bool:
+    from repro.store.segments import SEGMENT_MAGIC
+
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(SEGMENT_MAGIC)) == SEGMENT_MAGIC
+    except OSError:
+        return False
+
+
+def _save_segment(signatures: Mapping[NodeId, Signature], path: str | Path) -> int:
+    from repro.exceptions import StoreError
+    from repro.store.segments import write_segment
+
+    for owner, signature in signatures.items():
+        if signature.owner != owner:
+            raise SchemeError(
+                f"map key {owner!r} does not match signature owner {signature.owner!r}"
+            )
+    try:
+        write_segment(path, [(0, signatures)])
+    except StoreError as exc:
+        raise SchemeError(str(exc)) from exc
+    return len(signatures)
+
+
+def _load_segment(path: str | Path) -> Dict[str, Signature]:
+    from repro.exceptions import StoreError
+    from repro.store.segments import read_segment
+
+    try:
+        segment = read_segment(path)
+        out: Dict[str, Signature] = {}
+        for window in segment.windows():
+            out.update(segment.signatures_for_window(window))
+        return out
+    except StoreError as exc:
+        raise SchemeError(str(exc)) from exc

@@ -86,6 +86,10 @@ class CheckpointError(PipelineError):
     """Raised when checkpoint state is unusable (corrupt manifest, bad hash)."""
 
 
+class StoreError(ReproError):
+    """Raised for signature history-store format, manifest or query errors."""
+
+
 class ServiceError(ReproError):
     """Raised for online signature-service configuration or routing errors."""
 

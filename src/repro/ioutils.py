@@ -5,8 +5,12 @@ leave a truncated file that silently poisons the next run.  Every writer in
 this library that persists state other code later trusts goes through
 :func:`atomic_write`: the content is written to ``path + ".tmp"``, flushed
 and fsynced, then moved over the destination with :func:`os.replace` (atomic
-on POSIX and Windows).  Readers therefore only ever observe the old complete
-file or the new complete file, never a torn one.
+on POSIX and Windows), and finally the *containing directory* is fsynced —
+without that last step the rename itself can be lost on power failure, so a
+"durably written" manifest could vanish while the segment files it describes
+survive (or vice versa).  Readers therefore only ever observe the old
+complete file or the new complete file, never a torn one, and what they
+observe stays observed across a crash.
 """
 
 from __future__ import annotations
@@ -21,6 +25,24 @@ from typing import IO, Iterator
 TMP_SUFFIX = ".tmp"
 
 
+def fsync_dir(path: str | Path) -> None:
+    """Flush a directory's metadata (its entry list) to stable storage.
+
+    On POSIX, renaming a file into a directory updates the directory inode;
+    until that inode is fsynced the rename may not survive power loss.
+    Platforms that cannot open directories (Windows) silently skip — there
+    ``os.replace`` durability is the filesystem's problem, not ours.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open support
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 @contextmanager
 def atomic_write(
     path: str | Path,
@@ -31,7 +53,8 @@ def atomic_write(
     """Context manager writing ``path`` atomically via a temp file + rename.
 
     The handle yielded writes to ``path + ".tmp"``.  On clean exit the temp
-    file is flushed, fsynced and renamed over ``path``; on error it is
+    file is flushed, fsynced and renamed over ``path``, then the containing
+    directory is fsynced so the rename is durable; on error the temp file is
     removed and the original file (if any) is left untouched.
 
     ``mode`` must be a write mode (``"w"`` or ``"wb"``); binary mode ignores
@@ -51,6 +74,7 @@ def atomic_write(
         os.fsync(handle.fileno())
         handle.close()
         os.replace(tmp_path, destination)
+        fsync_dir(os.path.dirname(destination) or ".")
     except BaseException:
         handle.close()
         try:
@@ -58,6 +82,26 @@ def atomic_write(
         except OSError:
             pass
         raise
+
+
+def append_line(path: str | Path, line: str) -> None:
+    """Durably append one text line to ``path`` (manifest-log style).
+
+    The line is written in one call, flushed, and fsynced; the containing
+    directory is fsynced too when this append creates the file.  A crash
+    mid-append can only ever leave a torn *final* line, which append-log
+    readers skip — the committed prefix is never damaged.
+    """
+    destination = os.fspath(path)
+    existed = os.path.exists(destination)
+    if not line.endswith("\n"):
+        line += "\n"
+    with open(destination, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if not existed:
+        fsync_dir(os.path.dirname(destination) or ".")
 
 
 def file_sha256(path: str | Path) -> str:
@@ -72,3 +116,8 @@ def file_sha256(path: str | Path) -> str:
 def content_sha256(text: str) -> str:
     """Hex SHA-256 of a string (UTF-8), matching :func:`file_sha256` on disk."""
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def bytes_sha256(payload: bytes) -> str:
+    """Hex SHA-256 of a bytes payload, matching :func:`file_sha256` on disk."""
+    return hashlib.sha256(payload).hexdigest()

@@ -1,13 +1,24 @@
 """Atomic per-window checkpoints with a hash-verified manifest.
 
 Each completed window is persisted as one JSON file written atomically
-(temp file + fsync + rename, via :func:`repro.ioutils.atomic_write`), and a
-``manifest.json`` — itself written atomically — records the ordered list of
-completed windows with the SHA-256 of each file's content.  Resume therefore
-never trusts a file blindly: :meth:`CheckpointStore.scan` re-hashes every
-manifest entry and returns the longest verified prefix, so a corrupted or
-truncated checkpoint (disk fault, partial copy) silently degrades to "redo
-that window" rather than poisoning the resumed run.
+(temp file + fsync + rename, via :func:`repro.ioutils.atomic_write`) and
+recorded with the SHA-256 of its content.  Resume therefore never trusts a
+file blindly: :meth:`CheckpointStore.scan` re-hashes every manifest entry
+and returns the longest verified prefix, so a corrupted or truncated
+checkpoint (disk fault, partial copy) silently degrades to "redo that
+window" rather than poisoning the resumed run.
+
+The manifest itself is **append-style**: ``manifest.json`` holds the last
+compacted snapshot (run state included), and each ``save_window`` appends
+one durable line to ``manifest.log`` instead of rewriting the whole
+document — rewriting made a run of *n* windows cost O(n²) manifest bytes.
+Readers replay the log over the snapshot (a line for window *w* truncates
+recorded windows ``> w``, the "recompute from here" resume rule), a torn
+final log line — the only damage a crash mid-append can cause — is
+skipped, and :meth:`CheckpointStore.compact` folds the log back into the
+snapshot.  Compaction happens automatically every
+:data:`COMPACT_EVERY` appends, and a pre-log directory (``manifest.json``
+alone) reads exactly as before.
 """
 
 from __future__ import annotations
@@ -16,17 +27,22 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.signature import Signature
 from repro.core.signature_io import signature_from_dict, signature_to_dict
 from repro.exceptions import CheckpointError
-from repro.ioutils import atomic_write, content_sha256, file_sha256
+from repro.ioutils import append_line, atomic_write, content_sha256, file_sha256, fsync_dir
 
 #: Format version stamped into window files and the manifest.
 CHECKPOINT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
+
+MANIFEST_LOG_NAME = "manifest.log"
+
+#: Appends between automatic manifest compactions.
+COMPACT_EVERY = 512
 
 
 @dataclass(frozen=True)
@@ -63,6 +79,8 @@ class CheckpointStore:
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._entries: Optional[List[WindowEntry]] = None
+        self._log_count = 0
 
     # ------------------------------------------------------------------
     # Paths
@@ -70,6 +88,10 @@ class CheckpointStore:
     @property
     def manifest_path(self) -> Path:
         return self.directory / MANIFEST_NAME
+
+    @property
+    def manifest_log_path(self) -> Path:
+        return self.directory / MANIFEST_LOG_NAME
 
     def window_path(self, window: int) -> Path:
         return self.directory / f"window-{window:04d}.json"
@@ -89,8 +111,12 @@ class CheckpointStore:
         ``window`` must be the next unwritten index, or an already-written
         index (in which case it is overwritten and any later entries are
         discarded — the resume semantics of "recompute from here").
+
+        The manifest grows by one appended log line (O(1) per save); the
+        compacted ``manifest.json`` snapshot is refreshed every
+        :data:`COMPACT_EVERY` saves and on :meth:`compact`.
         """
-        entries = self._read_manifest_entries(strict=True)
+        entries = self._cached_entries()
         if window > len(entries):
             raise CheckpointError(
                 f"cannot save window {window}: only {len(entries)} windows "
@@ -108,14 +134,47 @@ class CheckpointStore:
         }
         serialized = json.dumps(payload, sort_keys=True)
         path = self.window_path(window)
-        with atomic_write(path, "w") as handle:
-            handle.write(serialized)
         entry = WindowEntry(
             window=window, file=path.name, sha256=content_sha256(serialized), mode=mode
         )
-        entries = entries[:window] + [entry]
-        self._write_manifest(entries)
+        try:
+            with atomic_write(path, "w") as handle:
+                handle.write(serialized)
+            append_line(self.manifest_log_path, _log_line(entry))
+        except BaseException:
+            self._entries = None
+            raise
+        self._entries = entries[:window] + [entry]
+        self._log_count += 1
+        if self._log_count >= COMPACT_EVERY:
+            self.compact()
         return entry
+
+    def _cached_entries(self) -> List[WindowEntry]:
+        if self._entries is None:
+            self._entries = self._read_manifest_entries(strict=True)
+        return self._entries
+
+    def compact(self) -> List[WindowEntry]:
+        """Fold the manifest log into the ``manifest.json`` snapshot.
+
+        The snapshot is byte-compatible with the pre-log manifest format;
+        :meth:`scan` sees the identical window list before and after.  The
+        log is removed only once the new snapshot is durable, and replaying
+        a stale log over a fresh snapshot is idempotent, so a crash between
+        the two writes loses nothing.
+        """
+        entries = self._read_manifest_entries(strict=True)
+        self._write_manifest(entries)
+        try:
+            os.unlink(self.manifest_log_path)
+        except FileNotFoundError:
+            pass
+        else:
+            fsync_dir(self.directory)
+        self._entries = entries
+        self._log_count = 0
+        return entries
 
     def _write_manifest(
         self, entries: List[WindowEntry], run_state: Mapping | None = None
@@ -148,6 +207,14 @@ class CheckpointStore:
         """
         entries = self._read_manifest_entries(strict=True)
         self._write_manifest(entries, run_state=state)
+        try:
+            os.unlink(self.manifest_log_path)
+        except FileNotFoundError:
+            pass
+        else:
+            fsync_dir(self.directory)
+        self._entries = entries
+        self._log_count = 0
 
     def run_state(self) -> Dict:
         """The manifest's run-level state (empty for pre-existing stores)."""
@@ -164,6 +231,22 @@ class CheckpointStore:
     # Reading
     # ------------------------------------------------------------------
     def _read_manifest_entries(self, strict: bool) -> List[WindowEntry]:
+        """Replay the manifest from disk: snapshot, then log lines in order."""
+        entries = self._read_snapshot_entries(strict)
+        log_entries = self._read_log_entries(strict)
+        self._log_count = len(log_entries)
+        for entry in log_entries:
+            if entry.window > len(entries):
+                if strict:
+                    raise CheckpointError(
+                        f"manifest log names window {entry.window} with only "
+                        f"{len(entries)} windows recorded before it"
+                    )
+                return []
+            entries = entries[: entry.window] + [entry]
+        return entries
+
+    def _read_snapshot_entries(self, strict: bool) -> List[WindowEntry]:
         if not self.manifest_path.exists():
             return []
         try:
@@ -186,9 +269,50 @@ class CheckpointStore:
             return []
         return entries
 
+    def _read_log_entries(self, strict: bool) -> List[WindowEntry]:
+        if not self.manifest_log_path.exists():
+            return []
+        try:
+            raw = self.manifest_log_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            if strict:
+                raise CheckpointError(
+                    f"unreadable checkpoint manifest log "
+                    f"{self.manifest_log_path}: {exc}"
+                ) from exc
+            return []
+        lines = raw.split("\n")
+        entries: List[WindowEntry] = []
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                item = json.loads(line)
+                entries.append(
+                    WindowEntry(
+                        window=int(item["window"]),
+                        file=str(item["file"]),
+                        sha256=str(item["sha256"]),
+                        mode=str(item.get("mode", "exact")),
+                    )
+                )
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                if position == len(lines) - 1 and not raw.endswith("\n"):
+                    # A crash mid-append tears at most the final line; the
+                    # committed prefix before it is intact.
+                    continue
+                if strict:
+                    raise CheckpointError(
+                        f"unreadable checkpoint manifest log line "
+                        f"{position + 1} in {self.manifest_log_path}: {exc}"
+                    ) from exc
+                return []
+        return entries
+
     def scan(self) -> CheckpointScan:
         """Validate the directory and return the longest good window prefix."""
         scan = CheckpointScan()
+        self._entries = None
         try:
             entries = self._read_manifest_entries(strict=True)
         except CheckpointError as exc:
@@ -251,5 +375,21 @@ class CheckpointStore:
         """Remove every checkpoint artefact (fresh-run semantics)."""
         for path in self.directory.glob("window-*.json"):
             os.unlink(path)
-        if self.manifest_path.exists():
-            os.unlink(self.manifest_path)
+        for path in (self.manifest_path, self.manifest_log_path):
+            if path.exists():
+                os.unlink(path)
+        self._entries = None
+        self._log_count = 0
+
+
+def _log_line(entry: WindowEntry) -> str:
+    return json.dumps(
+        {
+            "window": entry.window,
+            "file": entry.file,
+            "sha256": entry.sha256,
+            "mode": entry.mode,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )

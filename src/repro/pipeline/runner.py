@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
@@ -119,6 +120,15 @@ class PipelineConfig:
     resume under a different contract is refused rather than silently
     mixing exact and sketched windows.
 
+    ``history_dir`` tees every completed window into an append-only
+    :class:`~repro.store.history.HistoryStore` at that path (in addition
+    to the checkpoint store), so a finished run supports time-travel
+    queries — "who looked like X in window t", node trajectories —
+    without re-running anything.  When the checkpoint store is itself a
+    :class:`~repro.store.backend.HistoryCheckpointStore` over the same
+    directory, the tee is skipped (the checkpoints already are the
+    history).
+
     Live observability opt-ins: ``obs_port`` serves the run's *own*
     metrics registry over HTTP (``/metrics``, ``/healthz``,
     ``/snapshot.json``, ``/series.json``; 0 binds an ephemeral port) for
@@ -146,6 +156,7 @@ class PipelineConfig:
     strategy: str = "serial"
     jobs: int = 0
     sketch_budget_bytes: int = 2097152
+    history_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -236,6 +247,22 @@ class SignaturePipeline:
         # strategy="shm".  When None, run() creates (and closes) its own.
         self._engine = engine
         self._owns_engine = False
+        self._history = self._make_history()
+
+    def _make_history(self):
+        """The history tee for ``config.history_dir`` (``None`` when off or
+        when the checkpoint store already writes that same history)."""
+        if self.config.history_dir is None:
+            return None
+        from repro.store.backend import HistoryCheckpointStore
+        from repro.store.history import HistoryStore
+
+        history_dir = Path(self.config.history_dir)
+        if isinstance(self.store, HistoryCheckpointStore) and (
+            Path(self.store.directory).resolve() == history_dir.resolve()
+        ):
+            return None
+        return HistoryStore(history_dir)
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -364,8 +391,12 @@ class SignaturePipeline:
             replayed_modes = self._replay_checkpoints(len(buckets), report, result)
         else:
             self.store.clear()
+            if self._history is not None:
+                self._history.clear()
         start_window = len(replayed_modes)
         self.store.set_run_state(self._run_state())
+        if self._history is not None:
+            self._history.set_state(self._run_state())
 
         scheme = create_scheme(
             self.config.scheme, k=self.config.k, **self.config.scheme_params
@@ -690,6 +721,12 @@ class SignaturePipeline:
         if inc is not None:
             meta["engine"] = "incremental"
         entry = self._save_window(window, signatures, meta, mode, report)
+        if self._history is not None:
+            # Tee into the history store; its supersede rule keeps it in
+            # lockstep with checkpoint truncation on recompute-from-here.
+            self._history.append(
+                [(window, signatures)], metas={window: meta}, modes={window: mode}
+            )
         return (
             WindowReport(
                 window=window,

@@ -135,8 +135,8 @@ class ServiceFrontend:
     """All endpoint logic, independent of sockets and threads."""
 
     ROUTES = (
-        "/signature/", "/similar/", "/anomaly/", "/status", "/ingest",
-        "/metrics", "/trace/", "/slo",
+        "/signature/", "/similar/", "/anomaly/", "/history/", "/trajectory/",
+        "/status", "/ingest", "/metrics", "/trace/", "/slo",
     )
 
     def __init__(
@@ -305,6 +305,8 @@ class ServiceFrontend:
             ("/signature/", self._handle_signature),
             ("/similar/", self._handle_similar),
             ("/anomaly/", self._handle_anomaly),
+            ("/history/", self._handle_history),
+            ("/trajectory/", self._handle_trajectory),
         ):
             if path.startswith(prefix):
                 shed = self._maybe_shed()
@@ -561,6 +563,136 @@ class ServiceFrontend:
                 "threshold": self.config.anomaly_threshold,
                 "anomalous": persistence < self.config.anomaly_threshold,
                 "approximate": approximate,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Time travel (history store)
+    # ------------------------------------------------------------------
+    def _history_unavailable(self) -> Response:
+        return self._json(
+            404,
+            {
+                "error": "history store not configured "
+                "(start the service with a history directory)",
+            },
+        )
+
+    def _handle_history(self, node: str, params: Dict) -> Response:
+        """``GET /history/<node>?window=N&k=K`` — who looked like the node.
+
+        The node's *stored* signature at ``window`` (default: its home
+        shard's latest) anchors a time-travel lookalike query answered by
+        every shard's history store via the on-disk LSH index.  Shards
+        without a usable store are skipped and the response is marked
+        ``partial``, mirroring ``/similar``.
+        """
+        home = self.supervisor.state_for(node)
+        if home.history is None:
+            return self._history_unavailable()
+        try:
+            k = int(params.get("k", ["5"])[0])
+        except ValueError:
+            return self._json(400, {"error": "k must be an integer"})
+        if k < 1:
+            return self._json(400, {"error": f"k must be >= 1, got {k}"})
+        raw_window = params.get("window", [None])[0]
+        try:
+            window = int(raw_window) if raw_window is not None else home.history.max_window()
+        except ValueError:
+            return self._json(400, {"error": "window must be an integer"})
+        if window < 0:
+            return self._json(
+                404, {"error": "history store is empty", "node": node}
+            )
+        signature = home.history.signature(node, window)
+        if signature is None:
+            return self._json(
+                404,
+                {
+                    "error": f"no stored signature for node {node!r} "
+                    f"in window {window}",
+                    "node": node,
+                    "window": window,
+                },
+            )
+        matches: List[Dict] = []
+        skipped: List[int] = []
+        trace = obs.current_trace()
+        for state in self.supervisor.shards:
+            if trace is not None and trace.expired():
+                skipped.append(state.shard_id)
+                continue
+            if state.history is None:
+                skipped.append(state.shard_id)
+                continue
+            with obs.trace_span("history.gather", shard=str(state.shard_id)):
+                try:
+                    hits = state.history.query(signature, window, k=k)
+                except Exception:  # noqa: BLE001 - partial results beat a 500
+                    skipped.append(state.shard_id)
+                    continue
+            matches.extend(
+                {
+                    "node": hit.owner,
+                    "window": hit.window,
+                    "distance": hit.distance,
+                }
+                for hit in hits
+                if hit.owner != node
+            )
+        matches.sort(key=lambda item: (item["distance"], item["node"]))
+        return self._json(
+            200,
+            {
+                "node": node,
+                "window": window,
+                "k": k,
+                "distance": self.config.distance,
+                "partial": bool(skipped),
+                "shards_skipped": skipped,
+                "matches": matches[:k],
+            },
+        )
+
+    def _handle_trajectory(self, node: str, params: Dict) -> Response:
+        """``GET /trajectory/<node>?from=A&to=B`` — the node's stored
+        signatures over windows ``[from, to)`` from its home shard's
+        history store."""
+        home = self.supervisor.state_for(node)
+        if home.history is None:
+            return self._history_unavailable()
+        try:
+            start = int(params["from"][0]) if "from" in params else None
+            stop = int(params["to"][0]) if "to" in params else None
+        except ValueError:
+            return self._json(400, {"error": "from/to must be integers"})
+        with obs.trace_span("trajectory.gather", shard=str(home.shard_id)):
+            points = home.history.trajectory(node, start, stop)
+        if not points:
+            return self._json(
+                404,
+                {
+                    "error": f"no stored windows for node {node!r}",
+                    "node": node,
+                    "shard": home.shard_id,
+                },
+            )
+        return self._json(
+            200,
+            {
+                "node": node,
+                "shard": home.shard_id,
+                "windows": [window for window, _ in points],
+                "trajectory": [
+                    {
+                        "window": window,
+                        "signature": {
+                            str(dst): weight for dst, weight in signature.entries
+                        },
+                    }
+                    for window, signature in points
+                ],
             },
         )
 

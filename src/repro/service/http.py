@@ -38,13 +38,18 @@ class SignatureService:
         config: ServiceConfig | None = None,
         *,
         checkpoint_dir: Optional[str | Path] = None,
+        history_dir: Optional[str | Path] = None,
         registry: Optional[obs.MetricsRegistry] = None,
         clock=time.monotonic,
         sleep=time.sleep,
     ) -> None:
         self.config = config or ServiceConfig()
         self.supervisor = ShardSupervisor(
-            self.config, checkpoint_dir=checkpoint_dir, clock=clock, sleep=sleep
+            self.config,
+            checkpoint_dir=checkpoint_dir,
+            history_dir=history_dir,
+            clock=clock,
+            sleep=sleep,
         )
         self.frontend = ServiceFrontend(
             self.supervisor, self.config, registry=registry, clock=clock

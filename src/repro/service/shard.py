@@ -69,6 +69,7 @@ class ShardEngine:
         config: ServiceConfig,
         *,
         store: Optional[CheckpointStore] = None,
+        history=None,
         registry: Optional[obs.MetricsRegistry] = None,
         shm_engine=None,
         sketch_engine=None,
@@ -76,6 +77,10 @@ class ShardEngine:
         self.shard_id = shard_id
         self.config = config
         self.store = store
+        #: Optional :class:`repro.store.history.HistoryStore`: every applied
+        #: window is appended, and :meth:`restore_from_history` can bring a
+        #: fresh process back to answering without any ingest log.
+        self.history = history
         # Supervisor-owned shared-memory pool (strategy="shm"); the shard
         # never closes it — its lifecycle belongs to whoever shares it.
         self._shm_engine = shm_engine
@@ -140,23 +145,29 @@ class ShardEngine:
         self.registry.counter("shard.records").inc(len(records))
         self.registry.gauge("shard.nodes").set(graph.num_nodes)
         self.registry.gauge("shard.edges").set(graph.num_edges)
+        meta = {
+            "shard": self.shard_id,
+            "num_records": len(records),
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+        }
         if self.store is not None:
-            self.store.save_window(
-                self.window,
-                self.signatures,
-                meta={
-                    "shard": self.shard_id,
-                    "num_records": len(records),
-                    "num_nodes": graph.num_nodes,
-                    "num_edges": graph.num_edges,
-                },
-            )
+            self.store.save_window(self.window, self.signatures, meta=meta)
             self.registry.counter("shard.checkpoint_writes").inc()
+        if self.history is not None:
+            self.history.append(
+                [(self.window, self.signatures)], metas={self.window: meta}
+            )
 
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
-    def rebuild(self, buckets: Sequence[Sequence[EdgeRecord]]) -> List[str]:
+    def rebuild(
+        self,
+        buckets: Sequence[Sequence[EdgeRecord]],
+        *,
+        base_window: int = -1,
+    ) -> List[str]:
         """Restore engine state from the acknowledged ingest log.
 
         Replays every bucket through a fresh aggregator (identical mutation
@@ -166,24 +177,50 @@ class ShardEngine:
         — is recomputed through the incremental chain and re-persisted.
         Returns the scan issues encountered (corrupt/missing checkpoints),
         so the supervisor can surface them as health events.
+
+        ``base_window`` handles the restarted-process case: when this
+        process began by restoring window ``base_window`` from the history
+        store, its ingest log only covers windows after that point, so
+        bucket ``i`` replays as global window ``base_window + 1 + i`` (and
+        window ``base_window`` itself is re-seeded from history).
         """
         issues: List[str] = []
         verified = 0
         if self.store is not None:
             scan = self.store.scan()
             issues.extend(scan.issues)
-            verified = min(scan.next_window, len(buckets))
+            verified = min(scan.next_window, base_window + 1 + len(buckets))
         with obs.use_registry(self.registry):
-            self._replay(buckets, verified)
+            if base_window >= 0:
+                self._seed_from_history(base_window)
+            self._replay(buckets, verified, base_window)
         if issues:
             self.registry.counter("shard.checkpoint_issues").inc(len(issues))
         self.registry.counter("shard.rebuilds").inc()
         return issues
 
+    def _seed_from_history(self, base_window: int) -> None:
+        """Re-seed query state at ``base_window`` before replaying the log.
+
+        Lenient on a damaged history (the window may have been compacted
+        away or corrupted): the engine then serves the replayed suffix
+        only, but global window numbering stays correct.
+        """
+        self.window = base_window
+        self._previous_raw = None
+        if self.history is not None and base_window in set(self.history.windows()):
+            self.signatures = self.history.load_window(base_window)
+        else:
+            self.signatures = {}
+
     def _replay(
-        self, buckets: Sequence[Sequence[EdgeRecord]], verified: int
+        self,
+        buckets: Sequence[Sequence[EdgeRecord]],
+        verified: int,
+        base_window: int = -1,
     ) -> None:
-        for index, bucket in enumerate(buckets):
+        for offset, bucket in enumerate(buckets):
+            index = base_window + 1 + offset
             records = sorted(bucket)
             delta = self.aggregator.advance(records)
             graph = self.aggregator.graph
@@ -196,7 +233,7 @@ class ShardEngine:
                 signatures, _meta = self.store.load_window(index)
                 raw: Dict[NodeId, Signature] = dict(signatures)
             else:
-                use_delta = delta if (self._previous_raw is not None and index > 0) else None
+                use_delta = delta if (self._previous_raw is not None and offset > 0) else None
                 population = [
                     node for node in graph.nodes() if graph.out_strength(node) > 0
                 ]
@@ -218,7 +255,46 @@ class ShardEngine:
             self.prev_signatures = self.signatures
             self.signatures = {str(node): sig for node, sig in raw.items()}
             self._previous_raw = raw
+            if self.history is not None and index > self.history.max_window():
+                # Heal history holes at the tail only; windows already
+                # recorded are byte-identical by the rebuild contract, and
+                # re-appending them would needlessly supersede good segments.
+                self.history.append(
+                    [(index, self.signatures)],
+                    metas={index: {"shard": self.shard_id, "recovered": True}},
+                )
         self._index = None
+
+    def restore_from_history(self) -> bool:
+        """Restore query state from the shard's history store alone.
+
+        The path a restarted *process* takes before any ingest log exists:
+        the last two recorded windows become ``signatures`` /
+        ``prev_signatures``, so ``/signature``, ``/history`` and
+        ``/anomaly`` answer immediately from durable state.  The
+        incremental chain is deliberately broken (``_previous_raw = None``)
+        because the aggregator's graph is gone — the next applied window
+        recomputes its population in full, which is byte-identical for
+        ``window_buckets=1`` (each window's graph is exactly its bucket).
+        Returns whether any window was restored.
+        """
+        if self.history is None:
+            return False
+        last = self.history.max_window()
+        if last < 0:
+            return False
+        with obs.use_registry(self.registry):
+            self.signatures = self.history.load_window(last)
+            self.prev_signatures = (
+                self.history.load_window(last - 1)
+                if last - 1 in set(self.history.windows())
+                else {}
+            )
+        self.window = last
+        self._previous_raw = None
+        self._index = None
+        self.registry.counter("shard.history_restores").inc()
+        return True
 
     # ------------------------------------------------------------------
     # Queries

@@ -53,11 +53,17 @@ class ShardState:
     breaker: CircuitBreaker
     registry: obs.MetricsRegistry
     store: Optional[CheckpointStore] = None
+    #: Per-shard signature history (``None`` without ``history_dir``).
+    history: Optional[object] = None
     #: Supervision verdict from the ingest path (the breaker adds the
     #: query-path view on top; see :meth:`ShardSupervisor.shard_health`).
     health: str = HEALTH_HEALTHY
     #: Acknowledged ingest log: every bucket routed to this shard, in order.
     buckets: List[List[EdgeRecord]] = field(default_factory=list)
+    #: Window restored from history at process start (-1 for a fresh
+    #: process).  The ingest log only covers windows after this point, so
+    #: rebuilds replay bucket ``i`` as global window ``window_base + 1 + i``.
+    window_base: int = -1
     restarts: int = 0
     last_error: str = ""
     #: Chaos hook; ``None`` in production.
@@ -75,12 +81,14 @@ class ShardSupervisor:
         config: ServiceConfig | None = None,
         *,
         checkpoint_dir: Optional[str | Path] = None,
+        history_dir: Optional[str | Path] = None,
         retry: Optional[RetryPolicy] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.config = config or ServiceConfig()
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.history_dir = Path(history_dir) if history_dir else None
         self.retry = retry or RetryPolicy(
             max_attempts=self.config.max_restarts + 1,
             base_delay=self.config.restart_base_delay_s,
@@ -114,6 +122,29 @@ class ShardSupervisor:
         self.shards: List[ShardState] = [
             self._new_state(shard_id) for shard_id in range(self.config.num_shards)
         ]
+        self._restore_from_history()
+
+    def _restore_from_history(self) -> None:
+        """Bring a restarted process back to answering from durable history.
+
+        Each shard engine restores its last recorded window from the
+        shard's history store; the global window index resumes at the
+        highest restored window so status and responses stay truthful.
+        Shards fall back to empty (fresh) state when the stores are empty.
+        """
+        restored = -1
+        for state in self.shards:
+            if state.engine is not None and state.engine.restore_from_history():
+                state.window_base = state.engine.window
+                restored = max(restored, state.engine.window)
+        if restored >= 0:
+            self.window = restored
+            obs.emit(
+                "service.restored_from_history",
+                level="info",
+                window=restored,
+                shards=len(self.shards),
+            )
 
     def close(self) -> None:
         """Release the shared-memory pool and its segments (idempotent).
@@ -129,6 +160,11 @@ class ShardSupervisor:
         store = None
         if self.checkpoint_dir is not None:
             store = CheckpointStore(self.checkpoint_dir / f"shard-{shard_id:02d}")
+        history = None
+        if self.history_dir is not None:
+            from repro.store.history import HistoryStore
+
+            history = HistoryStore(self.history_dir / f"shard-{shard_id:02d}")
         registry = obs.MetricsRegistry()
         return ShardState(
             shard_id=shard_id,
@@ -136,6 +172,7 @@ class ShardSupervisor:
                 shard_id,
                 self.config,
                 store=store,
+                history=history,
                 registry=registry,
                 shm_engine=self._shm_engine,
                 sketch_engine=self._sketch_engine,
@@ -150,6 +187,7 @@ class ShardSupervisor:
             ),
             registry=registry,
             store=store,
+            history=history,
         )
 
     # ------------------------------------------------------------------
@@ -241,11 +279,12 @@ class ShardSupervisor:
                 state.shard_id,
                 self.config,
                 store=state.store,
+                history=state.history,
                 registry=state.registry,
                 shm_engine=self._shm_engine,
                 sketch_engine=self._sketch_engine,
             )
-            issues = engine.rebuild(state.buckets)
+            issues = engine.rebuild(state.buckets, base_window=state.window_base)
             for issue in issues:
                 obs.emit(
                     "service.shard.checkpoint_issue",

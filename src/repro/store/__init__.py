@@ -1,0 +1,48 @@
+"""Append-only columnar signature history storage with time-travel queries.
+
+The unified persistence layer of the reproduction (ROADMAP item 3): every
+window of signatures lands as an immutable mmap-readable columnar segment
+(:mod:`repro.store.segments`), an append-only SHA-256 manifest makes the
+set of committed windows durable and verifiable
+(:mod:`repro.store.history`), and a persisted MinHash/LSH band index
+(:mod:`repro.store.index`) answers the paper's historical questions —
+"who looked like X in window t", "how did X's signature drift over
+[t0, t1)" — sub-linearly in the stored history.
+:class:`~repro.store.backend.HistoryCheckpointStore` adapts the store to
+the pipeline's checkpoint contract, so one on-disk format serves resume,
+service recovery and forensics alike.
+"""
+
+from repro.store.backend import HistoryCheckpointStore
+from repro.store.history import (
+    HistoryMatch,
+    HistoryStore,
+    SegmentRecord,
+    StoreScan,
+)
+from repro.store.index import IndexParams
+from repro.store.segments import (
+    SEGMENT_MAGIC,
+    SEGMENT_SUFFIX,
+    SEGMENT_VERSION,
+    Segment,
+    encode_segment,
+    read_segment,
+    write_segment,
+)
+
+__all__ = [
+    "HistoryCheckpointStore",
+    "HistoryMatch",
+    "HistoryStore",
+    "IndexParams",
+    "SEGMENT_MAGIC",
+    "SEGMENT_SUFFIX",
+    "SEGMENT_VERSION",
+    "Segment",
+    "SegmentRecord",
+    "StoreScan",
+    "encode_segment",
+    "read_segment",
+    "write_segment",
+]

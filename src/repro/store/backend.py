@@ -1,0 +1,165 @@
+"""A :class:`~repro.pipeline.checkpoint.CheckpointStore` backed by the
+signature history store.
+
+Drop-in for the JSON checkpoint directory: the pipeline saves, scans,
+loads and clears exactly as before — same sequentiality rule, same
+"recompute from here" truncation, same hash-verified loads, same
+``run_state`` contract stamping — but every window lands as a columnar
+segment in a :class:`~repro.store.history.HistoryStore`, so the finished
+run *is already* a queryable history ("who looked like X in window t")
+instead of a pile of resume-only JSON files.  Resume byte-identity is
+preserved because segments store weights as raw float64
+(:mod:`repro.store.segments`), not a decimal detour.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.signature import Signature
+from repro.exceptions import CheckpointError, StoreError
+from repro.ioutils import file_sha256
+from repro.pipeline.checkpoint import CheckpointScan, CheckpointStore, WindowEntry
+from repro.store.history import HistoryStore
+
+
+class HistoryCheckpointStore(CheckpointStore):
+    """Checkpoint semantics on top of an append-only history store.
+
+    One window per appended segment; the history manifest's supersede rule
+    (an append at window ``w`` drops recorded windows ``>= w``) *is* the
+    checkpoint truncation rule, so overwrite-and-discard-later-windows
+    costs one ordinary append instead of a manifest rewrite.
+    """
+
+    def __init__(
+        self, directory: str | Path, *, history: Optional[HistoryStore] = None
+    ) -> None:
+        self.history = history if history is not None else HistoryStore(directory)
+        super().__init__(self.history.directory)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save_window(
+        self,
+        window: int,
+        signatures: Mapping[str, Signature],
+        meta: Mapping | None = None,
+        mode: str = "exact",
+    ) -> WindowEntry:
+        next_window = self.history.max_window() + 1
+        if window > next_window:
+            raise CheckpointError(
+                f"cannot save window {window}: only {next_window} windows "
+                f"checkpointed so far (windows are checkpointed in order)"
+            )
+        try:
+            record = self.history.append(
+                [(window, signatures)],
+                metas={window: dict(meta or {})},
+                modes={window: mode},
+            )
+        except StoreError as exc:
+            raise CheckpointError(str(exc)) from exc
+        return WindowEntry(
+            window=window, file=record.file, sha256=record.sha256, mode=mode
+        )
+
+    def compact(self) -> List[WindowEntry]:
+        self.history.compact()
+        return self._entries_from_catalog()
+
+    def set_run_state(self, state: Mapping) -> None:
+        self.history.set_state(state)
+
+    def run_state(self) -> Dict:
+        try:
+            return self.history.state() or {}
+        except StoreError:
+            return {}
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _entries_from_catalog(self) -> List[WindowEntry]:
+        """The contiguous window prefix as manifest-style entries."""
+        entries: List[WindowEntry] = []
+        live = set(self.history.windows())
+        files = {
+            window: record
+            for record in self.history.segment_records()
+            for window in record.windows
+            if window in live
+        }
+        for window in range(self.history.max_window() + 1):
+            record = files.get(window)
+            if record is None:
+                break
+            entries.append(
+                WindowEntry(
+                    window=window,
+                    file=record.file,
+                    sha256=record.sha256,
+                    mode=self.history.window_mode(window),
+                )
+            )
+        return entries
+
+    def scan(self) -> CheckpointScan:
+        """Hash-verify the store and return the longest good window prefix.
+
+        Mirrors the JSON store: torn manifest lines, missing or corrupt
+        segments and orphan files become ``issues``; ``good`` stops at the
+        first window the verified store cannot serve.
+        """
+        scan = CheckpointScan()
+        try:
+            store_scan = self.history.scan()
+        except StoreError as exc:
+            scan.issues.append(str(exc))
+            return scan
+        scan.issues.extend(store_scan.issues)
+        records = {record.file: record for record in store_scan.segments}
+        window = 0
+        while window in store_scan.windows:
+            record = records[store_scan.windows[window]]
+            scan.good.append(
+                WindowEntry(
+                    window=window,
+                    file=record.file,
+                    sha256=record.sha256,
+                    mode=self.history.window_mode(window),
+                )
+            )
+            window += 1
+        trailing = sorted(w for w in store_scan.windows if w > window)
+        if trailing:
+            scan.issues.append(
+                f"windows {trailing} follow a gap at window {window}; "
+                f"discarding them"
+            )
+        return scan
+
+    def load_window(self, window: int) -> Tuple[Dict[str, Signature], Dict]:
+        """Load one window, hash-verifying its segment against the manifest."""
+        file = self.history._window_to_file.get(int(window))
+        if file is None:
+            raise CheckpointError(
+                f"no checkpoint for window {window} in {self.history.directory}"
+            )
+        record = self.history._record_for(file)
+        if file_sha256(self.history.directory / file) != record.sha256:
+            raise CheckpointError(
+                f"checkpoint segment {file} failed hash verification"
+            )
+        try:
+            signatures = self.history.load_window(window)
+            meta = self.history.window_meta(window)
+        except StoreError as exc:
+            raise CheckpointError(str(exc)) from exc
+        return signatures, meta
+
+    def clear(self) -> None:
+        self.history.clear()

@@ -115,8 +115,37 @@ class TestCheckpointStore:
         store = CheckpointStore(tmp_path / "ckpt")
         entry = store.save_window(0, sigs("a"))
         assert file_sha256(store.window_path(0)) == entry.sha256
+        # The save lands as one appended manifest-log line...
+        line = json.loads(store.manifest_log_path.read_text().splitlines()[0])
+        assert line["sha256"] == entry.sha256
+        # ...and compaction folds it into the snapshot unchanged.
+        store.compact()
+        assert not store.manifest_log_path.exists()
         manifest = json.loads(store.manifest_path.read_text())
         assert manifest["entries"][0]["sha256"] == entry.sha256
+
+    def test_compaction_is_scan_invisible(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        for window in range(4):
+            store.save_window(window, sigs(f"w{window}"))
+        store.save_window(2, sigs("redo"))
+        before = store.scan()
+        store.compact()
+        after = store.scan()
+        assert after.good == before.good
+        assert after.issues == before.issues == []
+        # A fresh instance (process restart) replays to the same prefix.
+        assert CheckpointStore(store.directory).scan().good == before.good
+
+    def test_torn_final_log_line_is_skipped(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save_window(0, sigs("a"))
+        store.save_window(1, sigs("b"))
+        with open(store.manifest_log_path, "a", encoding="utf-8") as handle:
+            handle.write('{"window": 2, "file": "window-')  # crash mid-append
+        scan = CheckpointStore(store.directory).scan()
+        assert [entry.window for entry in scan.good] == [0, 1]
+        assert not scan.issues
 
     def test_clear_removes_everything(self, tmp_path):
         store = CheckpointStore(tmp_path / "ckpt")

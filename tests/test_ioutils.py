@@ -1,0 +1,99 @@
+"""Durability contracts of the shared IO primitives.
+
+The interesting property is *which* file descriptors get fsynced, not just
+that the bytes land: a rename is only crash-durable once the containing
+directory's inode is flushed, so these tests record every ``os.fsync``
+call and assert the directory was among them.
+"""
+
+from __future__ import annotations
+
+import os
+import stat
+
+import pytest
+
+from repro.ioutils import append_line, atomic_write, file_sha256, fsync_dir
+
+
+class FsyncRecorder:
+    """Monkeypatch target: remembers what kind of fd each fsync flushed."""
+
+    def __init__(self):
+        self.calls = []
+        self._real = os.fsync
+
+    def __call__(self, fd):
+        kind = "dir" if stat.S_ISDIR(os.fstat(fd).st_mode) else "file"
+        self.calls.append(kind)
+        self._real(fd)
+
+
+@pytest.fixture
+def recorder(monkeypatch):
+    rec = FsyncRecorder()
+    monkeypatch.setattr(os, "fsync", rec)
+    return rec
+
+
+class TestAtomicWriteDurability:
+    def test_fsyncs_file_then_directory(self, tmp_path, recorder):
+        # The rename itself is atomic, but only the directory fsync makes
+        # it durable — a crash right after os.replace() must not lose the
+        # new name.  Regression test: the directory flush must happen and
+        # must come after the file flush.
+        with atomic_write(tmp_path / "out.json", "w") as handle:
+            handle.write("{}")
+        assert "file" in recorder.calls
+        assert "dir" in recorder.calls
+        assert recorder.calls.index("file") < recorder.calls.index("dir")
+
+    def test_fsyncs_directory_on_overwrite_too(self, tmp_path, recorder):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        recorder.calls.clear()
+        with atomic_write(target, "w") as handle:
+            handle.write("new")
+        assert "dir" in recorder.calls
+        assert target.read_text() == "new"
+
+    def test_no_directory_fsync_when_body_raises(self, tmp_path, recorder):
+        # On error the temp file is discarded and the destination untouched;
+        # there is no rename to make durable.
+        with pytest.raises(RuntimeError):
+            with atomic_write(tmp_path / "out.json", "w") as handle:
+                handle.write("partial")
+                raise RuntimeError("boom")
+        assert "dir" not in recorder.calls
+        assert not (tmp_path / "out.json").exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestAppendLineDurability:
+    def test_first_append_fsyncs_directory(self, tmp_path, recorder):
+        append_line(tmp_path / "log.jsonl", "one")
+        assert recorder.calls and recorder.calls[-1] == "dir"
+
+    def test_later_appends_fsync_file_only(self, tmp_path, recorder):
+        path = tmp_path / "log.jsonl"
+        append_line(path, "one")
+        recorder.calls.clear()
+        append_line(path, "two")
+        assert "file" in recorder.calls
+        assert "dir" not in recorder.calls
+        assert path.read_text() == "one\ntwo\n"
+
+
+class TestFsyncDir:
+    def test_flushes_a_directory_fd(self, tmp_path, recorder):
+        fsync_dir(tmp_path)
+        assert recorder.calls == ["dir"]
+
+
+class TestFileSha256:
+    def test_matches_known_digest(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"abc")
+        assert file_sha256(path) == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )

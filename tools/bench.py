@@ -48,6 +48,15 @@ digests, the service's own ``/slo`` burn-rate verdicts and a
 every digest quantile landing within its advertised relative accuracy of
 the exact order statistic.
 
+A sixth stage (``--stage history``) fills a
+:class:`~repro.store.history.HistoryStore` with windows of synthetic
+signatures (>= 100k stored rows in full mode), then times "who looked
+like X" queries through the on-disk LSH band index against the
+brute-force decode of the whole window.  Gates: every planted exact
+duplicate must surface at distance 0 through both paths, the indexed
+path must be at least MIN_HISTORY_INDEX_SPEEDUP faster at full scale,
+and compaction must leave every query answer byte-identical.
+
 Usage::
 
     python tools/bench.py                 # full run, n=2000 windows
@@ -56,6 +65,7 @@ Usage::
     python tools/bench.py --stage shm           # shared-memory stage only
     python tools/bench.py --stage sketch        # sketch-tier stage only
     python tools/bench.py --stage service_slo   # service SLO/latency stage
+    python tools/bench.py --stage history       # history-store query stage
     python tools/bench.py --stage all
     python tools/bench.py --output out.json
 """
@@ -87,7 +97,14 @@ INCREMENTAL_OUTPUT = (
 SHM_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_shared_memory.json"
 SKETCH_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_sketch_tier.json"
 SERVICE_SLO_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_service_slo.json"
+HISTORY_OUTPUT = REPO_ROOT / "benchmarks" / "perf" / "BENCH_history_store.json"
 AGREEMENT_TOLERANCE = 1e-9
+
+#: History-store acceptance gate (full mode): with >= HISTORY_GATE_ROWS
+#: signatures stored, an LSH-indexed lookalike query must beat the
+#: brute-force decode of the queried window by this factor.
+MIN_HISTORY_INDEX_SPEEDUP = 5.0
+HISTORY_GATE_ROWS = 100_000
 
 #: Incremental-engine acceptance gate: schemes whose mean dirty fraction is
 #: at most MAX_DIRTY_FRACTION must show at least MIN_INCREMENTAL_SPEEDUP.
@@ -1338,6 +1355,189 @@ def _run_service_slo_stage(args) -> int:
     return 0
 
 
+def _history_population(num_windows: int, owners_per_window: int, seed: int):
+    """Synthetic per-window signature maps with planted exact duplicates.
+
+    Owner ``dup-of-<i>`` in the final window carries a byte-identical
+    copy of ``owner-<i>``'s signature — the masquerade the indexed query
+    must surface at distance 0.
+    """
+    rng = random.Random(seed)
+    universe = [f"svc-{i:04d}" for i in range(512)]
+    windows = []
+    duplicates = []
+    for window in range(num_windows):
+        signatures = {}
+        for i in range(owners_per_window):
+            owner = f"owner-{window}-{i:06d}"
+            entries = {
+                dst: 1.0 + rng.random() * 4.0
+                for dst in rng.sample(universe, 8)
+            }
+            signatures[owner] = Signature(owner, entries)
+        if window == num_windows - 1:
+            originals = sorted(signatures)[:8]
+            for original in originals:
+                dup = f"dup-of-{original}"
+                signatures[dup] = Signature(
+                    dup, dict(signatures[original].entries)
+                )
+                duplicates.append((original, dup))
+        windows.append((window, signatures))
+    return windows, duplicates
+
+
+def _run_history_stage(args) -> int:
+    import tempfile
+
+    from repro.store import HistoryStore
+
+    num_windows = 4 if args.quick else 10
+    owners_per_window = 500 if args.quick else 10_000
+    query_count = 8 if args.quick else 24
+    k = 5
+
+    windows, duplicates = _history_population(num_windows, owners_per_window, 41)
+    failures: list = []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = HistoryStore(Path(tmp) / "history")
+        append_started = time.perf_counter()
+        for window, signatures in windows:
+            store.append([(window, signatures)])
+        append_wall = time.perf_counter() - append_started
+        total_rows = sum(record.rows for record in store.segment_records())
+        total_bytes = sum(record.nbytes for record in store.segment_records())
+        last = store.max_window()
+        if not args.quick and total_rows < HISTORY_GATE_ROWS:
+            failures.append(
+                f"population too small for the gate: {total_rows} rows "
+                f"< {HISTORY_GATE_ROWS}"
+            )
+
+        # Queries: every planted duplicate's original, padded with ordinary
+        # owners so timings cover the non-matching case too.
+        last_signatures = dict(windows[-1][1])
+        query_owners = [original for original, _ in duplicates]
+        for owner in sorted(last_signatures):
+            if len(query_owners) >= query_count:
+                break
+            if not owner.startswith("dup-of-"):
+                query_owners.append(owner)
+        queries = [last_signatures[owner] for owner in query_owners]
+
+        def run_queries(exhaustive: bool):
+            return [
+                [
+                    (match.owner, match.distance)
+                    for match in store.query(
+                        query, last, k=k, exhaustive=exhaustive
+                    )
+                ]
+                for query in queries
+            ]
+
+        indexed_wall, indexed = timed(lambda: run_queries(False))
+        brute_wall, brute = timed(lambda: run_queries(True))
+        speedup = brute_wall / indexed_wall if indexed_wall > 0 else float("inf")
+
+        # Correctness: both paths must put every planted duplicate (and the
+        # query's own row) at distance 0, in identical order.
+        by_owner = dict(zip(query_owners, zip(indexed, brute)))
+        for original, dup in duplicates:
+            idx_hits, brute_hits = by_owner[original]
+            for label, hits in (("indexed", idx_hits), ("brute", brute_hits)):
+                zero = {owner for owner, distance in hits if distance == 0.0}
+                if not {original, dup} <= zero:
+                    failures.append(
+                        f"{label} query for {original} missed its planted "
+                        f"duplicate at distance 0: {hits[:3]}"
+                    )
+        for owner, (idx_hits, brute_hits) in by_owner.items():
+            if idx_hits and brute_hits and idx_hits[0] != brute_hits[0]:
+                failures.append(
+                    f"top hit disagrees for {owner}: "
+                    f"indexed {idx_hits[0]} vs brute {brute_hits[0]}"
+                )
+
+        if not args.quick and speedup < MIN_HISTORY_INDEX_SPEEDUP:
+            failures.append(
+                f"indexed speedup {speedup:.2f}x below the "
+                f"{MIN_HISTORY_INDEX_SPEEDUP:.1f}x gate at {total_rows} rows"
+            )
+
+        # Compaction must be query-invisible: supersede the last two
+        # windows with byte-identical content (appending window m drops
+        # every recorded window >= m), compact, and re-check both paths.
+        redo = num_windows - 2
+        store.append(
+            [(redo, dict(windows[redo][1])), (last, last_signatures)]
+        )
+        before_compact = run_queries(False)
+        removed = store.compact()
+        after_compact = run_queries(False)
+        if before_compact != after_compact:
+            failures.append("indexed query answers changed across compact()")
+        if run_queries(True) != brute:
+            failures.append("brute-force answers changed across compact()")
+
+        trajectory_probe = query_owners[0]
+        trajectory_wall, trajectory = timed(
+            lambda: store.trajectory(trajectory_probe)
+        )
+
+    payload = {
+        "benchmark": "history_store",
+        "mode": "quick" if args.quick else "full",
+        "population": {
+            "windows": num_windows,
+            "owners_per_window": owners_per_window,
+            "rows": total_rows,
+            "bytes": total_bytes,
+            "planted_duplicates": len(duplicates),
+            "append_wall_s": append_wall,
+        },
+        "query": {
+            "count": len(queries),
+            "k": k,
+            "window": last,
+            "indexed_wall_s": indexed_wall,
+            "brute_wall_s": brute_wall,
+            "speedup": speedup,
+        },
+        "compaction": {
+            "segments_removed": len(removed),
+            "query_invisible": before_compact == after_compact,
+        },
+        "trajectory": {
+            "owner": trajectory_probe,
+            "points": len(trajectory),
+            "wall_s": trajectory_wall,
+        },
+        "gate": {
+            "min_speedup": MIN_HISTORY_INDEX_SPEEDUP,
+            "min_rows": HISTORY_GATE_ROWS,
+            "enforced": not args.quick,
+        },
+        "failures": failures,
+    }
+    output = (
+        args.output if args.output and args.stage == "history" else HISTORY_OUTPUT
+    )
+    _write_payload(payload, output)
+
+    print(
+        f"history_store  rows {total_rows:>7}"
+        f"  indexed {indexed_wall:>8.4f}s"
+        f"  brute {brute_wall:>8.4f}s"
+        f"  speedup {speedup:>7.2f}x"
+        f"  compact-invisible {before_compact == after_compact}"
+    )
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1347,7 +1547,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--stage",
-        choices=("kernels", "incremental", "shm", "sketch", "service_slo", "all"),
+        choices=(
+            "kernels",
+            "incremental",
+            "shm",
+            "sketch",
+            "service_slo",
+            "history",
+            "all",
+        ),
         default="kernels",
         help="which benchmark stage to run (default: kernels)",
     )
@@ -1384,6 +1592,8 @@ def main(argv=None) -> int:
         exit_code |= _run_sketch_stage(args)
     if args.stage in ("service_slo", "all"):
         exit_code |= _run_service_slo_stage(args)
+    if args.stage in ("history", "all"):
+        exit_code |= _run_history_stage(args)
     return exit_code
 
 
